@@ -1,0 +1,70 @@
+package hetgrid
+
+import (
+	"hetgrid/internal/adapt"
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/grid"
+	"hetgrid/internal/sim"
+)
+
+// RebalanceDecision reports whether a running computation should move to a
+// re-balanced layout (see ShouldRebalance).
+type RebalanceDecision = adapt.Decision
+
+// MovePlan is the set of block transfers turning one distribution into
+// another.
+type MovePlan = distribution.RedistPlan
+
+// CommVolume is a closed-form communication estimate (messages and bytes)
+// for a full kernel run under a distribution; it matches the simulator's
+// traffic counters exactly.
+type CommVolume = distribution.CommVolume
+
+// ShouldRebalance evaluates whether an in-flight outer-product
+// multiplication should redistribute onto a layout recomputed for freshly
+// measured cycle-times. measured lists the p·q effective cycle-times in
+// grid row-major order (the machines stay at their grid positions — only
+// the block shares change). remainingSteps is the number of outer-product
+// steps left; hysteresis ≥ 1 demands a proportionally larger projected
+// saving before moving (1 accepts any saving).
+func ShouldRebalance(cur Distribution, measured []float64, remainingSteps int, opts SimOptions, hysteresis float64) (*RebalanceDecision, error) {
+	p, q := cur.Dims()
+	t := make([][]float64, p)
+	for i := 0; i < p; i++ {
+		t[i] = measured[i*q : (i+1)*q]
+	}
+	arr, err := grid.New(t)
+	if err != nil {
+		return nil, err
+	}
+	return adapt.EvaluateMM(cur, arr, remainingSteps, adapt.Policy{
+		Net:        sim.Config{Latency: opts.Latency, ByteTime: opts.ByteTime, SharedBus: opts.SharedBus, FullDuplex: opts.FullDuplex},
+		BlockBytes: opts.BlockBytes,
+		Hysteresis: hysteresis,
+	})
+}
+
+// PlanMoves computes the block transfers needed to change ownership from
+// one distribution to another over the same block matrix and grid.
+func PlanMoves(from, to Distribution) (*MovePlan, error) {
+	return distribution.PlanRedistribution(from, to)
+}
+
+// ValidateDistribution checks a user-implemented Distribution for the
+// invariants the kernels rely on (owners inside the grid, positive
+// dimensions). Built-in distributions always pass.
+func ValidateDistribution(d Distribution) error {
+	return distribution.Validate(d)
+}
+
+// CommVolumeOf returns the analytic communication volume of a full kernel
+// run under d. Supported kernels: MatMul and LU (QR and Cholesky share LU's
+// structure up to constant factors).
+func CommVolumeOf(k Kernel, d Distribution, blockBytes float64) (*CommVolume, error) {
+	switch k {
+	case MatMul:
+		return distribution.MMCommVolume(d, blockBytes)
+	default:
+		return distribution.LUCommVolume(d, blockBytes)
+	}
+}

@@ -1,0 +1,83 @@
+package hetgrid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBalanceArrangementExact(t *testing.T) {
+	plan, err := BalanceArrangement([][]float64{{1, 2}, {3, 5}}, StrategyExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Objective()-2) > 1e-9 {
+		t.Fatalf("objective %v, want 2", plan.Objective())
+	}
+	// The arrangement must be preserved verbatim (no re-sorting).
+	arr := plan.Arrangement()
+	if arr.T[1][1] != 5 || arr.T[0][1] != 2 {
+		t.Fatalf("arrangement mutated:\n%s", arr)
+	}
+}
+
+func TestBalanceArrangementHeuristic(t *testing.T) {
+	plan, err := BalanceArrangement([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}, StrategyHeuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's first-step objective on this arrangement.
+	if math.Abs(plan.Objective()-2.4322) > 5e-4 {
+		t.Fatalf("objective %v, want 2.4322", plan.Objective())
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceArrangementRank1FastPath(t *testing.T) {
+	plan, err := BalanceArrangement([][]float64{{1, 2}, {3, 6}}, StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.MeanWorkload()-1) > 1e-12 {
+		t.Fatalf("rank-1 arrangement mean workload %v", plan.MeanWorkload())
+	}
+}
+
+func TestBalanceArrangementKeepsMachinePositions(t *testing.T) {
+	// A deliberately non-sorted arrangement (fast machine bottom-right)
+	// must stay where it is — the point of the fixed-arrangement API.
+	rows := [][]float64{{5, 3}, {2, 1}}
+	plan, err := BalanceArrangement(rows, StrategyExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := plan.Arrangement()
+	for i := range rows {
+		for j := range rows[i] {
+			if arr.T[i][j] != rows[i][j] {
+				t.Fatalf("position (%d,%d) changed", i, j)
+			}
+		}
+	}
+	// And the free Balance (which may re-sort) does at least as well.
+	free, err := Balance([]float64{5, 3, 2, 1}, 2, 2, StrategyExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Objective() > free.Objective()+1e-9 {
+		t.Fatal("fixed arrangement beat the free optimum")
+	}
+}
+
+func TestBalanceArrangementErrors(t *testing.T) {
+	if _, err := BalanceArrangement(nil, StrategyExact); err == nil {
+		t.Fatal("empty arrangement accepted")
+	}
+	if _, err := BalanceArrangement([][]float64{{1, -2}}, StrategyExact); err == nil {
+		t.Fatal("negative cycle-time accepted")
+	}
+	if _, err := BalanceArrangement([][]float64{{1, 2}}, Strategy(9)); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,248 @@
+package hetgrid
+
+// One benchmark per table/figure of the paper's evaluation. Each bench both
+// measures the cost of regenerating the artifact and reports the reproduced
+// quantity as a custom metric, so `go test -bench=. -benchmem` doubles as a
+// reproduction report:
+//
+//	Fig. 6  → BenchmarkFig6MeanWorkload   (metric mean_workload)
+//	Fig. 7  → BenchmarkFig7Tau            (metric tau)
+//	Fig. 8  → BenchmarkFig8Iterations     (metric iterations)
+//	§4.4    → BenchmarkWorkedExample      (metric objective, paper: 2.5889)
+//	§4.3    → BenchmarkExactVsHeuristic   (metric mean_ratio)
+//	§3.1    → BenchmarkSimMM*             (metric speedup_vs_uniform)
+//	§3.2    → BenchmarkSimLU*             (metric speedup_vs_uniform)
+//	Fig. 1  → BenchmarkPanelBuild         (metric efficiency)
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/core"
+	"hetgrid/internal/experiments"
+)
+
+// benchSweep runs the Figures 6-8 sweep once per iteration for a fixed n
+// and reports the requested metric.
+func benchSweep(b *testing.B, n int, metric string) {
+	b.Helper()
+	var last *experiments.HeuristicSweep
+	for i := 0; i < b.N; i++ {
+		sweep, err := experiments.RunHeuristicSweep([]int{n}, 20, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sweep
+	}
+	switch metric {
+	case "mean_workload":
+		b.ReportMetric(last.MeanWorkload[0], "mean_workload")
+	case "tau":
+		b.ReportMetric(last.Tau[0], "tau")
+	case "iterations":
+		b.ReportMetric(last.Iterations[0], "iterations")
+	}
+}
+
+func BenchmarkFig6MeanWorkload_n4(b *testing.B) { benchSweep(b, 4, "mean_workload") }
+func BenchmarkFig6MeanWorkload_n6(b *testing.B) { benchSweep(b, 6, "mean_workload") }
+func BenchmarkFig7Tau_n4(b *testing.B)          { benchSweep(b, 4, "tau") }
+func BenchmarkFig7Tau_n6(b *testing.B)          { benchSweep(b, 6, "tau") }
+func BenchmarkFig8Iterations_n4(b *testing.B)   { benchSweep(b, 4, "iterations") }
+func BenchmarkFig8Iterations_n6(b *testing.B)   { benchSweep(b, 6, "iterations") }
+
+// BenchmarkWorkedExample reproduces the §4.4 worked example end to end;
+// the reported objective must match the paper's 2.5889.
+func BenchmarkWorkedExample(b *testing.B) {
+	times := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	var obj float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.SolveHeuristic(times, 3, 3, core.HeuristicOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj = res.Objective()
+	}
+	b.ReportMetric(obj, "objective")
+}
+
+// BenchmarkExactVsHeuristic measures the §4.3 exact solver enabling the
+// quality table, reporting the mean heuristic/exact objective ratio.
+func BenchmarkExactVsHeuristic_2x2(b *testing.B) { benchExact(b, 2, 2) }
+func BenchmarkExactVsHeuristic_2x3(b *testing.B) { benchExact(b, 2, 3) }
+func BenchmarkExactVsHeuristic_3x3(b *testing.B) { benchExact(b, 3, 3) }
+
+func benchExact(b *testing.B, p, q int) {
+	b.Helper()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunExactComparison(p, q, 5, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = cmp.MeanRatio
+	}
+	b.ReportMetric(ratio, "mean_ratio")
+}
+
+// Simulated matrix multiplication (abstract's headline experiment): one
+// bench per distribution, each reporting its speedup over uniform.
+func BenchmarkSimMMUniform(b *testing.B) { benchSimMM(b, "uniform") }
+func BenchmarkSimMMPanel(b *testing.B)   { benchSimMM(b, "panel") }
+func BenchmarkSimMMKL(b *testing.B)      { benchSimMM(b, "kl") }
+
+func simSetup(b *testing.B, kernel Kernel) (*Plan, map[string]Distribution) {
+	b.Helper()
+	const nb = 24
+	plan, err := Balance([]float64{1, 2, 3, 5}, 2, 2, StrategyExact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := plan.BestPanel(12, 12, kernel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	panel, err := layout.Distribute(nb, nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uniform, err := Uniform(2, 2, nb, nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kl, err := KalinovLastovetsky(plan, nb, nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan, map[string]Distribution{"uniform": uniform, "panel": panel, "kl": kl}
+}
+
+func benchSimMM(b *testing.B, which string) {
+	b.Helper()
+	plan, dists := simSetup(b, MatMul)
+	opts := SimOptions{Latency: 0.05, ByteTime: 1e-5, BlockBytes: 8 * 32 * 32}
+	base, err := Simulate(MatMul, dists["uniform"], plan, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var mk float64
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(MatMul, dists[which], plan, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mk = res.Makespan
+	}
+	b.ReportMetric(base.Makespan/mk, "speedup_vs_uniform")
+	b.ReportMetric(mk, "makespan")
+}
+
+// Simulated LU: distribution comparison plus the §3.2.2 ordering ablation.
+func BenchmarkSimLUUniform(b *testing.B) { benchSimLU(b, "uniform") }
+func BenchmarkSimLUPanel(b *testing.B)   { benchSimLU(b, "panel") }
+func BenchmarkSimLUKL(b *testing.B)      { benchSimLU(b, "kl") }
+
+func benchSimLU(b *testing.B, which string) {
+	b.Helper()
+	plan, dists := simSetup(b, LU)
+	opts := SimOptions{Latency: 0.05, ByteTime: 1e-5, BlockBytes: 8 * 32 * 32}
+	base, err := Simulate(LU, dists["uniform"], plan, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var mk float64
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(LU, dists[which], plan, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mk = res.Makespan
+	}
+	b.ReportMetric(base.Makespan/mk, "speedup_vs_uniform")
+	b.ReportMetric(mk, "makespan")
+}
+
+// BenchmarkSimLUOrdering ablates the panel-column ordering (§3.2.2):
+// interleaved (ABAABA) vs contiguous, reporting interleaved's gain.
+func BenchmarkSimLUOrdering(b *testing.B) {
+	const nb = 48
+	plan, err := Balance([]float64{1, 2, 3, 5}, 2, 2, StrategyExact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inter, err := plan.Panel(8, 6, LU)
+	if err != nil {
+		b.Fatal(err)
+	}
+	contig, err := plan.Panel(8, 6, MatMul)
+	if err != nil {
+		b.Fatal(err)
+	}
+	di, err := inter.Distribute(nb, nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dc, err := contig.Distribute(nb, nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := SimOptions{Latency: 0.02, ByteTime: 1e-5, BlockBytes: 8 * 32 * 32}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		ri, err := Simulate(LU, di, plan, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc, err := Simulate(LU, dc, plan, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = rc.Makespan / ri.Makespan
+	}
+	b.ReportMetric(gain, "interleave_gain")
+}
+
+// BenchmarkPanelBuild measures the Figure-1 artifact: planning plus
+// best-panel construction for the rank-1 grid, reporting the (perfect)
+// panel efficiency.
+func BenchmarkPanelBuild(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		plan, err := Balance([]float64{1, 2, 3, 6}, 2, 2, StrategyAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		layout, err := plan.BestPanel(8, 8, MatMul)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = layout.Efficiency()
+	}
+	b.ReportMetric(eff, "efficiency")
+}
+
+// BenchmarkBalanceScaling tracks heuristic cost growth with grid size
+// (the paper's closing remark on super-cubic flop growth).
+func BenchmarkBalanceScaling(b *testing.B) {
+	for _, n := range []int{4, 8, 12, 16} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			times := make([]float64, n*n)
+			for i := range times {
+				times[i] = 1 - rng.Float64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Balance(times, n, n, StrategyHeuristic); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	return "n" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

@@ -1,0 +1,59 @@
+package hetgrid
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCalibrateSmoke(t *testing.T) {
+	cal, err := Calibrate(16, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.SecondsPerUpdate <= 0 || cal.Updates <= 0 {
+		t.Fatalf("calibration implausible: %+v", cal)
+	}
+	if cal.BlockSize != 16 {
+		t.Fatalf("block size %d", cal.BlockSize)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	if _, err := Calibrate(0, time.Millisecond); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}
+
+func TestCycleTimes(t *testing.T) {
+	got, err := CycleTimes([]float64{2e-6, 1e-6, 5e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 1, 5}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("CycleTimes = %v", got)
+		}
+	}
+	if _, err := CycleTimes(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := CycleTimes([]float64{1, 0}); err == nil {
+		t.Fatal("zero measurement accepted")
+	}
+}
+
+func TestCalibrateFeedsBalance(t *testing.T) {
+	// End-to-end: measured times → cycle-times → plan.
+	times, err := CycleTimes([]float64{1.1e-6, 2.3e-6, 3.4e-6, 5.2e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Balance(times, 2, 2, StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

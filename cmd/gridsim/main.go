@@ -1,0 +1,163 @@
+// Command gridsim simulates a dense linear algebra kernel on a
+// heterogeneous network of workstations under a chosen data distribution.
+//
+// Example:
+//
+//	gridsim -times 1,2,3,5 -p 2 -q 2 -nb 24 -kernel lu -dist panel -net bus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hetgrid"
+	"hetgrid/internal/cliutil"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gridsim: ")
+	var (
+		timesFlag  = flag.String("times", "1,2,3,5", "comma-separated processor cycle-times (p*q values)")
+		pFlag      = flag.Int("p", 2, "grid rows")
+		qFlag      = flag.Int("q", 2, "grid columns")
+		nbFlag     = flag.Int("nb", 24, "block matrix side (in blocks)")
+		kernelFlag = flag.String("kernel", "matmul", "kernel: matmul, lu, qr")
+		distFlag   = flag.String("dist", "panel", "distribution: uniform, kl, panel, all")
+		netFlag    = flag.String("net", "switched", "network: switched, bus")
+		latency    = flag.Float64("latency", 0.05, "per-message latency (block-update time units)")
+		byteTime   = flag.Float64("bytetime", 1e-5, "per-byte transfer time")
+		blockBytes = flag.Float64("blockbytes", 8*32*32, "bytes per block message")
+		syncSteps  = flag.Bool("sync", false, "barrier between outer-product steps")
+		pivoting   = flag.Bool("pivot", false, "charge LU/QR for partial pivoting (search + worst-case row swap)")
+		fullDuplex = flag.Bool("fullduplex", false, "independent send/receive channels per node")
+		gantt      = flag.Bool("gantt", false, "print a per-processor activity chart for each run")
+		traceFile  = flag.String("tracefile", "", "write a Chrome-tracing JSON of the last run to this file")
+	)
+	flag.Parse()
+
+	times, err := cliutil.ParseTimes(*timesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel, err := cliutil.ParseKernel(*kernelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := hetgrid.Balance(times, *pFlag, *qFlag, hetgrid.StrategyAuto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := hetgrid.SimOptions{
+		Latency:    *latency,
+		ByteTime:   *byteTime,
+		SharedBus:  *netFlag == "bus",
+		FullDuplex: *fullDuplex,
+		BlockBytes: *blockBytes,
+		SyncSteps:  *syncSteps,
+		Pivoting:   *pivoting,
+	}
+	if *netFlag != "bus" && *netFlag != "switched" {
+		log.Fatalf("unknown network %q (want switched or bus)", *netFlag)
+	}
+
+	dists, err := buildDistributions(*distFlag, plan, kernel, *nbFlag, *pFlag, *qFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-20s %12s %12s %8s %9s %12s\n", "distribution", "makespan", "comp bound", "eff", "msgs", "bytes")
+	var uniform float64
+	var lastRes *hetgrid.SimResult
+	for _, dc := range dists {
+		var res *hetgrid.SimResult
+		var chart string
+		var err error
+		if *gantt || *traceFile != "" {
+			res, chart, err = hetgrid.TraceSimulation(kernel, dc.d, plan, opts, 100)
+			if !*gantt {
+				chart = ""
+			}
+		} else {
+			res, err = hetgrid.Simulate(kernel, dc.d, plan, opts)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dc.name == "uniform" {
+			uniform = res.Makespan
+		}
+		line := fmt.Sprintf("%-20s %12.2f %12.2f %8.3f %9d %12.0f",
+			dc.name, res.Makespan, res.CompBound, res.Efficiency(), res.Stats.Messages, res.Stats.Bytes)
+		if uniform > 0 && dc.name != "uniform" {
+			line += fmt.Sprintf("   (%.2fx vs uniform)", uniform/res.Makespan)
+		}
+		fmt.Println(line)
+		if chart != "" {
+			fmt.Print(chart)
+		}
+		lastRes = res
+	}
+	if *traceFile != "" && lastRes != nil && lastRes.Trace != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := lastRes.Trace.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace of the last run to %s\n", *traceFile)
+	}
+}
+
+type distCase struct {
+	name string
+	d    hetgrid.Distribution
+}
+
+func buildDistributions(kind string, plan *hetgrid.Plan, kernel hetgrid.Kernel, nb, p, q int) ([]distCase, error) {
+	var out []distCase
+	add := func(name string) error {
+		switch name {
+		case "uniform":
+			d, err := hetgrid.Uniform(p, q, nb, nb)
+			if err != nil {
+				return err
+			}
+			out = append(out, distCase{"uniform", d})
+		case "kl":
+			d, err := hetgrid.KalinovLastovetsky(plan, nb, nb)
+			if err != nil {
+				return err
+			}
+			out = append(out, distCase{"kalinov-lastovetsky", d})
+		case "panel":
+			layout, err := plan.BestPanel(4*p, 4*q, kernel)
+			if err != nil {
+				return err
+			}
+			d, err := layout.Distribute(nb, nb)
+			if err != nil {
+				return err
+			}
+			out = append(out, distCase{"het-panel", d})
+		default:
+			return fmt.Errorf("unknown distribution %q (want uniform, kl, panel or all)", name)
+		}
+		return nil
+	}
+	if kind == "all" {
+		for _, name := range []string{"uniform", "kl", "panel"} {
+			if err := add(name); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	if err := add(kind); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

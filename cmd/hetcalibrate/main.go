@@ -1,0 +1,48 @@
+// Command hetcalibrate measures this machine's block-update speed — the
+// raw material for the cycle-times that hetgrid's balancing consumes. Run
+// it on every workstation of the network (or periodically on a multi-user
+// machine), collect the seconds-per-update figures, and feed their ratios
+// to hetgrid.Balance or the hetgrid CLI.
+//
+// Example:
+//
+//	hetcalibrate -block 32 -duration 200ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"hetgrid"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetcalibrate: ")
+	var (
+		blockFlag    = flag.Int("block", 32, "block size r (the r×r update granularity)")
+		durationFlag = flag.Duration("duration", 200*time.Millisecond, "minimum measurement duration")
+		repeatFlag   = flag.Int("repeat", 3, "measurement repetitions (minimum is reported)")
+	)
+	flag.Parse()
+	if *repeatFlag < 1 {
+		log.Fatal("repeat must be at least 1")
+	}
+	best := 0.0
+	for i := 0; i < *repeatFlag; i++ {
+		cal, err := hetgrid.Calibrate(*blockFlag, *durationFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run %d: %.3g s/update over %d updates\n", i+1, cal.SecondsPerUpdate, cal.Updates)
+		if best == 0 || cal.SecondsPerUpdate < best {
+			best = cal.SecondsPerUpdate
+		}
+	}
+	fmt.Printf("\nblock size        : %d\n", *blockFlag)
+	fmt.Printf("seconds per update: %.6g (best of %d)\n", best, *repeatFlag)
+	fmt.Printf("updates per second: %.1f\n", 1/best)
+	fmt.Println("\ndivide each machine's seconds-per-update by the fleet minimum to get cycle-times")
+}

@@ -1,0 +1,141 @@
+package hetgrid
+
+import (
+	"fmt"
+
+	"hetgrid/internal/engine"
+	"hetgrid/internal/matrix"
+)
+
+// validateTiling checks up front that the matrix tiles into the
+// distribution's block grid — inside engine.Run a failure on rank 0 alone
+// would leave the other ranks blocked in Recv.
+func validateTiling(d Distribution, m *Matrix, blockSize int) error {
+	nbr, nbc := d.Blocks()
+	r, c := m.Dims()
+	if blockSize <= 0 || r != nbr*blockSize || c != nbc*blockSize {
+		return fmt.Errorf("hetgrid: %d×%d matrix does not tile into %d×%d blocks of size %d", r, c, nbr, nbc, blockSize)
+	}
+	return nil
+}
+
+// ExecStats reports the real message traffic of a distributed execution
+// (kernel plus scatter/gather).
+type ExecStats struct {
+	Messages, Bytes int
+}
+
+// DistributedMultiply executes C = A·B on the distribution for real: one
+// goroutine per grid processor, each holding only its own blocks, all data
+// moving through messages. blockSize r must tile the matrices into the
+// distribution's block grid. The caller sees a serial API; the concurrency
+// is internal.
+func DistributedMultiply(d Distribution, a, b *Matrix, blockSize int) (*Matrix, *ExecStats, error) {
+	if err := validateTiling(d, a, blockSize); err != nil {
+		return nil, nil, err
+	}
+	if err := validateTiling(d, b, blockSize); err != nil {
+		return nil, nil, err
+	}
+	p, q := d.Dims()
+	var out *Matrix
+	world, err := engine.Run(p*q, func(c *engine.Comm) error {
+		aStore, err := engine.Scatter(c, d, onRank0(c, a), blockSize)
+		if err != nil {
+			return err
+		}
+		bStore, err := engine.Scatter(c, d, onRank0(c, b), blockSize)
+		if err != nil {
+			return err
+		}
+		cStore, err := engine.MM(c, d, aStore, bStore)
+		if err != nil {
+			return err
+		}
+		full, err := engine.Gather(c, d, cStore)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = full
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, &ExecStats{Messages: world.Messages(), Bytes: world.Bytes()}, nil
+}
+
+// DistributedFactorLU executes the unpivoted right-looking LU on the
+// distribution with one goroutine per processor, returning the packed
+// factors (see SplitLU). Supply matrices that are safely factorable without
+// pivoting (e.g. diagonally dominant).
+func DistributedFactorLU(d Distribution, a *Matrix, blockSize int) (*Matrix, *ExecStats, error) {
+	if err := validateTiling(d, a, blockSize); err != nil {
+		return nil, nil, err
+	}
+	p, q := d.Dims()
+	var out *Matrix
+	world, err := engine.Run(p*q, func(c *engine.Comm) error {
+		store, err := engine.Scatter(c, d, onRank0(c, a), blockSize)
+		if err != nil {
+			return err
+		}
+		if err := engine.LU(c, d, store); err != nil {
+			return err
+		}
+		full, err := engine.Gather(c, d, store)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = full
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, &ExecStats{Messages: world.Messages(), Bytes: world.Bytes()}, nil
+}
+
+// DistributedFactorCholesky executes the distributed Cholesky
+// factorization A = L·Lᵀ with one goroutine per processor, returning the
+// lower factor. The input must be symmetric positive definite.
+func DistributedFactorCholesky(d Distribution, a *Matrix, blockSize int) (*Matrix, *ExecStats, error) {
+	if err := validateTiling(d, a, blockSize); err != nil {
+		return nil, nil, err
+	}
+	p, q := d.Dims()
+	var out *Matrix
+	world, err := engine.Run(p*q, func(c *engine.Comm) error {
+		store, err := engine.Scatter(c, d, onRank0(c, a), blockSize)
+		if err != nil {
+			return err
+		}
+		if err := engine.Cholesky(c, d, store); err != nil {
+			return err
+		}
+		full, err := engine.Gather(c, d, store)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = full
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, &ExecStats{Messages: world.Messages(), Bytes: world.Bytes()}, nil
+}
+
+// onRank0 passes the matrix only to rank 0, as Scatter expects.
+func onRank0(c *engine.Comm, m *matrix.Dense) *matrix.Dense {
+	if c.Rank() == 0 {
+		return m
+	}
+	return nil
+}

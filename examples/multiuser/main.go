@@ -1,0 +1,80 @@
+// A multi-user parallel machine as a heterogeneous grid (§2.2): sixteen
+// identical processors whose *effective* speeds differ because other users'
+// jobs load some of them. The example re-balances as the load pattern
+// changes and compares against the static uniform distribution that
+// ScaLAPACK would use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetgrid"
+)
+
+// scenario is a snapshot of external load: load 0 means a dedicated
+// processor; load 1 means one competing job (half speed), etc. The
+// effective cycle-time of a processor is 1 + load.
+type scenario struct {
+	name  string
+	loads []float64
+}
+
+func main() {
+	log.SetFlags(0)
+
+	scenarios := []scenario{
+		{"night (dedicated)", make([]float64, 16)},
+		{"morning (4 busy desktops)", []float64{
+			1, 1, 0, 0,
+			1, 1, 0, 0,
+			0, 0, 0, 0,
+			0, 0, 0, 0,
+		}},
+		{"afternoon (heavy mixed load)", []float64{
+			3, 1, 0, 0,
+			1, 2, 1, 0,
+			0, 1, 4, 1,
+			0, 0, 1, 2,
+		}},
+	}
+
+	const nb = 32
+	opts := hetgrid.SimOptions{Latency: 0.05, ByteTime: 1e-5, BlockBytes: 8 * 32 * 32}
+
+	for _, sc := range scenarios {
+		times := make([]float64, 16)
+		for i, l := range sc.loads {
+			times[i] = 1 + l
+		}
+		plan, err := hetgrid.Balance(times, 4, 4, hetgrid.StrategyAuto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		layout, err := plan.BestPanel(16, 16, hetgrid.MatMul)
+		if err != nil {
+			log.Fatal(err)
+		}
+		panel, err := layout.Distribute(nb, nb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		uniform, err := hetgrid.Uniform(4, 4, nb, nb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		uniRes, err := hetgrid.Simulate(hetgrid.MatMul, uniform, plan, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		panRes, err := hetgrid.Simulate(hetgrid.MatMul, panel, plan, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s  uniform %9.0f   rebalanced %9.0f   speedup %.2fx   utilization %.0f%%\n",
+			sc.name, uniRes.Makespan, panRes.Makespan,
+			uniRes.Makespan/panRes.Makespan, 100*plan.MeanWorkload())
+	}
+	fmt.Println("\nA static uniform distribution pays the slowest processor's price all day;")
+	fmt.Println("re-planning with the measured loads keeps the machine near full speed.")
+}

@@ -1,0 +1,131 @@
+package hetgrid
+
+import (
+	"fmt"
+
+	"hetgrid/internal/core"
+	"hetgrid/internal/kernels"
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
+)
+
+// Cholesky is the right-looking blocked Cholesky factorization A = L·Lᵀ,
+// the third ScaLAPACK factorization alongside LU and QR.
+const Cholesky Kernel = QR + 1
+
+// GridChoice reports the outcome of a grid-shape search.
+type GridChoice struct {
+	// P and Q are the chosen grid dimensions.
+	P, Q int
+	// Selected indexes the input cycle-times actually placed on the grid
+	// (all of them unless subsets were allowed), fastest first.
+	Selected []int
+	// Candidates is the number of shapes evaluated.
+	Candidates int
+}
+
+// ChooseGrid solves the full §4.1 problem: given n processors, pick the
+// grid dimensions p×q ≤ n, the participating processors, and the balanced
+// shares. allowSubset permits leaving the slowest machines out (needed for
+// prime processor counts under an aspect constraint); minAspect constrains
+// min(p,q)/max(p,q) — pass 0 to allow any shape including 1×n, or values
+// toward 1 to force squarer, communication-friendlier grids.
+func ChooseGrid(times []float64, allowSubset bool, minAspect float64) (*Plan, *GridChoice, error) {
+	res, err := core.ChooseShape(times, core.ShapeOptions{
+		AllowSubset: allowSubset,
+		MinAspect:   minAspect,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := &Plan{sol: res.Solution, Iterations: 1, Converged: true}
+	choice := &GridChoice{P: res.P, Q: res.Q, Selected: res.Selected, Candidates: res.Candidates}
+	return plan, choice, nil
+}
+
+// FactorCholesky executes the blocked Cholesky factorization numerically
+// under d, returning the lower factor and per-processor operation counts.
+// The input must be symmetric positive definite and divide evenly into the
+// distribution's block grid.
+func FactorCholesky(d Distribution, a *Matrix) (l *Matrix, ops []int, err error) {
+	rep, err := kernels.ReplayCholesky(d, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep.C, rep.Ops, nil
+}
+
+// FactorQR executes the blocked Householder QR factorization numerically
+// under d. The returned replay exposes R, a reconstructor for Q, and the
+// per-processor operation counts.
+func FactorQR(d Distribution, a *Matrix) (*QRFactorization, error) {
+	rep, err := kernels.ReplayQR(d, a)
+	if err != nil {
+		return nil, err
+	}
+	return &QRFactorization{rep: rep}, nil
+}
+
+// QRFactorization wraps a distributed QR replay.
+type QRFactorization struct {
+	rep *kernels.QRReplay
+}
+
+// R returns the upper triangular factor.
+func (f *QRFactorization) R() *Matrix { return f.rep.R() }
+
+// Q reconstructs the orthogonal factor (O(n³); for verification).
+// blockSize is the element block size r used when distributing.
+func (f *QRFactorization) Q(blockSize int) *Matrix { return f.rep.Q(blockSize) }
+
+// Ops returns per-processor block-operation counts.
+func (f *QRFactorization) Ops() []int { return append([]int(nil), f.rep.Ops...) }
+
+// RandomSPDMatrix returns a random symmetric positive definite matrix,
+// convenient for exercising FactorCholesky.
+func RandomSPDMatrix(n int, rng interface{ Float64() float64 }) *Matrix {
+	return matrix.RandomSPD(n, rng)
+}
+
+// simulateCholesky dispatches the Cholesky kernel for Simulate.
+func simulateCholesky(d Distribution, plan *Plan, opts SimOptions) (*SimResult, error) {
+	kopts := kernels.Options{
+		Net:        sim.Config{Latency: opts.Latency, ByteTime: opts.ByteTime, SharedBus: opts.SharedBus, FullDuplex: opts.FullDuplex},
+		Broadcast:  sim.RingBroadcast,
+		BlockBytes: opts.BlockBytes,
+	}
+	return kernels.SimulateCholesky(d, plan.sol.Arr, kopts)
+}
+
+// TraceSimulation runs a kernel simulation with operation tracing enabled
+// and returns both the result and a textual Gantt chart of processor
+// activity (width columns wide). Useful for inspecting where the schedule
+// loses time.
+func TraceSimulation(k Kernel, d Distribution, plan *Plan, opts SimOptions, width int) (*SimResult, string, error) {
+	res, trace, err := kernels.SimulateTraced(kindOf(k), d, plan.sol.Arr, kernels.Options{
+		Net:        sim.Config{Latency: opts.Latency, ByteTime: opts.ByteTime, SharedBus: opts.SharedBus, FullDuplex: opts.FullDuplex},
+		Broadcast:  sim.RingBroadcast,
+		BlockBytes: opts.BlockBytes,
+		SyncSteps:  opts.SyncSteps,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	p, q := d.Dims()
+	return res, trace.Gantt(p*q, width), nil
+}
+
+func kindOf(k Kernel) string {
+	switch k {
+	case MatMul:
+		return "matmul"
+	case LU:
+		return "lu"
+	case QR:
+		return "qr"
+	case Cholesky:
+		return "cholesky"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}

@@ -1,0 +1,141 @@
+package hetgrid
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hetgrid/internal/matrix"
+)
+
+func TestChooseGrid(t *testing.T) {
+	plan, choice, err := ChooseGrid([]float64{1, 2, 3, 5}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.P*choice.Q != 4 || len(choice.Selected) != 4 {
+		t.Fatalf("choice %+v", choice)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if choice.Candidates < 3 {
+		t.Fatalf("only %d candidates", choice.Candidates)
+	}
+	// Prime count with aspect bound needs subsets.
+	if _, _, err := ChooseGrid([]float64{1, 1, 1, 1, 1}, false, 0.5); err == nil {
+		t.Fatal("prime count under aspect bound should fail without subsets")
+	}
+	_, choice, err = ChooseGrid([]float64{1, 1, 1, 1, 1}, true, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choice.Selected) >= 5 {
+		t.Fatalf("subset not used: %+v", choice)
+	}
+}
+
+func TestSimulateCholeskyKernel(t *testing.T) {
+	plan, err := Balance([]float64{1, 2, 3, 5}, 2, 2, StrategyExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := plan.BestPanel(12, 12, Cholesky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := layout.Distribute(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chol, err := Simulate(Cholesky, d, plan, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := Simulate(LU, d, plan, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chol.Kernel != "cholesky" {
+		t.Fatalf("kernel label %q", chol.Kernel)
+	}
+	if chol.Makespan >= lu.Makespan {
+		t.Fatal("Cholesky (half the updates) not faster than LU")
+	}
+	if Cholesky.String() != "cholesky" {
+		t.Fatal("Kernel string missing cholesky")
+	}
+}
+
+func TestFactorCholeskyFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandomSPDMatrix(18, rng)
+	l, ops, err := FactorCholesky(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("ops %v", ops)
+	}
+	if !matrix.Mul(l, l.T()).EqualApprox(a, 1e-8) {
+		t.Fatal("L·Lᵀ != A")
+	}
+}
+
+func TestFactorQRFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	d, err := Uniform(2, 2, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 5
+	a := matrix.Random(4*r, 4*r, rng)
+	f, err := FactorQR(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := f.Q(r)
+	if !matrix.Mul(q, f.R()).EqualApprox(a, 1e-9) {
+		t.Fatal("Q·R != A")
+	}
+	if len(f.Ops()) != 4 {
+		t.Fatalf("ops %v", f.Ops())
+	}
+}
+
+func TestTraceSimulation(t *testing.T) {
+	plan, err := Balance([]float64{1, 2, 3, 5}, 2, 2, StrategyExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := plan.BestPanel(12, 12, MatMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := layout.Distribute(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []Kernel{MatMul, LU, QR, Cholesky} {
+		res, gantt, err := TraceSimulation(k, d, plan, SimOptions{Latency: 0.01, BlockBytes: 1024}, 60)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if res.Trace == nil || len(res.Trace.Ops) == 0 {
+			t.Fatalf("%v: no trace recorded", k)
+		}
+		if !strings.Contains(gantt, "#") {
+			t.Fatalf("%v: gantt shows no activity: %q", k, gantt)
+		}
+		if strings.Count(gantt, "\n") != 4 {
+			t.Fatalf("%v: gantt should have 4 node rows", k)
+		}
+	}
+	if _, _, err := TraceSimulation(Kernel(42), d, plan, SimOptions{}, 60); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}

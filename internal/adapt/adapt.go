@@ -1,0 +1,157 @@
+// Package adapt decides when a running computation on a non-dedicated
+// parallel machine should re-balance. The paper's §2.2 observes that a
+// multi-user machine behaves like a heterogeneous network whose effective
+// speeds change with external load; its static strategies assume the speeds
+// measured at start-up. This package closes the loop: given the current
+// distribution, freshly measured cycle-times and the amount of work left,
+// it weighs the cost of redistributing the blocks against the projected
+// savings and recommends whether to move.
+//
+// The model is deliberately simple and conservative: per-step cost under a
+// distribution is the compute bound max_n(count_n·t_n) (communication
+// overlaps in the pipelined kernels), and redistribution cost is obtained
+// by scheduling the aggregated block moves on the simulated network. A
+// hysteresis factor guards against thrashing when the projected gain is
+// marginal.
+package adapt
+
+import (
+	"fmt"
+
+	"hetgrid/internal/core"
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/grid"
+	"hetgrid/internal/sim"
+)
+
+// Policy configures the re-balancing decision.
+type Policy struct {
+	// Net and BlockBytes describe the fabric for redistribution cost.
+	Net        sim.Config
+	BlockBytes float64
+	// MaxPanel bounds the panel search for the re-balanced layout
+	// (defaults to 4·max(p,q)).
+	MaxPanel int
+	// Hysteresis is the minimum ratio of stay-cost to move-cost required
+	// to recommend moving (e.g. 1.1 demands a 10% projected saving;
+	// values ≤ 1 default to 1).
+	Hysteresis float64
+}
+
+// Decision is the outcome of an evaluation.
+type Decision struct {
+	// Redistribute is the recommendation.
+	Redistribute bool
+	// StayCost is the projected remaining time with the current layout;
+	// MoveCost is redistribution time plus the projected remaining time
+	// with the proposed layout.
+	StayCost, MoveCost float64
+	// RedistTime and MovedBlocks describe the proposed redistribution.
+	RedistTime  float64
+	MovedBlocks int
+	// NewDist is the proposed distribution (nil when staying put and no
+	// better layout exists).
+	NewDist distribution.Distribution
+	// PerStepCur and PerStepNew are the per-step compute bounds under the
+	// current and proposed layouts.
+	PerStepCur, PerStepNew float64
+}
+
+// EvaluateMM decides whether an outer-product multiplication with
+// remainingSteps steps left should re-balance onto a layout computed for
+// the newly measured cycle-times. The processor grid positions are fixed
+// (machines do not move); only the block shares change.
+func EvaluateMM(cur distribution.Distribution, newTimes *grid.Arrangement, remainingSteps int, pol Policy) (*Decision, error) {
+	p, q := cur.Dims()
+	if newTimes.P != p || newTimes.Q != q {
+		return nil, fmt.Errorf("adapt: %d×%d distribution vs %d×%d measured grid", p, q, newTimes.P, newTimes.Q)
+	}
+	if remainingSteps < 0 {
+		return nil, fmt.Errorf("adapt: negative remaining steps %d", remainingSteps)
+	}
+	nbr, nbc := cur.Blocks()
+	if nbr != nbc {
+		return nil, fmt.Errorf("adapt: square block matrix required, got %d×%d", nbr, nbc)
+	}
+	hys := pol.Hysteresis
+	if hys < 1 {
+		hys = 1
+	}
+	maxPanel := pol.MaxPanel
+	if maxPanel <= 0 {
+		maxPanel = 4 * p
+		if 4*q > maxPanel {
+			maxPanel = 4 * q
+		}
+	}
+	if maxPanel > nbr {
+		maxPanel = nbr
+	}
+
+	dec := &Decision{PerStepCur: perStepBound(cur, newTimes)}
+	dec.StayCost = float64(remainingSteps) * dec.PerStepCur
+
+	// Re-balance the shares for the fixed arrangement and build the
+	// candidate layout.
+	sol, err := core.RankOneStep(newTimes)
+	if err != nil {
+		return nil, err
+	}
+	pan, err := distribution.BestPanel(sol, maxPanel, maxPanel,
+		distribution.Contiguous, distribution.Contiguous)
+	if err != nil {
+		return nil, err
+	}
+	cand, err := pan.Distribution(nbr, nbc)
+	if err != nil {
+		return nil, err
+	}
+	dec.PerStepNew = perStepBound(cand, newTimes)
+
+	plan, err := distribution.PlanRedistribution(cur, cand)
+	if err != nil {
+		return nil, err
+	}
+	dec.MovedBlocks = plan.BlockCount()
+	dec.RedistTime, err = simulateMoves(plan, p*q, pol)
+	if err != nil {
+		return nil, err
+	}
+	dec.MoveCost = dec.RedistTime + float64(remainingSteps)*dec.PerStepNew
+	if dec.MoveCost*hys < dec.StayCost && dec.MovedBlocks > 0 {
+		dec.Redistribute = true
+		dec.NewDist = cand
+	}
+	return dec, nil
+}
+
+// perStepBound is the compute bound of one outer-product step: the busiest
+// processor's owned-block count times its cycle-time.
+func perStepBound(d distribution.Distribution, arr *grid.Arrangement) float64 {
+	counts := distribution.Counts(d)
+	max := 0.0
+	for i := range counts {
+		for j := range counts[i] {
+			if v := float64(counts[i][j]) * arr.T[i][j]; v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// simulateMoves schedules the plan's aggregated pair messages on the
+// simulated network and returns the completion time.
+func simulateMoves(plan *distribution.RedistPlan, nodes int, pol Policy) (float64, error) {
+	if plan.BlockCount() == 0 {
+		return 0, nil
+	}
+	c, err := sim.NewCluster(nodes, pol.Net)
+	if err != nil {
+		return 0, err
+	}
+	for _, pr := range plan.Pairs() {
+		c.Send(pr.Src, pr.Dst, float64(pr.Count)*pol.BlockBytes, 0)
+	}
+	return c.Makespan(), nil
+}

@@ -1,0 +1,119 @@
+// Package cliutil holds the flag-parsing helpers shared by the hetgrid
+// command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hetgrid"
+)
+
+// ParseTimes parses a comma-separated list of cycle-times.
+func ParseTimes(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad cycle-time %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseKernel maps a kernel name to its constant. Accepted: matmul (or
+// mm), lu, qr, cholesky (or chol).
+func ParseKernel(s string) (hetgrid.Kernel, error) {
+	switch strings.ToLower(s) {
+	case "matmul", "mm":
+		return hetgrid.MatMul, nil
+	case "lu":
+		return hetgrid.LU, nil
+	case "qr":
+		return hetgrid.QR, nil
+	case "cholesky", "chol":
+		return hetgrid.Cholesky, nil
+	default:
+		return 0, fmt.Errorf("unknown kernel %q (want matmul, lu, qr or cholesky)", s)
+	}
+}
+
+// ParseStrategy maps a strategy name to its constant.
+func ParseStrategy(s string) (hetgrid.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return hetgrid.StrategyAuto, nil
+	case "heuristic":
+		return hetgrid.StrategyHeuristic, nil
+	case "exact":
+		return hetgrid.StrategyExact, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want auto, heuristic or exact)", s)
+	}
+}
+
+// ParseArrangement parses a cycle-time matrix written as semicolon-
+// separated rows of comma-separated values, e.g. "1,2;3,5" for a 2×2 grid.
+func ParseArrangement(s string) ([][]float64, error) {
+	rows := strings.Split(s, ";")
+	out := make([][]float64, 0, len(rows))
+	width := -1
+	for _, row := range rows {
+		vals, err := ParseTimes(row)
+		if err != nil {
+			return nil, err
+		}
+		if width < 0 {
+			width = len(vals)
+		} else if len(vals) != width {
+			return nil, fmt.Errorf("ragged arrangement: row with %d values after rows of %d", len(vals), width)
+		}
+		out = append(out, vals)
+	}
+	return out, nil
+}
+
+// ParsePanel parses a BpxBq panel specification such as "8x6".
+func ParsePanel(s string) (bp, bq int, err error) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("panel must look like 8x6, got %q", s)
+	}
+	bp, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad panel rows in %q: %v", s, err)
+	}
+	bq, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad panel columns in %q: %v", s, err)
+	}
+	if bp <= 0 || bq <= 0 {
+		return 0, 0, fmt.Errorf("panel dimensions must be positive, got %dx%d", bp, bq)
+	}
+	return bp, bq, nil
+}
+
+// OrderLetters renders a panel order like [0 1 0 0 1 0] as "ABAABA".
+func OrderLetters(order []int) string {
+	var sb strings.Builder
+	for _, o := range order {
+		if o >= 0 && o < 26 {
+			sb.WriteByte(byte('A' + o))
+		} else {
+			fmt.Fprintf(&sb, "(%d)", o)
+		}
+	}
+	return sb.String()
+}
+
+// FormatFloats renders a slice with fixed precision for CLI output.
+func FormatFloats(x []float64, prec int) string {
+	parts := make([]string, len(x))
+	for i, v := range x {
+		parts[i] = strconv.FormatFloat(v, 'f', prec, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hetgrid/internal/grid"
+	"hetgrid/internal/spantree"
+)
+
+// ErrNoAcceptableTree would indicate no spanning tree of K_{p,q} yields a
+// feasible solution. It cannot actually occur for positive cycle-times (the
+// star tree centred on r_1 is always acceptable after scaling); it is
+// reported only if numerical breakdown prevents every tree from validating.
+var ErrNoAcceptableTree = errors.New("core: no acceptable spanning tree found")
+
+// ExactStats reports the work done by an exact solver.
+type ExactStats struct {
+	// TreesVisited is the number of spanning trees generated.
+	TreesVisited int
+	// TreesAcceptable is how many of them satisfied all constraints.
+	TreesAcceptable int
+	// Arrangements is the number of arrangements searched (1 for the
+	// fixed-arrangement solver).
+	Arrangements int
+}
+
+// SolveArrangementExact solves Obj2 exactly for a fixed arrangement using
+// the spanning-tree characterization of §4.3.1: at an optimum at least
+// p+q−1 of the p·q constraints are tight, and the tight set contains a
+// spanning tree of the complete bipartite graph on {r_i} ∪ {c_j}. The
+// solver enumerates all p^(q−1)·q^(p−1) spanning trees, propagates the
+// equalities r_i·t_ij·c_j = 1 from r_1 = 1 along each tree, keeps the trees
+// whose remaining inequalities hold, and returns the best.
+//
+// Cost is exponential in the grid size; it is intended for the small grids
+// where the exact answer is wanted (the paper conjectures the general
+// problem NP-complete).
+func SolveArrangementExact(arr *grid.Arrangement) (*Solution, *ExactStats, error) {
+	p, q := arr.P, arr.Q
+	g := spantree.CompleteBipartite(p, q)
+	stats := &ExactStats{Arrangements: 1}
+
+	r := make([]float64, p)
+	c := make([]float64, q)
+	var best *Solution
+	bestObj := math.Inf(-1)
+
+	adj := make([][]int, p+q) // reused adjacency storage
+	spantree.Enumerate(g, func(edges []int) bool {
+		stats.TreesVisited++
+		// Build adjacency for this tree.
+		for v := range adj {
+			adj[v] = adj[v][:0]
+		}
+		for _, ei := range edges {
+			e := g.Edges[ei]
+			adj[e.U] = append(adj[e.U], e.V)
+			adj[e.V] = append(adj[e.V], e.U)
+		}
+		// Propagate r_1 = 1 along the tree. Vertices 0..p-1 are rows,
+		// p..p+q-1 are columns.
+		for i := range r {
+			r[i] = 0
+		}
+		for j := range c {
+			c[j] = 0
+		}
+		r[0] = 1
+		stack := []int{0}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range adj[v] {
+				if w < p {
+					if r[w] != 0 {
+						continue
+					}
+					// Edge (row w, column v-p): r_w = 1/(t·c).
+					r[w] = 1 / (arr.T[w][v-p] * c[v-p])
+					stack = append(stack, w)
+				} else {
+					if c[w-p] != 0 {
+						continue
+					}
+					// Edge (row v, column w-p): c = 1/(r_v·t).
+					c[w-p] = 1 / (r[v] * arr.T[v][w-p])
+					stack = append(stack, w)
+				}
+			}
+		}
+		// Acceptability: every constraint must hold.
+		for i := 0; i < p; i++ {
+			for j := 0; j < q; j++ {
+				if r[i]*arr.T[i][j]*c[j] > 1+FeasibilityTol {
+					return true // reject tree, keep enumerating
+				}
+			}
+		}
+		stats.TreesAcceptable++
+		sr, sc := 0.0, 0.0
+		for _, v := range r {
+			sr += v
+		}
+		for _, v := range c {
+			sc += v
+		}
+		if obj := sr * sc; obj > bestObj {
+			bestObj = obj
+			best = &Solution{
+				Arr: arr,
+				R:   append([]float64(nil), r...),
+				C:   append([]float64(nil), c...),
+			}
+		}
+		return true
+	})
+	if best == nil {
+		return nil, stats, ErrNoAcceptableTree
+	}
+	return best, stats, nil
+}
+
+// SolveGlobalExact solves the full 2D load-balancing problem: it searches
+// every non-decreasing arrangement of the cycle-times on a p×q grid
+// (sufficient by Theorem 1) and solves each exactly with the spanning-tree
+// method, returning the best solution found. Doubly exponential; intended
+// for small problems and for validating the heuristic.
+func SolveGlobalExact(times []float64, p, q int) (*Solution, *ExactStats, error) {
+	if len(times) != p*q {
+		return nil, nil, fmt.Errorf("core: %d cycle-times for a %d×%d grid", len(times), p, q)
+	}
+	total := &ExactStats{}
+	var best *Solution
+	bestObj := math.Inf(-1)
+	var solveErr error
+	_, err := grid.EnumerateNonDecreasing(times, p, q, func(arr *grid.Arrangement) bool {
+		sol, stats, err := SolveArrangementExact(arr)
+		total.Arrangements++
+		total.TreesVisited += stats.TreesVisited
+		total.TreesAcceptable += stats.TreesAcceptable
+		if err != nil {
+			solveErr = err
+			return true
+		}
+		if obj := sol.Objective(); obj > bestObj {
+			bestObj = obj
+			best = sol
+		}
+		return true
+	})
+	if err != nil {
+		return nil, total, err
+	}
+	if best == nil {
+		if solveErr != nil {
+			return nil, total, solveErr
+		}
+		return nil, total, ErrNoAcceptableTree
+	}
+	return best, total, nil
+}
+
+// Solve2x2Exact returns the exact solution for a 2×2 arrangement. K_{2,2}
+// has exactly four spanning trees (drop one of the four edges), so the
+// closed-form solution of the extended paper reduces to comparing the four
+// candidates; this helper exists mainly as an independently-coded
+// cross-check of the general solver.
+func Solve2x2Exact(arr *grid.Arrangement) (*Solution, error) {
+	if arr.P != 2 || arr.Q != 2 {
+		return nil, fmt.Errorf("core: Solve2x2Exact on %d×%d arrangement", arr.P, arr.Q)
+	}
+	t := arr.T
+	best := (*Solution)(nil)
+	bestObj := math.Inf(-1)
+	// Dropping edge (di, dj) keeps the other three tight.
+	for di := 0; di < 2; di++ {
+		for dj := 0; dj < 2; dj++ {
+			r := [2]float64{1, 0}
+			c := [2]float64{0, 0}
+			// Tight edges from row 0 first (row 0 keeps both its edges
+			// unless the dropped edge is on row 0).
+			oj := 1 - dj
+			// The tree consists of the three edges other than (di,dj):
+			// (oi,oj), (oi,dj), (di,oj). Propagate from r[0]=1.
+			switch {
+			case di == 0:
+				// Row 0 keeps only edge (0, oj): c[oj] = 1/(r0 t[0][oj]).
+				c[oj] = 1 / (r[0] * t[0][oj])
+				// Row 1 (=oi) keeps both edges: r1 from (1, oj), then c[dj].
+				r[1] = 1 / (t[1][oj] * c[oj])
+				c[dj] = 1 / (r[1] * t[1][dj])
+			default: // di == 1
+				// Row 0 keeps both edges.
+				c[0] = 1 / (r[0] * t[0][0])
+				c[1] = 1 / (r[0] * t[0][1])
+				// Row 1 keeps edge (1, oj).
+				r[1] = 1 / (t[1][oj] * c[oj])
+			}
+			// Acceptability of the dropped edge.
+			if r[di]*t[di][dj]*c[dj] > 1+FeasibilityTol {
+				continue
+			}
+			obj := (r[0] + r[1]) * (c[0] + c[1])
+			if obj > bestObj {
+				bestObj = obj
+				best = &Solution{Arr: arr, R: []float64{r[0], r[1]}, C: []float64{c[0], c[1]}}
+			}
+		}
+	}
+	if best == nil {
+		return nil, ErrNoAcceptableTree
+	}
+	return best, nil
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/grid"
+)
+
+func TestExactRank1PerfectBalance(t *testing.T) {
+	// Figure 1: [[1,2],[3,6]] is rank-1, so the exact optimum saturates all
+	// four processors and reaches objective (1+1/3)(1+1/2) = 2.
+	arr := grid.MustNew([][]float64{{1, 2}, {3, 6}})
+	sol, stats, err := SolveArrangementExact(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TreesVisited != 4 {
+		t.Fatalf("K_{2,2} has 4 spanning trees, visited %d", stats.TreesVisited)
+	}
+	if math.Abs(sol.Objective()-2) > 1e-12 {
+		t.Fatalf("objective = %v, want 2", sol.Objective())
+	}
+	if math.Abs(sol.MeanWorkload()-1) > 1e-12 {
+		t.Fatalf("mean workload = %v, want 1 (perfect balance)", sol.MeanWorkload())
+	}
+}
+
+func TestExactImperfectExample(t *testing.T) {
+	// §3.1.2: changing t22 to 5 makes perfect balance impossible. The exact
+	// optimum keeps the Figure-1 shares (r = (1, 1/3), c = (1, 1/2)) and
+	// leaves P22 idle one sixth of the time.
+	arr := grid.MustNew([][]float64{{1, 2}, {3, 5}})
+	sol, _, err := SolveArrangementExact(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective()-2) > 1e-12 {
+		t.Fatalf("objective = %v, want 2", sol.Objective())
+	}
+	b := sol.Workload()
+	if math.Abs(b[1][1]-5.0/6.0) > 1e-12 {
+		t.Fatalf("P22 workload = %v, want 5/6 (idle every sixth step)", b[1][1])
+	}
+	for _, idx := range [][2]int{{0, 0}, {0, 1}, {1, 0}} {
+		if math.Abs(b[idx[0]][idx[1]]-1) > 1e-12 {
+			t.Fatalf("P%d%d workload = %v, want 1", idx[0]+1, idx[1]+1, b[idx[0]][idx[1]])
+		}
+	}
+	if sol.MeanWorkload() >= 1 {
+		t.Fatal("imperfect grid cannot have mean workload 1")
+	}
+}
+
+func TestExactFeasibleAndTreeTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		p := 1 + rng.Intn(3)
+		q := 1 + rng.Intn(3)
+		tm := make([][]float64, p)
+		for i := range tm {
+			tm[i] = make([]float64, q)
+			for j := range tm[i] {
+				tm[i][j] = 0.1 + rng.Float64()
+			}
+		}
+		arr := grid.MustNew(tm)
+		sol, stats, err := SolveArrangementExact(arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Feasible(0) {
+			t.Fatalf("exact solution infeasible: max workload %v", sol.MaxWorkload())
+		}
+		if stats.TreesAcceptable < 1 {
+			t.Fatal("no acceptable tree counted")
+		}
+		// r_1 is fixed to 1 by the solver.
+		if sol.R[0] != 1 {
+			t.Fatalf("r_1 = %v, want 1", sol.R[0])
+		}
+		// At least p+q-1 constraints are tight.
+		tight := 0
+		for i := 0; i < p; i++ {
+			for j := 0; j < q; j++ {
+				if math.Abs(sol.R[i]*arr.T[i][j]*sol.C[j]-1) < 1e-9 {
+					tight++
+				}
+			}
+		}
+		if tight < p+q-1 {
+			t.Fatalf("%d tight constraints, want at least %d", tight, p+q-1)
+		}
+	}
+}
+
+func TestExactBeatsRandomFeasible(t *testing.T) {
+	// The exact objective must dominate any feasible solution we can
+	// construct by randomly picking r and scaling c maximally.
+	rng := rand.New(rand.NewSource(62))
+	arr := grid.MustNew([][]float64{{0.3, 0.7}, {0.5, 0.9}})
+	sol, _, err := SolveArrangementExact(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactObj := sol.Objective()
+	for trial := 0; trial < 200; trial++ {
+		r := []float64{1, 0.05 + 2*rng.Float64()}
+		c := make([]float64, 2)
+		for j := range c {
+			// Maximal feasible c_j for this r.
+			c[j] = math.Inf(1)
+			for i := range r {
+				if v := 1 / (r[i] * arr.T[i][j]); v < c[j] {
+					c[j] = v
+				}
+			}
+		}
+		obj := (r[0] + r[1]) * (c[0] + c[1])
+		if obj > exactObj+1e-9 {
+			t.Fatalf("random feasible solution %v beat exact %v (r=%v)", obj, exactObj, r)
+		}
+	}
+}
+
+func TestSolve2x2MatchesGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 50; trial++ {
+		tm := [][]float64{
+			{0.1 + rng.Float64(), 0.1 + rng.Float64()},
+			{0.1 + rng.Float64(), 0.1 + rng.Float64()},
+		}
+		arr := grid.MustNew(tm)
+		general, _, err := SolveArrangementExact(arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed, err := Solve2x2Exact(arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(general.Objective()-closed.Objective()) > 1e-9 {
+			t.Fatalf("2×2 closed form %v != general %v for %v",
+				closed.Objective(), general.Objective(), tm)
+		}
+	}
+}
+
+func TestSolve2x2RejectsWrongShape(t *testing.T) {
+	if _, err := Solve2x2Exact(grid.MustNew([][]float64{{1, 2, 3}})); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestGlobalExactPicksBestArrangement(t *testing.T) {
+	// Cycle-times {1,2,3,6} can form the rank-1 matrix [[1,2],[3,6]] (or
+	// [[1,3],[2,6]]), so the global optimum is perfectly balanced.
+	sol, stats, err := SolveGlobalExact([]float64{6, 1, 3, 2}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.MeanWorkload()-1) > 1e-9 {
+		t.Fatalf("global exact missed the rank-1 arrangement: mean load %v", sol.MeanWorkload())
+	}
+	if stats.Arrangements != 2 {
+		t.Fatalf("2×2 distinct values: %d arrangements, want 2", stats.Arrangements)
+	}
+	if !sol.Arr.IsNonDecreasing() {
+		t.Fatal("returned arrangement not non-decreasing")
+	}
+}
+
+func TestGlobalExactDominatesFixedArrangements(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	times := make([]float64, 4)
+	for trial := 0; trial < 20; trial++ {
+		for i := range times {
+			times[i] = 0.1 + rng.Float64()
+		}
+		global, _, err := SolveGlobalExact(times, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every individual non-decreasing arrangement is dominated.
+		if _, err := grid.EnumerateNonDecreasing(times, 2, 2, func(arr *grid.Arrangement) bool {
+			sol, _, err := SolveArrangementExact(arr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Objective() > global.Objective()+1e-9 {
+				t.Fatalf("arrangement beat global: %v > %v", sol.Objective(), global.Objective())
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGlobalExactSizeMismatch(t *testing.T) {
+	if _, _, err := SolveGlobalExact([]float64{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("expected size error")
+	}
+}
+
+func TestExactSingleRowAndColumn(t *testing.T) {
+	// 1×q and p×1 grids reduce to the 1D problem: perfect balance.
+	sol, _, err := SolveArrangementExact(grid.MustNew([][]float64{{1, 2, 4}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.MeanWorkload()-1) > 1e-12 {
+		t.Fatalf("1×3 mean workload %v, want 1", sol.MeanWorkload())
+	}
+	sol, _, err = SolveArrangementExact(grid.MustNew([][]float64{{1}, {5}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.MeanWorkload()-1) > 1e-12 {
+		t.Fatalf("2×1 mean workload %v, want 1", sol.MeanWorkload())
+	}
+}
+
+func TestExact3x3TreeCount(t *testing.T) {
+	arr := grid.MustNew([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	_, stats, err := SolveArrangementExact(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TreesVisited != 81 {
+		t.Fatalf("K_{3,3}: visited %d trees, want 81", stats.TreesVisited)
+	}
+}

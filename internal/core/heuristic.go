@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetgrid/internal/grid"
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/svd"
+)
+
+// DefaultMaxIterations bounds the iterative refinement of the heuristic.
+// The paper observes the iteration count grows with n but remains small in
+// practice; the bound exists to guarantee termination if the re-sorting
+// ever cycles.
+const DefaultMaxIterations = 200
+
+// HeuristicOptions tunes SolveHeuristic. The zero value selects defaults.
+type HeuristicOptions struct {
+	// MaxIterations caps refinement steps (0 selects
+	// DefaultMaxIterations). Each step costs one dominant-SVD computation.
+	MaxIterations int
+	// NoRefine stops after the first rank-1 approximation step,
+	// reproducing the "after the first step" baseline of Figure 7.
+	NoRefine bool
+}
+
+// HeuristicResult carries the heuristic's solution plus the convergence
+// bookkeeping that the paper's Figures 6–8 are built from.
+type HeuristicResult struct {
+	*Solution
+	// FirstObjective is (Σr)(Σc) after the first step (row-major sorted
+	// arrangement), the denominator of the Figure 7 ratio τ.
+	FirstObjective float64
+	// Objectives records the objective after every step, starting with the
+	// first; the last entry equals Solution.Objective().
+	Objectives []float64
+	// Iterations is the number of evaluation steps performed (Figure 8
+	// plots its average). The paper's 3×3 worked example takes 3.
+	Iterations int
+	// Converged is true when the process stopped because re-sorting left
+	// the arrangement unchanged (a fixed point); false when it hit
+	// MaxIterations or detected a cycle of arrangements.
+	Converged bool
+	// Tau is Objective/FirstObjective − 1, the refinement gain of Figure 7.
+	Tau float64
+	// FinalArrangement is the last arrangement evaluated. When Converged
+	// is true it is a fixed point of the refinement; it may differ from
+	// Solution.Arr, which belongs to the best objective seen (the
+	// refinement is not strictly monotone).
+	FinalArrangement *grid.Arrangement
+}
+
+// SolveHeuristic runs the polynomial heuristic of §4.4 on the given
+// cycle-times: arrange row-major sorted, approximate T^inv by its best
+// rank-1 matrix via the dominant singular triple, scale into feasibility,
+// then iteratively re-sort the cycle-times to match the ordering of the
+// induced optimal cycle-times T_opt = (1/(r_i·c_j)) until a fixed point.
+func SolveHeuristic(times []float64, p, q int, opts HeuristicOptions) (*HeuristicResult, error) {
+	arr, err := grid.RowMajor(times, p, q)
+	if err != nil {
+		return nil, err
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	if opts.NoRefine {
+		maxIter = 1
+	}
+
+	res := &HeuristicResult{}
+	seen := map[string]int{arr.String(): 0}
+	var best *Solution
+	bestObj := 0.0
+	for iter := 0; iter < maxIter; iter++ {
+		sol, err := RankOneStep(arr)
+		if err != nil {
+			return nil, err
+		}
+		obj := sol.Objective()
+		res.Objectives = append(res.Objectives, obj)
+		res.Iterations++
+		if iter == 0 {
+			res.FirstObjective = obj
+		}
+		if obj > bestObj {
+			bestObj, best = obj, sol
+		}
+		res.FinalArrangement = arr
+		if opts.NoRefine {
+			res.Converged = true
+			break
+		}
+		next := Rearrange(arr, sol)
+		if next.Equal(arr) {
+			res.Converged = true
+			break
+		}
+		if _, cycled := seen[next.String()]; cycled {
+			// The re-sorting revisited an earlier arrangement without
+			// reaching a fixed point; stop with the best solution so far.
+			break
+		}
+		seen[next.String()] = iter + 1
+		arr = next
+	}
+	res.Solution = best
+	if res.FirstObjective > 0 {
+		res.Tau = best.Objective()/res.FirstObjective - 1
+	}
+	return res, nil
+}
+
+// RankOneStep performs one evaluation step of the heuristic for a fixed
+// arrangement (§4.4.2): compute the dominant singular triple (s, a, b) of
+// T^inv = (1/t_ij), set r = s·a and c = b, then scale into feasibility —
+// divide each c_j by the largest entry of column j of (r_i·t_ij·c_j), then
+// each r_i by the largest entry of row i — so that every constraint holds,
+// every row has a tight constraint, and (for the resulting matrices in
+// practice) every column keeps one too.
+func RankOneStep(arr *grid.Arrangement) (*Solution, error) {
+	p, q := arr.P, arr.Q
+	tinv := matrix.New(p, q)
+	for i := 0; i < p; i++ {
+		for j := 0; j < q; j++ {
+			tinv.Set(i, j, 1/arr.T[i][j])
+		}
+	}
+	// T^inv is entrywise positive, so its dominant singular value is simple
+	// and the power iteration converges; fall back to the Jacobi SVD if the
+	// iteration budget runs out (nearly multiple dominant values).
+	s, a, b, err := svd.DominantTriple(tinv, 1e-14, 2000)
+	if err != nil {
+		dec, derr := svd.Decompose(tinv)
+		if derr != nil {
+			return nil, fmt.Errorf("core: SVD of inverse cycle-times failed: %w", derr)
+		}
+		s, a, b = dec.Rank1()
+	}
+	r := make([]float64, p)
+	c := make([]float64, q)
+	for i := 0; i < p; i++ {
+		r[i] = s * a[i]
+	}
+	copy(c, b)
+	// Perron–Frobenius guarantees positive singular vectors for a positive
+	// matrix; guard against numerically-zero components anyway.
+	for i, v := range r {
+		if !(v > 0) {
+			return nil, fmt.Errorf("core: non-positive row share r[%d] = %v from SVD", i, v)
+		}
+	}
+	for j, v := range c {
+		if !(v > 0) {
+			return nil, fmt.Errorf("core: non-positive column share c[%d] = %v from SVD", j, v)
+		}
+	}
+	// Feasibility scaling, columns first then rows.
+	for j := 0; j < q; j++ {
+		max := 0.0
+		for i := 0; i < p; i++ {
+			if v := r[i] * arr.T[i][j] * c[j]; v > max {
+				max = v
+			}
+		}
+		c[j] /= max
+	}
+	for i := 0; i < p; i++ {
+		max := 0.0
+		for j := 0; j < q; j++ {
+			if v := r[i] * arr.T[i][j] * c[j]; v > max {
+				max = v
+			}
+		}
+		r[i] /= max
+	}
+	return &Solution{Arr: arr, R: r, C: c}, nil
+}
+
+// Rearrange produces the refined arrangement of §4.4.3: it computes the
+// rank-1 optimal cycle-times T_opt = (1/(r_i·c_j)) for the given solution
+// and returns the arrangement that places the k-th smallest actual
+// cycle-time at the position of the k-th smallest T_opt entry, so that
+// t_ij ≤ t_kl ⟺ t_opt_ij ≤ t_opt_kl. Ties in T_opt are broken by
+// column-major position (the convention that reproduces the paper's §4.4.3
+// trajectory, whose second step has an exact tie), making the result
+// deterministic.
+func Rearrange(arr *grid.Arrangement, sol *Solution) *grid.Arrangement {
+	p, q := arr.P, arr.Q
+	type pos struct {
+		val  float64
+		i, j int
+	}
+	positions := make([]pos, 0, p*q)
+	for i := 0; i < p; i++ {
+		for j := 0; j < q; j++ {
+			positions = append(positions, pos{val: 1 / (sol.R[i] * sol.C[j]), i: i, j: j})
+		}
+	}
+	sort.SliceStable(positions, func(a, b int) bool {
+		return positions[a].val < positions[b].val
+	})
+	// Near-equal T_opt entries (e.g. the exact tie in the paper's §4.4.3
+	// second step) are ordered column-major: group runs of values within a
+	// relative tolerance and re-sort each run by (j, i).
+	const tieTol = 1e-6
+	for lo := 0; lo < len(positions); {
+		hi := lo + 1
+		for hi < len(positions) &&
+			positions[hi].val-positions[hi-1].val <= tieTol*math.Max(positions[hi].val, 1) {
+			hi++
+		}
+		if hi-lo > 1 {
+			run := positions[lo:hi]
+			sort.SliceStable(run, func(a, b int) bool {
+				if run[a].j != run[b].j {
+					return run[a].j < run[b].j
+				}
+				return run[a].i < run[b].i
+			})
+		}
+		lo = hi
+	}
+	times := arr.Times()
+	sort.Float64s(times)
+	t := make([][]float64, p)
+	for i := range t {
+		t[i] = make([]float64, q)
+	}
+	for k, pp := range positions {
+		t[pp.i][pp.j] = times[k]
+	}
+	return grid.MustNew(t)
+}
+
+// TOpt returns the rank-1 matrix of optimal cycle-times 1/(r_i·c_j) for a
+// solution — the matrix the refinement step sorts against (the paper prints
+// it for the 3×3 worked example).
+func TOpt(sol *Solution) [][]float64 {
+	p, q := sol.Arr.P, sol.Arr.Q
+	t := make([][]float64, p)
+	for i := range t {
+		t[i] = make([]float64, q)
+		for j := range t[i] {
+			t[i][j] = 1 / (sol.R[i] * sol.C[j])
+		}
+	}
+	return t
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestChooseShapeUsesAllByDefault(t *testing.T) {
+	times := []float64{1, 2, 3, 5}
+	res, err := ChooseShape(times, ShapeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P*res.Q != 4 || len(res.Selected) != 4 {
+		t.Fatalf("shape %d×%d with %d selected, want all 4", res.P, res.Q, len(res.Selected))
+	}
+	if !res.Feasible(0) {
+		t.Fatal("infeasible shape solution")
+	}
+}
+
+func TestChooseShapePrefersSquareOnTies(t *testing.T) {
+	// Four equal processors: 2×2, 1×4 and 4×1 all achieve objective 4·t⁻¹
+	// ... on equal speeds every shape balances perfectly, so the aspect
+	// tie-break must pick 2×2.
+	res, err := ChooseShape([]float64{1, 1, 1, 1}, ShapeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 2 || res.Q != 2 {
+		t.Fatalf("shape %d×%d, want 2×2 on ties", res.P, res.Q)
+	}
+}
+
+func TestChooseShapeSubsetNeverWorse(t *testing.T) {
+	// Allowing subsets can only improve (or match) the objective: the full
+	// set is always among the candidates.
+	rng := rand.New(rand.NewSource(132))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = 0.1 + rng.Float64()
+		}
+		full, err := ChooseShape(times, ShapeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := ChooseShape(times, ShapeOptions{AllowSubset: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sub.Objective() < full.Objective()-1e-12 {
+			t.Fatalf("subset search %v worse than full %v", sub.Objective(), full.Objective())
+		}
+	}
+}
+
+func TestChooseShapeSubsetEnablesCompositeGrids(t *testing.T) {
+	// Seven processors: the only 7-processor shapes are 1×7 and 7×1. With
+	// an aspect constraint that rules them out, the search must drop a
+	// processor to reach a composite size (e.g. 2×3 of the 6 fastest).
+	times := []float64{1, 1.1, 1.2, 1.3, 1.4, 1.5, 10}
+	if _, err := ChooseShape(times, ShapeOptions{MinAspect: 0.5}); err == nil {
+		t.Fatal("7 processors with MinAspect 0.5 should have no full-set shape")
+	}
+	res, err := ChooseShape(times, ShapeOptions{MinAspect: 0.5, AllowSubset: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) >= 7 {
+		t.Fatalf("selected %d processors, want < 7", len(res.Selected))
+	}
+	if aspect(res.P, res.Q) < 0.5 {
+		t.Fatalf("shape %d×%d violates aspect bound", res.P, res.Q)
+	}
+	// The slow straggler (t=10) should not be among the six fastest picked.
+	for _, idx := range res.Selected {
+		if times[idx] == 10 && len(res.Selected) <= 6 {
+			t.Fatal("straggler selected despite subset")
+		}
+	}
+}
+
+func TestChooseShapeMinAspect(t *testing.T) {
+	times := []float64{1, 2, 3, 4, 5, 6}
+	// MinAspect 0.6 on 6 processors excludes 1×6 and 2×3 has aspect 2/3.
+	res, err := ChooseShape(times, ShapeOptions{MinAspect: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aspect(res.P, res.Q) < 0.6 {
+		t.Fatalf("shape %d×%d violates aspect bound", res.P, res.Q)
+	}
+	// MinAspect 1 on 6 processors (no square factorization): must error.
+	if _, err := ChooseShape(times, ShapeOptions{MinAspect: 1}); err == nil {
+		t.Fatal("expected no-admissible-shape error")
+	}
+}
+
+func TestChooseShapeSingleProcessor(t *testing.T) {
+	res, err := ChooseShape([]float64{2}, ShapeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.Q != 1 {
+		t.Fatalf("shape %d×%d", res.P, res.Q)
+	}
+	if math.Abs(res.Objective()-0.5) > 1e-9 {
+		t.Fatalf("objective %v, want 1/t = 0.5", res.Objective())
+	}
+}
+
+func TestChooseShapeEmpty(t *testing.T) {
+	if _, err := ChooseShape(nil, ShapeOptions{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestChooseShapeBeatsFixedShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 10; trial++ {
+		times := make([]float64, 12)
+		for i := range times {
+			times[i] = 0.1 + rng.Float64()
+		}
+		best, err := ChooseShape(times, ShapeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shape := range [][2]int{{1, 12}, {2, 6}, {3, 4}, {4, 3}, {6, 2}, {12, 1}} {
+			res, err := SolveHeuristic(times, shape[0], shape[1], HeuristicOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Objective() > best.Objective()+1e-9 {
+				t.Fatalf("shape %v (obj %v) beat ChooseShape (%d×%d, obj %v)",
+					shape, res.Objective(), best.P, best.Q, best.Objective())
+			}
+		}
+		if best.Candidates < 6 {
+			t.Fatalf("only %d candidates evaluated", best.Candidates)
+		}
+	}
+}
+
+func TestChooseShapeSelectedAreFastest(t *testing.T) {
+	times := []float64{5, 1, 4, 2, 3, 6, 7, 8}
+	res, err := ChooseShape(times, ShapeOptions{AllowSubset: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(res.Selected)
+	// The selected processors must be the m fastest.
+	sorted := append([]float64(nil), times...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	for _, idx := range res.Selected {
+		if times[idx] > sorted[m-1] {
+			t.Fatalf("selected processor %d (t=%v) is not among the %d fastest", idx, times[idx], m)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package distribution
+
+import "fmt"
+
+// Indexer provides the ScaLAPACK-style local↔global index translations for
+// a product distribution: each processor stores its blocks contiguously in
+// the order they appear globally, and kernels written against local storage
+// need the bijection between global block coordinates and (owner, local
+// coordinate) pairs — the indxg2l/indxl2g/indxg2p trio of the original
+// library, lifted to block granularity.
+type Indexer struct {
+	d *Product
+	// localRow[bi] is the local block-row index of global block row bi on
+	// its owner; localCol likewise for columns.
+	localRow, localCol []int
+	// rowsOf[pi] lists the global block rows owned by grid row pi, in
+	// ascending order; colsOf likewise.
+	rowsOf, colsOf [][]int
+}
+
+// NewIndexer precomputes the translations for a product distribution.
+func NewIndexer(d *Product) *Indexer {
+	ix := &Indexer{
+		d:        d,
+		localRow: make([]int, len(d.RowOwner)),
+		localCol: make([]int, len(d.ColOwner)),
+		rowsOf:   make([][]int, d.P),
+		colsOf:   make([][]int, d.Q),
+	}
+	for bi, owner := range d.RowOwner {
+		ix.localRow[bi] = len(ix.rowsOf[owner])
+		ix.rowsOf[owner] = append(ix.rowsOf[owner], bi)
+	}
+	for bj, owner := range d.ColOwner {
+		ix.localCol[bj] = len(ix.colsOf[owner])
+		ix.colsOf[owner] = append(ix.colsOf[owner], bj)
+	}
+	return ix
+}
+
+// GlobalToLocal maps a global block coordinate to its owner and the local
+// coordinate within the owner's storage.
+func (ix *Indexer) GlobalToLocal(bi, bj int) (pi, pj, li, lj int) {
+	pi, pj = ix.d.Owner(bi, bj)
+	return pi, pj, ix.localRow[bi], ix.localCol[bj]
+}
+
+// LocalToGlobal maps a processor's local block coordinate back to the
+// global one. Panics if the local coordinate is out of range for the
+// processor.
+func (ix *Indexer) LocalToGlobal(pi, pj, li, lj int) (bi, bj int) {
+	rows := ix.rowsOf[pi]
+	cols := ix.colsOf[pj]
+	if li < 0 || li >= len(rows) || lj < 0 || lj >= len(cols) {
+		panic(fmt.Sprintf("distribution: local (%d,%d) out of range %d×%d on processor (%d,%d)",
+			li, lj, len(rows), len(cols), pi, pj))
+	}
+	return rows[li], cols[lj]
+}
+
+// LocalShape returns the local block-matrix dimensions of processor
+// (pi, pj): how many block rows and columns it stores.
+func (ix *Indexer) LocalShape(pi, pj int) (rows, cols int) {
+	return len(ix.rowsOf[pi]), len(ix.colsOf[pj])
+}
+
+// RowsOf returns the global block rows owned by grid row pi, ascending.
+// The slice is shared; callers must not modify it.
+func (ix *Indexer) RowsOf(pi int) []int { return ix.rowsOf[pi] }
+
+// ColsOf returns the global block columns owned by grid column pj.
+func (ix *Indexer) ColsOf(pj int) []int { return ix.colsOf[pj] }

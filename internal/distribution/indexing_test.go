@@ -1,0 +1,111 @@
+package distribution
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexerUniformCyclic(t *testing.T) {
+	d, err := UniformBlockCyclic(2, 3, 7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndexer(d)
+	// Block (5, 7): owner (1, 1); local row = 2 (rows 1,3,5 → index 2),
+	// local col = 2 (cols 1,4,7 → index 2).
+	pi, pj, li, lj := ix.GlobalToLocal(5, 7)
+	if pi != 1 || pj != 1 || li != 2 || lj != 2 {
+		t.Fatalf("GlobalToLocal(5,7) = (%d,%d,%d,%d)", pi, pj, li, lj)
+	}
+	bi, bj := ix.LocalToGlobal(1, 1, 2, 2)
+	if bi != 5 || bj != 7 {
+		t.Fatalf("LocalToGlobal = (%d,%d)", bi, bj)
+	}
+	// Local shapes: rows 7 over 2 → 4 and 3; cols 9 over 3 → 3 each.
+	r0, c0 := ix.LocalShape(0, 0)
+	r1, _ := ix.LocalShape(1, 0)
+	if r0 != 4 || r1 != 3 || c0 != 3 {
+		t.Fatalf("shapes: %d %d %d", r0, r1, c0)
+	}
+}
+
+func TestIndexerBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	f := func(seed int64) bool {
+		p := 1 + int(uint(seed)%3)
+		q := 1 + int(uint(seed>>4)%3)
+		nbr := p + rng.Intn(12)
+		nbc := q + rng.Intn(12)
+		rowOwner := make([]int, nbr)
+		for i := range rowOwner {
+			rowOwner[i] = rng.Intn(p)
+		}
+		colOwner := make([]int, nbc)
+		for j := range colOwner {
+			colOwner[j] = rng.Intn(q)
+		}
+		d, err := NewProduct(p, q, rowOwner, colOwner, "rand")
+		if err != nil {
+			return false
+		}
+		ix := NewIndexer(d)
+		// Global → local → global is the identity for every block.
+		for bi := 0; bi < nbr; bi++ {
+			for bj := 0; bj < nbc; bj++ {
+				pi, pj, li, lj := ix.GlobalToLocal(bi, bj)
+				gi, gj := ix.LocalToGlobal(pi, pj, li, lj)
+				if gi != bi || gj != bj {
+					return false
+				}
+			}
+		}
+		// Local shapes partition the matrix.
+		total := 0
+		for pi := 0; pi < p; pi++ {
+			for pj := 0; pj < q; pj++ {
+				r, c := ix.LocalShape(pi, pj)
+				total += r * c
+			}
+		}
+		return total == nbr*nbc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexerRowsColsAscending(t *testing.T) {
+	d, err := UniformBlockCyclic(3, 2, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndexer(d)
+	for pi := 0; pi < 3; pi++ {
+		rows := ix.RowsOf(pi)
+		for i := 1; i < len(rows); i++ {
+			if rows[i] <= rows[i-1] {
+				t.Fatalf("RowsOf(%d) not ascending: %v", pi, rows)
+			}
+		}
+	}
+	for pj := 0; pj < 2; pj++ {
+		cols := ix.ColsOf(pj)
+		for j := 1; j < len(cols); j++ {
+			if cols[j] <= cols[j-1] {
+				t.Fatalf("ColsOf(%d) not ascending: %v", pj, cols)
+			}
+		}
+	}
+}
+
+func TestIndexerOutOfRangePanics(t *testing.T) {
+	d, _ := UniformBlockCyclic(2, 2, 4, 4)
+	ix := NewIndexer(d)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ix.LocalToGlobal(0, 0, 5, 0)
+}

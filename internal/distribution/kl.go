@@ -1,0 +1,102 @@
+package distribution
+
+import (
+	"fmt"
+
+	"hetgrid/internal/grid"
+	"hetgrid/internal/onedim"
+)
+
+// KL is the heterogeneous block-cyclic distribution of Kalinov and
+// Lastovetsky (HPCN'99), the paper's §3.1.2 comparison point. Matrix
+// columns are distributed over the processor columns in proportion to the
+// columns' aggregate speeds (inverse harmonic-mean cycle-times); within
+// each processor column, matrix rows are distributed independently by the
+// 1D heterogeneous scheme over that column's cycle-times.
+//
+// Because row boundaries differ between adjacent processor columns, a
+// processor may face several distinct west neighbours (the paper's
+// Figure 3), which breaks the grid communication pattern — the trade-off
+// the paper's panel distribution avoids.
+type KL struct {
+	Arr *grid.Arrangement
+	// colOwner[bj] is the processor column owning block column bj.
+	colOwner []int
+	// rowOwnerByCol[pj][bi] is the processor row owning block row bi
+	// within processor column pj.
+	rowOwnerByCol [][]int
+}
+
+// NewKL builds the Kalinov–Lastovetsky distribution for an nbr×nbc block
+// matrix over the given arrangement.
+func NewKL(arr *grid.Arrangement, nbr, nbc int) (*KL, error) {
+	if nbr <= 0 || nbc <= 0 {
+		return nil, fmt.Errorf("distribution: invalid block matrix %d×%d", nbr, nbc)
+	}
+	// Aggregate cycle-time of each processor column: the harmonic-mean
+	// based equivalent of its p processors (§3.1.2 example: {1,3} ⇒ 3/2,
+	// {2,5} ⇒ 20/7).
+	colTimes := make([]float64, arr.Q)
+	for j := 0; j < arr.Q; j++ {
+		col := make([]float64, arr.P)
+		for i := 0; i < arr.P; i++ {
+			col[i] = arr.T[i][j]
+		}
+		hm, err := onedim.HarmonicMeanCycleTime(col)
+		if err != nil {
+			return nil, err
+		}
+		colTimes[j] = hm
+	}
+	colOwner, err := onedim.Sequence(nbc, colTimes)
+	if err != nil {
+		return nil, err
+	}
+	rowOwnerByCol := make([][]int, arr.Q)
+	for j := 0; j < arr.Q; j++ {
+		col := make([]float64, arr.P)
+		for i := 0; i < arr.P; i++ {
+			col[i] = arr.T[i][j]
+		}
+		seq, err := onedim.Sequence(nbr, col)
+		if err != nil {
+			return nil, err
+		}
+		rowOwnerByCol[j] = seq
+	}
+	return &KL{Arr: arr, colOwner: colOwner, rowOwnerByCol: rowOwnerByCol}, nil
+}
+
+// Dims implements Distribution.
+func (d *KL) Dims() (int, int) { return d.Arr.P, d.Arr.Q }
+
+// Blocks implements Distribution.
+func (d *KL) Blocks() (int, int) { return len(d.rowOwnerByCol[0]), len(d.colOwner) }
+
+// Owner implements Distribution.
+func (d *KL) Owner(bi, bj int) (int, int) {
+	pj := d.colOwner[bj]
+	return d.rowOwnerByCol[pj][bi], pj
+}
+
+// Name implements Distribution.
+func (d *KL) Name() string { return "kalinov-lastovetsky" }
+
+// ColumnCounts returns the number of block columns per processor column.
+func (d *KL) ColumnCounts() []int {
+	counts := make([]int, d.Arr.Q)
+	for _, pj := range d.colOwner {
+		counts[pj]++
+	}
+	return counts
+}
+
+// RowCountsIn returns the number of block rows per processor row within
+// processor column pj.
+func (d *KL) RowCountsIn(pj int) []int {
+	counts := make([]int, d.Arr.P)
+	for _, pi := range d.rowOwnerByCol[pj] {
+		counts[pi]++
+	}
+	return counts
+}

@@ -1,0 +1,178 @@
+package distribution
+
+import (
+	"testing"
+
+	"hetgrid/internal/core"
+	"hetgrid/internal/grid"
+)
+
+func volArr() *grid.Arrangement {
+	return grid.MustNew([][]float64{{1, 2}, {3, 5}})
+}
+
+func volPanel(t *testing.T, nb int) Distribution {
+	t.Helper()
+	sol, _, err := core.SolveArrangementExact(volArr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pan, err := NewPanel(sol, 4, 3, Contiguous, Interleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pan.Distribution(nb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMMCommVolumeProductGrid(t *testing.T) {
+	// Product distribution on a 2×2 grid: each step sends p·(q−1)=2 A
+	// messages and (p−1)·q=2 B messages; per step, every block reaches one
+	// remote receiver, so bytes = 2·nb·blockBytes per step.
+	nb := 12
+	d := volPanel(t, nb)
+	vol, err := MMCommVolume(d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol.Messages != nb*4 {
+		t.Fatalf("messages %d, want %d", vol.Messages, nb*4)
+	}
+	if vol.Bytes != float64(nb)*2*float64(nb)*100 {
+		t.Fatalf("bytes %v, want %v", vol.Bytes, float64(nb)*2*float64(nb)*100)
+	}
+}
+
+func TestMMCommVolumeKLHigher(t *testing.T) {
+	nb := 28
+	kl, err := NewKL(volArr(), nb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	klVol, err := MMCommVolume(kl, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panVol, err := MMCommVolume(volPanel(t, nb), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if klVol.Messages <= panVol.Messages {
+		t.Fatalf("KL messages %d not above panel %d", klVol.Messages, panVol.Messages)
+	}
+}
+
+func TestCommVolumeValidation(t *testing.T) {
+	d, _ := UniformBlockCyclic(2, 2, 4, 6)
+	if _, err := MMCommVolume(d, 1); err == nil {
+		t.Fatal("rectangular block matrix accepted by MM")
+	}
+	if _, err := LUCommVolume(d, 1); err == nil {
+		t.Fatal("rectangular block matrix accepted by LU")
+	}
+}
+
+func TestLUCommVolumeDecreasesWithSmallerMatrix(t *testing.T) {
+	big, err := LUCommVolume(volPanel(t, 24), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := LUCommVolume(volPanel(t, 12), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Messages >= big.Messages || small.Bytes >= big.Bytes {
+		t.Fatalf("volume did not shrink: %+v vs %+v", small, big)
+	}
+}
+
+func TestPlanRedistributionIdentity(t *testing.T) {
+	d := volPanel(t, 12)
+	plan, err := PlanRedistribution(d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BlockCount() != 0 || plan.MessageCount() != 0 || plan.Bytes(100) != 0 {
+		t.Fatalf("identity redistribution not empty: %d blocks", plan.BlockCount())
+	}
+}
+
+func TestPlanRedistributionUniformToPanel(t *testing.T) {
+	nb := 12
+	uni, _ := UniformBlockCyclic(2, 2, nb, nb)
+	pan := volPanel(t, nb)
+	plan, err := PlanRedistribution(uni, pan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.BlockCount() == 0 {
+		t.Fatal("no blocks move between different distributions")
+	}
+	if plan.BlockCount() > nb*nb {
+		t.Fatalf("more moves (%d) than blocks (%d)", plan.BlockCount(), nb*nb)
+	}
+	// Every move's endpoints must be consistent with the distributions.
+	_, q := uni.Dims()
+	for _, m := range plan.Moves {
+		si, sj := uni.Owner(m.Bi, m.Bj)
+		di, dj := pan.Owner(m.Bi, m.Bj)
+		if m.Src != si*q+sj || m.Dst != di*q+dj {
+			t.Fatalf("move %+v inconsistent with distributions", m)
+		}
+		if m.Src == m.Dst {
+			t.Fatalf("self-move emitted: %+v", m)
+		}
+	}
+	// Pair counts sum to the move count.
+	total := 0
+	for _, pr := range plan.Pairs() {
+		total += pr.Count
+	}
+	if total != plan.BlockCount() {
+		t.Fatalf("pair counts %d != moves %d", total, plan.BlockCount())
+	}
+	if plan.MaxNodeTraffic(100) <= 0 {
+		t.Fatal("max node traffic not positive")
+	}
+	if plan.Bytes(100) != float64(plan.BlockCount())*100 {
+		t.Fatal("bytes inconsistent")
+	}
+}
+
+func TestPlanRedistributionValidation(t *testing.T) {
+	a, _ := UniformBlockCyclic(2, 2, 8, 8)
+	b, _ := UniformBlockCyclic(2, 3, 8, 8)
+	if _, err := PlanRedistribution(a, b); err == nil {
+		t.Fatal("mismatched grids accepted")
+	}
+	c, _ := UniformBlockCyclic(2, 2, 8, 9)
+	if _, err := PlanRedistribution(a, c); err == nil {
+		t.Fatal("mismatched block matrices accepted")
+	}
+}
+
+func TestPairsDeterministic(t *testing.T) {
+	nb := 12
+	uni, _ := UniformBlockCyclic(2, 2, nb, nb)
+	pan := volPanel(t, nb)
+	p1, err := PlanRedistribution(uni, pan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := PlanRedistribution(uni, pan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p1.Pairs(), p2.Pairs()
+	if len(a) != len(b) {
+		t.Fatal("pair lists differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pair order not deterministic")
+		}
+	}
+}

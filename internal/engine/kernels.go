@@ -1,0 +1,450 @@
+package engine
+
+import (
+	"fmt"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/matrix"
+)
+
+// BlockStore is one rank's private collection of r×r blocks, keyed by
+// block coordinates. Ranks only ever hold blocks they own (plus transient
+// received panels inside a kernel step).
+type BlockStore struct {
+	R      int
+	Blocks map[[2]int]*matrix.Dense
+}
+
+// NewBlockStore returns an empty store for blocks of size r.
+func NewBlockStore(r int) *BlockStore {
+	return &BlockStore{R: r, Blocks: map[[2]int]*matrix.Dense{}}
+}
+
+// Get returns the block at (bi, bj), panicking if the rank does not hold
+// it — by construction that would be a distributed-memory violation.
+func (s *BlockStore) Get(bi, bj int) *matrix.Dense {
+	b, ok := s.Blocks[[2]int{bi, bj}]
+	if !ok {
+		panic(fmt.Sprintf("engine: block (%d,%d) not resident", bi, bj))
+	}
+	return b
+}
+
+// Put stores a block.
+func (s *BlockStore) Put(bi, bj int, b *matrix.Dense) {
+	s.Blocks[[2]int{bi, bj}] = b
+}
+
+// node returns the flat rank owning block (bi, bj).
+func node(d distribution.Distribution, bi, bj int) int {
+	_, q := d.Dims()
+	pi, pj := d.Owner(bi, bj)
+	return pi*q + pj
+}
+
+// Scatter distributes the blocks of full (present only at rank 0) to their
+// owners and returns this rank's store. blockSize r must divide the matrix
+// order.
+func Scatter(c *Comm, d distribution.Distribution, full *matrix.Dense, r int) (*BlockStore, error) {
+	nbr, nbc := d.Blocks()
+	if c.Rank() == 0 {
+		if full == nil {
+			return nil, fmt.Errorf("engine: rank 0 must hold the full matrix")
+		}
+		fr, fc := full.Dims()
+		if fr != nbr*r || fc != nbc*r {
+			return nil, fmt.Errorf("engine: %d×%d matrix does not tile into %d×%d blocks of %d", fr, fc, nbr, nbc, r)
+		}
+	}
+	store := NewBlockStore(r)
+	for bi := 0; bi < nbr; bi++ {
+		for bj := 0; bj < nbc; bj++ {
+			owner := node(d, bi, bj)
+			tag := fmt.Sprintf("scatter/%d/%d", bi, bj)
+			if c.Rank() == 0 {
+				blk := full.Slice(bi*r, (bi+1)*r, bj*r, (bj+1)*r).Clone()
+				if owner == 0 {
+					store.Put(bi, bj, blk)
+				} else {
+					c.Send(owner, tag, blk)
+				}
+			} else if owner == c.Rank() {
+				store.Put(bi, bj, c.Recv(0, tag))
+			}
+		}
+	}
+	return store, nil
+}
+
+// Gather collects every block back to rank 0, returning the assembled
+// matrix there and nil elsewhere.
+func Gather(c *Comm, d distribution.Distribution, store *BlockStore) (*matrix.Dense, error) {
+	nbr, nbc := d.Blocks()
+	r := store.R
+	var full *matrix.Dense
+	if c.Rank() == 0 {
+		full = matrix.New(nbr*r, nbc*r)
+	}
+	for bi := 0; bi < nbr; bi++ {
+		for bj := 0; bj < nbc; bj++ {
+			owner := node(d, bi, bj)
+			tag := fmt.Sprintf("gather/%d/%d", bi, bj)
+			switch {
+			case owner == c.Rank() && c.Rank() == 0:
+				full.Slice(bi*r, (bi+1)*r, bj*r, (bj+1)*r).CopyFrom(store.Get(bi, bj))
+			case owner == c.Rank():
+				c.Send(0, tag, store.Get(bi, bj))
+			case c.Rank() == 0:
+				full.Slice(bi*r, (bi+1)*r, bj*r, (bj+1)*r).CopyFrom(c.Recv(owner, tag))
+			}
+		}
+	}
+	return full, nil
+}
+
+// receiverRows returns, per block row, the ranks owning any block of that
+// row with column ≥ jmin (the horizontal broadcast recipients).
+func receiverRows(d distribution.Distribution, jmin int) [][]int {
+	nbr, nbc := d.Blocks()
+	out := make([][]int, nbr)
+	for bi := 0; bi < nbr; bi++ {
+		seen := map[int]struct{}{}
+		for bj := jmin; bj < nbc; bj++ {
+			n := node(d, bi, bj)
+			if _, ok := seen[n]; !ok {
+				seen[n] = struct{}{}
+				out[bi] = append(out[bi], n)
+			}
+		}
+	}
+	return out
+}
+
+// receiverCols is the vertical analogue.
+func receiverCols(d distribution.Distribution, imin int) [][]int {
+	nbr, nbc := d.Blocks()
+	out := make([][]int, nbc)
+	for bj := 0; bj < nbc; bj++ {
+		seen := map[int]struct{}{}
+		for bi := imin; bi < nbr; bi++ {
+			n := node(d, bi, bj)
+			if _, ok := seen[n]; !ok {
+				seen[n] = struct{}{}
+				out[bj] = append(out[bj], n)
+			}
+		}
+	}
+	return out
+}
+
+// MM executes the distributed outer-product multiplication C = A·B: at
+// step k the owners of A(·,k) broadcast along their block rows, the owners
+// of B(k,·) along their block columns, and every rank updates its resident
+// C blocks. Only message payloads cross rank boundaries.
+func MM(c *Comm, d distribution.Distribution, a, b *BlockStore) (*BlockStore, error) {
+	nbr, nbc := d.Blocks()
+	if nbr != nbc {
+		return nil, fmt.Errorf("engine: MM needs a square block matrix, got %d×%d", nbr, nbc)
+	}
+	nb := nbr
+	r := a.R
+	rowRecv := receiverRows(d, 0)
+	colRecv := receiverCols(d, 0)
+	me := c.Rank()
+
+	// My C blocks, zero-initialized.
+	cStore := NewBlockStore(r)
+	var myRows, myCols []bool
+	myRows = make([]bool, nb)
+	myCols = make([]bool, nb)
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			if node(d, bi, bj) == me {
+				cStore.Put(bi, bj, matrix.New(r, r))
+				myRows[bi] = true
+				myCols[bj] = true
+			}
+		}
+	}
+
+	for k := 0; k < nb; k++ {
+		// Send my A(·,k) and B(k,·) blocks to their receivers.
+		for bi := 0; bi < nb; bi++ {
+			if node(d, bi, k) == me {
+				for _, dst := range rowRecv[bi] {
+					if dst != me {
+						c.Send(dst, fmt.Sprintf("A/%d/%d", k, bi), a.Get(bi, k))
+					}
+				}
+			}
+		}
+		for bj := 0; bj < nb; bj++ {
+			if node(d, k, bj) == me {
+				for _, dst := range colRecv[bj] {
+					if dst != me {
+						c.Send(dst, fmt.Sprintf("B/%d/%d", k, bj), b.Get(k, bj))
+					}
+				}
+			}
+		}
+		// Receive the panels I need.
+		aPanel := make([]*matrix.Dense, nb)
+		bPanel := make([]*matrix.Dense, nb)
+		for bi := 0; bi < nb; bi++ {
+			if !myRows[bi] {
+				continue
+			}
+			if src := node(d, bi, k); src == me {
+				aPanel[bi] = a.Get(bi, k)
+			} else {
+				aPanel[bi] = c.Recv(src, fmt.Sprintf("A/%d/%d", k, bi))
+			}
+		}
+		for bj := 0; bj < nb; bj++ {
+			if !myCols[bj] {
+				continue
+			}
+			if src := node(d, k, bj); src == me {
+				bPanel[bj] = b.Get(k, bj)
+			} else {
+				bPanel[bj] = c.Recv(src, fmt.Sprintf("B/%d/%d", k, bj))
+			}
+		}
+		// Local rank-r updates.
+		for pos, blk := range cStore.Blocks {
+			blk.AddMul(1, aPanel[pos[0]], bPanel[pos[1]])
+		}
+	}
+	return cStore, nil
+}
+
+// LU executes the distributed right-looking LU factorization without
+// pivoting, overwriting the store's blocks with the packed factors.
+func LU(c *Comm, d distribution.Distribution, a *BlockStore) error {
+	nbr, nbc := d.Blocks()
+	if nbr != nbc {
+		return fmt.Errorf("engine: LU needs a square block matrix, got %d×%d", nbr, nbc)
+	}
+	nb := nbr
+	me := c.Rank()
+
+	for k := 0; k < nb; k++ {
+		rowRecv := receiverRows(d, k)
+		colRecv := receiverCols(d, k)
+		diagOwner := node(d, k, k)
+		// 1. Diagonal factor + distribute to the column (for L solves) and
+		// the row (for U solves).
+		var diag *matrix.Dense
+		if diagOwner == me {
+			diag = a.Get(k, k)
+			if err := matrix.FactorNoPivot(diag); err != nil {
+				return fmt.Errorf("engine: step %d: %w", k, err)
+			}
+			sent := map[int]struct{}{me: {}}
+			for bi := k + 1; bi < nb; bi++ {
+				if dst := node(d, bi, k); dst != me {
+					if _, ok := sent[dst]; !ok {
+						sent[dst] = struct{}{}
+						c.Send(dst, fmt.Sprintf("diag/%d", k), diag)
+					}
+				}
+			}
+			for bj := k + 1; bj < nb; bj++ {
+				if dst := node(d, k, bj); dst != me {
+					if _, ok := sent[dst]; !ok {
+						sent[dst] = struct{}{}
+						c.Send(dst, fmt.Sprintf("diag/%d", k), diag)
+					}
+				}
+			}
+		} else if needsDiag(d, k, nb, me) {
+			diag = c.Recv(diagOwner, fmt.Sprintf("diag/%d", k))
+		}
+
+		// 2. L panel: my sub-diagonal blocks of column k.
+		for bi := k + 1; bi < nb; bi++ {
+			if node(d, bi, k) != me {
+				continue
+			}
+			blk := a.Get(bi, k)
+			if err := blk.SolveUpperRight(diag); err != nil {
+				return fmt.Errorf("engine: step %d row %d: %w", k, bi, err)
+			}
+			for _, dst := range rowRecv[bi] {
+				if dst != me {
+					c.Send(dst, fmt.Sprintf("L/%d/%d", k, bi), blk)
+				}
+			}
+		}
+		// 3. U panel: my blocks of row k right of the diagonal.
+		for bj := k + 1; bj < nb; bj++ {
+			if node(d, k, bj) != me {
+				continue
+			}
+			blk := a.Get(k, bj)
+			diag.SolveLowerUnit(blk)
+			for _, dst := range colRecv[bj] {
+				if dst != me {
+					c.Send(dst, fmt.Sprintf("U/%d/%d", k, bj), blk)
+				}
+			}
+		}
+		// 4. Trailing update on my blocks.
+		lPanel := make([]*matrix.Dense, nb)
+		uPanel := make([]*matrix.Dense, nb)
+		for bi := k + 1; bi < nb; bi++ {
+			for bj := k + 1; bj < nb; bj++ {
+				if node(d, bi, bj) != me {
+					continue
+				}
+				if lPanel[bi] == nil {
+					if src := node(d, bi, k); src == me {
+						lPanel[bi] = a.Get(bi, k)
+					} else {
+						lPanel[bi] = c.Recv(src, fmt.Sprintf("L/%d/%d", k, bi))
+					}
+				}
+				if uPanel[bj] == nil {
+					if src := node(d, k, bj); src == me {
+						uPanel[bj] = a.Get(k, bj)
+					} else {
+						uPanel[bj] = c.Recv(src, fmt.Sprintf("U/%d/%d", k, bj))
+					}
+				}
+				a.Get(bi, bj).AddMul(-1, lPanel[bi], uPanel[bj])
+			}
+		}
+	}
+	return nil
+}
+
+// Cholesky executes the distributed right-looking Cholesky factorization
+// A = L·Lᵀ (lower variant) on a symmetric positive definite matrix,
+// overwriting the store's lower-triangle blocks with L and zeroing the
+// strict upper triangle. Only lower-triangle blocks are read.
+func Cholesky(c *Comm, d distribution.Distribution, a *BlockStore) error {
+	nbr, nbc := d.Blocks()
+	if nbr != nbc {
+		return fmt.Errorf("engine: Cholesky needs a square block matrix, got %d×%d", nbr, nbc)
+	}
+	nb := nbr
+	me := c.Rank()
+
+	// needers(k, i): ranks using L(i,k) in the trailing update — owners of
+	// row i (columns k+1..i) and column i (rows i..nb-1).
+	needers := func(k, i int) []int {
+		seen := map[int]struct{}{}
+		var out []int
+		add := func(n int) {
+			if _, ok := seen[n]; !ok {
+				seen[n] = struct{}{}
+				out = append(out, n)
+			}
+		}
+		for j := k + 1; j <= i; j++ {
+			add(node(d, i, j))
+		}
+		for m := i; m < nb; m++ {
+			add(node(d, m, i))
+		}
+		return out
+	}
+
+	for k := 0; k < nb; k++ {
+		diagOwner := node(d, k, k)
+		var diagT *matrix.Dense // L(k,k)ᵀ, needed by the panel solvers
+		if diagOwner == me {
+			diag := a.Get(k, k)
+			f, err := matrix.FactorCholesky(diag)
+			if err != nil {
+				return fmt.Errorf("engine: step %d: %w", k, err)
+			}
+			diag.CopyFrom(f.L)
+			diagT = f.L.T()
+			sent := map[int]struct{}{me: {}}
+			for bi := k + 1; bi < nb; bi++ {
+				if dst := node(d, bi, k); dst != me {
+					if _, ok := sent[dst]; !ok {
+						sent[dst] = struct{}{}
+						c.Send(dst, fmt.Sprintf("cdiag/%d", k), diagT)
+					}
+				}
+			}
+		} else {
+			for bi := k + 1; bi < nb; bi++ {
+				if node(d, bi, k) == me {
+					diagT = c.Recv(diagOwner, fmt.Sprintf("cdiag/%d", k))
+					break
+				}
+			}
+		}
+		// Panel: L(bi,k) = A(bi,k)·L(k,k)^{-T}, then send to needers.
+		for bi := k + 1; bi < nb; bi++ {
+			if node(d, bi, k) != me {
+				continue
+			}
+			blk := a.Get(bi, k)
+			if err := blk.SolveUpperRight(diagT); err != nil {
+				return fmt.Errorf("engine: step %d row %d: %w", k, bi, err)
+			}
+			for _, dst := range needers(k, bi) {
+				if dst != me {
+					c.Send(dst, fmt.Sprintf("cl/%d/%d", k, bi), blk)
+				}
+			}
+		}
+		// Trailing symmetric update on my lower-triangle blocks.
+		lPanel := make([]*matrix.Dense, nb)
+		fetch := func(bi int) *matrix.Dense {
+			if lPanel[bi] == nil {
+				if src := node(d, bi, k); src == me {
+					lPanel[bi] = a.Get(bi, k)
+				} else {
+					lPanel[bi] = c.Recv(src, fmt.Sprintf("cl/%d/%d", k, bi))
+				}
+			}
+			return lPanel[bi]
+		}
+		for bi := k + 1; bi < nb; bi++ {
+			for bj := k + 1; bj <= bi; bj++ {
+				if node(d, bi, bj) != me {
+					continue
+				}
+				a.Get(bi, bj).AddMul(-1, fetch(bi), fetch(bj).T())
+			}
+		}
+	}
+	// Zero my strict-upper blocks and the upper parts of my diagonal
+	// blocks so the gathered matrix is exactly L.
+	for pos, blk := range a.Blocks {
+		bi, bj := pos[0], pos[1]
+		switch {
+		case bj > bi:
+			blk.Zero()
+		case bj == bi:
+			n, _ := blk.Dims()
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					blk.Set(i, j, 0)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// needsDiag reports whether rank me owns any block of column k below the
+// diagonal or of row k right of it at step k.
+func needsDiag(d distribution.Distribution, k, nb, me int) bool {
+	for bi := k + 1; bi < nb; bi++ {
+		if node(d, bi, k) == me {
+			return true
+		}
+	}
+	for bj := k + 1; bj < nb; bj++ {
+		if node(d, k, bj) == me {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/core"
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/grid"
+	"hetgrid/internal/matrix"
+)
+
+// engineDistributions returns the three families on a 2×2 grid.
+func engineDistributions(t *testing.T, nb int) []distribution.Distribution {
+	t.Helper()
+	arr := grid.MustNew([][]float64{{1, 2}, {3, 5}})
+	uni, err := distribution.UniformBlockCyclic(2, 2, nb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kl, err := distribution.NewKL(arr, nb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := core.SolveArrangementExact(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pan, err := distribution.NewPanel(sol, 4, 3, distribution.Contiguous, distribution.Interleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := pan.Distribution(nb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []distribution.Distribution{uni, pd, kl}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	const nb, r = 6, 3
+	a := matrix.Random(nb*r, nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		var got *matrix.Dense
+		_, err := Run(4, func(c *Comm) error {
+			store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			// Every resident block must belong to this rank.
+			for pos := range store.Blocks {
+				if node(d, pos[0], pos[1]) != c.Rank() {
+					return fmt.Errorf("rank %d holds foreign block %v", c.Rank(), pos)
+				}
+			}
+			full, err := Gather(c, d, store)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				got = full
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if !got.Equal(a) {
+			t.Fatalf("%s: scatter/gather corrupted the matrix", d.Name())
+		}
+	}
+}
+
+func pick(cond bool, m *matrix.Dense) *matrix.Dense {
+	if cond {
+		return m
+	}
+	return nil
+}
+
+func TestDistributedMMMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	const nb, r = 6, 4
+	a := matrix.Random(nb*r, nb*r, rng)
+	b := matrix.Random(nb*r, nb*r, rng)
+	want := matrix.Mul(a, b)
+	for _, d := range engineDistributions(t, nb) {
+		var got *matrix.Dense
+		w, err := Run(4, func(c *Comm) error {
+			aStore, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			bStore, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+			if err != nil {
+				return err
+			}
+			cStore, err := MM(c, d, aStore, bStore)
+			if err != nil {
+				return err
+			}
+			full, err := Gather(c, d, cStore)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				got = full
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if !got.EqualApprox(want, 1e-10) {
+			t.Fatalf("%s: distributed product differs from serial", d.Name())
+		}
+		if w.Messages() == 0 {
+			t.Fatalf("%s: no messages crossed ranks", d.Name())
+		}
+	}
+}
+
+func TestDistributedMMMessageCount(t *testing.T) {
+	// Kernel traffic (excluding scatter/gather) matches the per-block
+	// expectation: per step, each A/B block goes once to every remote
+	// receiver of its row/column.
+	const nb, r = 6, 2
+	rng := rand.New(rand.NewSource(183))
+	a := matrix.Random(nb*r, nb*r, rng)
+	b := matrix.Random(nb*r, nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		// Count scatter/gather traffic separately via a no-kernel run.
+		base, err := Run(4, func(c *Comm) error {
+			s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+			if err != nil {
+				return err
+			}
+			_, err = Gather(c, d, s1)
+			if err != nil {
+				return err
+			}
+			_ = s2
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Run(4, func(c *Comm) error {
+			s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+			if err != nil {
+				return err
+			}
+			cs, err := MM(c, d, s1, s2)
+			if err != nil {
+				return err
+			}
+			_, err = Gather(c, d, cs)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernelMsgs := full.Messages() - base.Messages()
+		want := 0
+		rowRecv := receiverRows(d, 0)
+		colRecv := receiverCols(d, 0)
+		for k := 0; k < nb; k++ {
+			for bi := 0; bi < nb; bi++ {
+				src := node(d, bi, k)
+				for _, dst := range rowRecv[bi] {
+					if dst != src {
+						want++
+					}
+				}
+			}
+			for bj := 0; bj < nb; bj++ {
+				src := node(d, k, bj)
+				for _, dst := range colRecv[bj] {
+					if dst != src {
+						want++
+					}
+				}
+			}
+		}
+		if kernelMsgs != want {
+			t.Fatalf("%s: kernel messages %d, want %d", d.Name(), kernelMsgs, want)
+		}
+	}
+}
+
+func TestDistributedLUMatchesReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	const nb, r = 6, 3
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	want := a.Clone()
+	if err := matrix.FactorNoPivot(want); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range engineDistributions(t, nb) {
+		var got *matrix.Dense
+		_, err := Run(4, func(c *Comm) error {
+			store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			if err := LU(c, d, store); err != nil {
+				return err
+			}
+			full, err := Gather(c, d, store)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				got = full
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if !got.EqualApprox(want, 1e-9) {
+			t.Fatalf("%s: distributed LU differs from unblocked elimination", d.Name())
+		}
+	}
+}
+
+func TestDistributedLUSolvesSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(185))
+	const nb, r = 4, 4
+	n := nb * r
+	a := matrix.RandomWellConditioned(n, rng)
+	xTrue := matrix.Random(n, 1, rng)
+	rhs := matrix.Mul(a, xTrue)
+	d := engineDistributions(t, nb)[1] // het-panel
+	var packed *matrix.Dense
+	_, err := Run(4, func(c *Comm) error {
+		store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+		if err != nil {
+			return err
+		}
+		if err := LU(c, d, store); err != nil {
+			return err
+		}
+		full, err := Gather(c, d, store)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			packed = full
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rhs.Clone()
+	packed.SolveLowerUnit(x)
+	if err := packed.SolveUpper(x); err != nil {
+		t.Fatal(err)
+	}
+	if !x.EqualApprox(xTrue, 1e-8) {
+		t.Fatal("distributed LU solve inaccurate")
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	rect, err := distribution.UniformBlockCyclic(2, 2, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := Run(4, func(c *Comm) error {
+		_, err := MM(c, rect, NewBlockStore(2), NewBlockStore(2))
+		return err
+	})
+	if runErr == nil {
+		t.Fatal("rectangular MM accepted")
+	}
+	_, runErr = Run(4, func(c *Comm) error {
+		return LU(c, rect, NewBlockStore(2))
+	})
+	if runErr == nil {
+		t.Fatal("rectangular LU accepted")
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	d, _ := distribution.UniformBlockCyclic(2, 2, 4, 4)
+	_, err := Run(4, func(c *Comm) error {
+		if c.Rank() != 0 {
+			// Only rank 0 participates: it must fail fast on the nil
+			// matrix, before any messages flow.
+			return nil
+		}
+		_, err := Scatter(c, d, nil, 2)
+		return err
+	})
+	if err == nil {
+		t.Fatal("nil matrix at rank 0 accepted")
+	}
+}
+
+func TestBlockStorePanicsOnForeignBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-resident block")
+		}
+	}()
+	NewBlockStore(2).Get(0, 0)
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/matrix"
+)
+
+func TestLUPanelsMatchesPerBlockLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	const nb, r = 6, 3
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	want := a.Clone()
+	if err := matrix.FactorNoPivot(want); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range engineDistributions(t, nb) {
+		var got *matrix.Dense
+		_, err := Run(4, func(c *Comm) error {
+			store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			if err := LUPanels(c, d, store); err != nil {
+				return err
+			}
+			full, err := Gather(c, d, store)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				got = full
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if !got.EqualApprox(want, 1e-9) {
+			t.Fatalf("%s: panel-aggregated LU differs from unblocked elimination", d.Name())
+		}
+	}
+}
+
+func TestLUPanelsMessageCountMatchesAnalytics(t *testing.T) {
+	// Three-layer parity for LU: the real execution's kernel message and
+	// byte counts equal distribution.LUCommVolume (which the simulator also
+	// matches — TestLUVolumeMatchesSimulator), for every family.
+	rng := rand.New(rand.NewSource(242))
+	const nb, r = 8, 2
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		base, err := Run(4, func(c *Comm) error {
+			_, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Run(4, func(c *Comm) error {
+			store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			return LUPanels(c, d, store)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol, err := distribution.LUCommVolume(d, 8*float64(r*r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernelMsgs := full.Messages() - base.Messages()
+		if kernelMsgs != vol.Messages {
+			t.Fatalf("%s: engine sent %d kernel messages, analytics says %d",
+				d.Name(), kernelMsgs, vol.Messages)
+		}
+		kernelBytes := full.Bytes() - base.Bytes()
+		if float64(kernelBytes) != vol.Bytes {
+			t.Fatalf("%s: engine moved %d kernel bytes, analytics says %v",
+				d.Name(), kernelBytes, vol.Bytes)
+		}
+	}
+}
+
+func TestLUPanelsValidation(t *testing.T) {
+	rect, err := distribution.UniformBlockCyclic(2, 2, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := Run(4, func(c *Comm) error {
+		return LUPanels(c, rect, NewBlockStore(2))
+	})
+	if runErr == nil {
+		t.Fatal("rectangular block grid accepted")
+	}
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/matrix"
+)
+
+// panelGroup is a set of blocks sharing a source and a receiver set at one
+// step: they travel as a single stacked message, exactly like the
+// simulator's panel-aggregated model and ScaLAPACK's panel broadcasts.
+type panelGroup struct {
+	src     int
+	recv    []int
+	indices []int // block-row (or block-column) indices, ascending
+}
+
+// groupPanels groups indices 0..nb-1 by (src, receiver set), deterministic
+// across ranks: groups sort by source then receiver signature.
+func groupPanels(nb int, src func(int) int, recv func(int) []int) []panelGroup {
+	type key struct {
+		src int
+		sig string
+	}
+	byKey := map[key]*panelGroup{}
+	for i := 0; i < nb; i++ {
+		k := key{src: src(i), sig: fmt.Sprint(recv(i))}
+		g, ok := byKey[k]
+		if !ok {
+			g = &panelGroup{src: k.src, recv: recv(i)}
+			byKey[k] = g
+		}
+		g.indices = append(g.indices, i)
+	}
+	keys := make([]key, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].src != keys[b].src {
+			return keys[a].src < keys[b].src
+		}
+		return keys[a].sig < keys[b].sig
+	})
+	out := make([]panelGroup, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *byKey[k])
+	}
+	return out
+}
+
+// stack concatenates r×r blocks vertically into a (n·r)×r matrix.
+func stack(blocks []*matrix.Dense, r int) *matrix.Dense {
+	out := matrix.New(len(blocks)*r, r)
+	for i, b := range blocks {
+		out.Slice(i*r, (i+1)*r, 0, r).CopyFrom(b)
+	}
+	return out
+}
+
+// unstack splits a stacked panel back into blocks.
+func unstack(panel *matrix.Dense, n, r int) []*matrix.Dense {
+	out := make([]*matrix.Dense, n)
+	for i := range out {
+		out[i] = panel.Slice(i*r, (i+1)*r, 0, r).Clone()
+	}
+	return out
+}
+
+// MMPanels is MM with ScaLAPACK-style panel aggregation: at each step,
+// blocks sharing a source and receiver set travel as one stacked message.
+// The numeric result is identical to MM; the message count equals the
+// closed-form distribution.MMCommVolume exactly, which tests assert.
+func MMPanels(c *Comm, d distribution.Distribution, a, b *BlockStore) (*BlockStore, error) {
+	nbr, nbc := d.Blocks()
+	if nbr != nbc {
+		return nil, fmt.Errorf("engine: MM needs a square block matrix, got %d×%d", nbr, nbc)
+	}
+	nb := nbr
+	r := a.R
+	rowRecv := receiverRows(d, 0)
+	colRecv := receiverCols(d, 0)
+	me := c.Rank()
+
+	cStore := NewBlockStore(r)
+	myRows := make([]bool, nb)
+	myCols := make([]bool, nb)
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			if node(d, bi, bj) == me {
+				cStore.Put(bi, bj, matrix.New(r, r))
+				myRows[bi] = true
+				myCols[bj] = true
+			}
+		}
+	}
+
+	for k := 0; k < nb; k++ {
+		aGroups := groupPanels(nb,
+			func(bi int) int { return node(d, bi, k) },
+			func(bi int) []int { return rowRecv[bi] })
+		bGroups := groupPanels(nb,
+			func(bj int) int { return node(d, k, bj) },
+			func(bj int) []int { return colRecv[bj] })
+
+		// Send my panel groups.
+		for gi, g := range aGroups {
+			if g.src != me {
+				continue
+			}
+			blocks := make([]*matrix.Dense, len(g.indices))
+			for i, bi := range g.indices {
+				blocks[i] = a.Get(bi, k)
+			}
+			panel := stack(blocks, r)
+			for _, dst := range g.recv {
+				if dst != me {
+					c.Send(dst, fmt.Sprintf("Ap/%d/%d", k, gi), panel)
+				}
+			}
+		}
+		for gi, g := range bGroups {
+			if g.src != me {
+				continue
+			}
+			blocks := make([]*matrix.Dense, len(g.indices))
+			for i, bj := range g.indices {
+				blocks[i] = b.Get(k, bj)
+			}
+			panel := stack(blocks, r)
+			for _, dst := range g.recv {
+				if dst != me {
+					c.Send(dst, fmt.Sprintf("Bp/%d/%d", k, gi), panel)
+				}
+			}
+		}
+		// Receive and unpack what I need.
+		aPanel := make([]*matrix.Dense, nb)
+		for gi, g := range aGroups {
+			needed := false
+			for _, bi := range g.indices {
+				if myRows[bi] {
+					needed = true
+					break
+				}
+			}
+			if !needed {
+				continue
+			}
+			var blocks []*matrix.Dense
+			if g.src == me {
+				blocks = make([]*matrix.Dense, len(g.indices))
+				for i, bi := range g.indices {
+					blocks[i] = a.Get(bi, k)
+				}
+			} else {
+				blocks = unstack(c.Recv(g.src, fmt.Sprintf("Ap/%d/%d", k, gi)), len(g.indices), r)
+			}
+			for i, bi := range g.indices {
+				aPanel[bi] = blocks[i]
+			}
+		}
+		bPanel := make([]*matrix.Dense, nb)
+		for gi, g := range bGroups {
+			needed := false
+			for _, bj := range g.indices {
+				if myCols[bj] {
+					needed = true
+					break
+				}
+			}
+			if !needed {
+				continue
+			}
+			var blocks []*matrix.Dense
+			if g.src == me {
+				blocks = make([]*matrix.Dense, len(g.indices))
+				for i, bj := range g.indices {
+					blocks[i] = b.Get(k, bj)
+				}
+			} else {
+				blocks = unstack(c.Recv(g.src, fmt.Sprintf("Bp/%d/%d", k, gi)), len(g.indices), r)
+			}
+			for i, bj := range g.indices {
+				bPanel[bj] = blocks[i]
+			}
+		}
+		for pos, blk := range cStore.Blocks {
+			blk.AddMul(1, aPanel[pos[0]], bPanel[pos[1]])
+		}
+	}
+	return cStore, nil
+}

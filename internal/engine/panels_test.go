@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/matrix"
+)
+
+func TestMMPanelsMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	const nb, r = 6, 3
+	a := matrix.Random(nb*r, nb*r, rng)
+	b := matrix.Random(nb*r, nb*r, rng)
+	want := matrix.Mul(a, b)
+	for _, d := range engineDistributions(t, nb) {
+		var got *matrix.Dense
+		_, err := Run(4, func(c *Comm) error {
+			s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+			if err != nil {
+				return err
+			}
+			cs, err := MMPanels(c, d, s1, s2)
+			if err != nil {
+				return err
+			}
+			full, err := Gather(c, d, cs)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				got = full
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if !got.EqualApprox(want, 1e-10) {
+			t.Fatalf("%s: panel-aggregated product differs from serial", d.Name())
+		}
+	}
+}
+
+func TestMMPanelsMessageCountMatchesAnalytics(t *testing.T) {
+	// The real execution's kernel message count equals the closed-form
+	// communication volume exactly, for every distribution family.
+	rng := rand.New(rand.NewSource(232))
+	const nb, r = 8, 2
+	a := matrix.Random(nb*r, nb*r, rng)
+	b := matrix.Random(nb*r, nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		// Baseline run without the kernel to subtract scatter traffic.
+		base, err := Run(4, func(c *Comm) error {
+			if _, err := Scatter(c, d, pick(c.Rank() == 0, a), r); err != nil {
+				return err
+			}
+			_, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Run(4, func(c *Comm) error {
+			s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+			if err != nil {
+				return err
+			}
+			_, err = MMPanels(c, d, s1, s2)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol, err := distribution.MMCommVolume(d, 8*float64(r*r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		kernelMsgs := full.Messages() - base.Messages()
+		if kernelMsgs != vol.Messages {
+			t.Fatalf("%s: engine sent %d kernel messages, analytics says %d",
+				d.Name(), kernelMsgs, vol.Messages)
+		}
+		kernelBytes := full.Bytes() - base.Bytes()
+		if float64(kernelBytes) != vol.Bytes {
+			t.Fatalf("%s: engine moved %d kernel bytes, analytics says %v",
+				d.Name(), kernelBytes, vol.Bytes)
+		}
+	}
+}
+
+func TestMMPanelsFewerMessagesThanPerBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	const nb, r = 8, 2
+	a := matrix.Random(nb*r, nb*r, rng)
+	b := matrix.Random(nb*r, nb*r, rng)
+	d := engineDistributions(t, nb)[1] // het-panel
+	perBlock, err := Run(4, func(c *Comm) error {
+		s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+		if err != nil {
+			return err
+		}
+		s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+		if err != nil {
+			return err
+		}
+		_, err = MM(c, d, s1, s2)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregated, err := Run(4, func(c *Comm) error {
+		s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+		if err != nil {
+			return err
+		}
+		s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+		if err != nil {
+			return err
+		}
+		_, err = MMPanels(c, d, s1, s2)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggregated.Messages() >= perBlock.Messages() {
+		t.Fatalf("aggregation did not reduce messages: %d vs %d",
+			aggregated.Messages(), perBlock.Messages())
+	}
+	// Total bytes are identical (same data, fewer envelopes).
+	if aggregated.Bytes() != perBlock.Bytes() {
+		t.Fatalf("aggregation changed byte volume: %d vs %d",
+			aggregated.Bytes(), perBlock.Bytes())
+	}
+}
+
+func TestMMPanelsValidation(t *testing.T) {
+	rect, err := distribution.UniformBlockCyclic(2, 2, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := Run(4, func(c *Comm) error {
+		_, err := MMPanels(c, rect, NewBlockStore(2), NewBlockStore(2))
+		return err
+	})
+	if runErr == nil {
+		t.Fatal("rectangular block grid accepted")
+	}
+}

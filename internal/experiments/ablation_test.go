@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetgrid/internal/sim"
+)
+
+var ablationTimes = []float64{1, 2, 3, 5}
+
+func TestRunPanelAblation(t *testing.T) {
+	net := sim.Config{Latency: 0.05, ByteTime: 1e-5}
+	ab, err := RunPanelAblation(ablationTimes, 2, 2, 24, 8, 8, net, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// The best panel's simulated makespan must beat the minimal 2×2 panel
+	// (which can only represent 1:1 shares on this very skewed grid).
+	var minimal, best PanelAblationRow
+	found := false
+	for _, r := range ab.Rows {
+		if r.Bp == 2 && r.Bq == 2 {
+			minimal = r
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("2×2 panel missing from ablation")
+	}
+	best = ab.BestRow()
+	if best.Makespan >= minimal.Makespan {
+		t.Fatalf("best panel %d×%d (%v) not better than minimal (%v)",
+			best.Bp, best.Bq, best.Makespan, minimal.Makespan)
+	}
+	// Panel efficiency correlates: the best row must have higher panel
+	// efficiency than the minimal panel.
+	if best.PanelEfficiency <= minimal.PanelEfficiency {
+		t.Fatalf("best panel efficiency %v not above minimal %v",
+			best.PanelEfficiency, minimal.PanelEfficiency)
+	}
+	if !strings.Contains(ab.Table(), "panel-size ablation") {
+		t.Fatal("table header missing")
+	}
+	if !strings.HasPrefix(ab.CSV(), "bp,bq,") {
+		t.Fatal("csv header missing")
+	}
+}
+
+func TestRunPanelAblationValidation(t *testing.T) {
+	net := sim.Config{}
+	if _, err := RunPanelAblation([]float64{1, 2}, 2, 2, 16, 8, 8, net, 0); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := RunPanelAblation(ablationTimes, 2, 2, 16, 1, 1, net, 0); err == nil {
+		t.Fatal("no admissible panel accepted")
+	}
+}
+
+func TestRunGranularitySweep(t *testing.T) {
+	// High latency: coarse block counts must win (fewer, larger messages);
+	// the normalized cost at nb=32 exceeds nb=8 when latency dominates.
+	net := sim.Config{Latency: 5, ByteTime: 1e-7}
+	sweep, err := RunGranularitySweep(ablationTimes, 2, 2, []int{8, 16, 32}, net, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rows) != 3 {
+		t.Fatalf("%d rows", len(sweep.Rows))
+	}
+	// Message count grows with nb.
+	if sweep.Rows[2].Messages <= sweep.Rows[0].Messages {
+		t.Fatalf("messages did not grow with nb: %+v", sweep.Rows)
+	}
+	if !strings.Contains(sweep.Table(), "granularity sweep") {
+		t.Fatal("table header missing")
+	}
+	if !strings.HasPrefix(sweep.CSV(), "nb,") {
+		t.Fatal("csv header missing")
+	}
+}
+
+func TestRunGranularitySweepValidation(t *testing.T) {
+	net := sim.Config{}
+	if _, err := RunGranularitySweep([]float64{1}, 1, 1, []int{0}, net, 0); err == nil {
+		t.Fatal("nb smaller than grid accepted")
+	}
+	if _, err := RunGranularitySweep([]float64{1, 2}, 2, 2, []int{4}, net, 0); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"hetgrid/internal/sim"
+)
+
+func BenchmarkHeuristicSweepN4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunHeuristicSweep([]int{4}, 10, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimComparison(b *testing.B) {
+	cfg := DefaultSimConfig()
+	cfg.NB = 16
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSimComparison(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShapeComparison16(b *testing.B) {
+	net := sim.Config{Latency: 0.05, ByteTime: 1e-5}
+	for i := 0; i < b.N; i++ {
+		if _, err := RunShapeComparison(16, 24, net, 4096, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation: the heuristic sweeps behind Figures 6–8 (§4.4.4), the
+// heuristic-vs-exact comparison enabled by the spanning-tree solver
+// (§4.3.1), and the simulated matrix-multiplication and LU runs over a
+// heterogeneous network of workstations promised by the abstract.
+//
+// All experiments are deterministic given a seed, and every result type
+// renders itself both as a human-readable table and as CSV.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hetgrid/internal/core"
+)
+
+// HeuristicSweep aggregates the heuristic's behaviour over random n×n
+// grids, one row per grid size — the data behind Figures 6, 7 and 8.
+type HeuristicSweep struct {
+	// Sizes[i] is the grid side n of row i.
+	Sizes []int
+	// MeanWorkload[i] is the average processor workload after convergence
+	// (Figure 6).
+	MeanWorkload []float64
+	// Tau[i] is the mean refinement gain τ (Figure 7).
+	Tau []float64
+	// Iterations[i] is the mean number of refinement steps (Figure 8).
+	Iterations []float64
+	// Trials is the number of random grids averaged per size.
+	Trials int
+}
+
+// RunHeuristicSweep runs the §4.4.4 experiment: for each n in sizes, draw
+// trials random cycle-time sets uniform in (0,1], run the heuristic on an
+// n×n grid, and average the mean workload, the refinement gain τ and the
+// iteration count.
+func RunHeuristicSweep(sizes []int, trials int, seed int64) (*HeuristicSweep, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("experiments: trials must be positive, got %d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sweep := &HeuristicSweep{Trials: trials}
+	for _, n := range sizes {
+		if n <= 0 {
+			return nil, fmt.Errorf("experiments: invalid grid size %d", n)
+		}
+		sumLoad, sumTau, sumIter := 0.0, 0.0, 0.0
+		for trial := 0; trial < trials; trial++ {
+			times := make([]float64, n*n)
+			for i := range times {
+				// Uniform in (0,1]: avoid 0 (infinite speed).
+				times[i] = 1 - rng.Float64()
+			}
+			res, err := core.SolveHeuristic(times, n, n, core.HeuristicOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: n=%d trial %d: %w", n, trial, err)
+			}
+			sumLoad += res.MeanWorkload()
+			sumTau += res.Tau
+			sumIter += float64(res.Iterations)
+		}
+		sweep.Sizes = append(sweep.Sizes, n)
+		sweep.MeanWorkload = append(sweep.MeanWorkload, sumLoad/float64(trials))
+		sweep.Tau = append(sweep.Tau, sumTau/float64(trials))
+		sweep.Iterations = append(sweep.Iterations, sumIter/float64(trials))
+	}
+	return sweep, nil
+}
+
+// Table renders the sweep as an aligned text table.
+func (s *HeuristicSweep) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s  %-14s  %-10s  %-10s\n", "n", "avg workload", "tau", "iterations")
+	for i, n := range s.Sizes {
+		fmt.Fprintf(&sb, "%-4d  %-14.4f  %-10.4f  %-10.2f\n",
+			n, s.MeanWorkload[i], s.Tau[i], s.Iterations[i])
+	}
+	return sb.String()
+}
+
+// CSV renders the sweep with one header line and one line per grid size.
+func (s *HeuristicSweep) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("n,mean_workload,tau,iterations\n")
+	for i, n := range s.Sizes {
+		fmt.Fprintf(&sb, "%d,%.6f,%.6f,%.4f\n", n, s.MeanWorkload[i], s.Tau[i], s.Iterations[i])
+	}
+	return sb.String()
+}
+
+// AsciiPlot draws values against labels as a crude horizontal bar chart,
+// mirroring the shape of the paper's figures in a terminal.
+func AsciiPlot(title string, labels []int, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for i, v := range values {
+		bar := 0
+		if max > 0 {
+			bar = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&sb, "%4d | %s %.4f\n", labels[i], strings.Repeat("#", bar), v)
+	}
+	return sb.String()
+}

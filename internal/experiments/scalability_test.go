@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetgrid/internal/sim"
+)
+
+func TestRunShapeComparison(t *testing.T) {
+	net := sim.Config{Latency: 0.05, ByteTime: 1e-5}
+	cmp, err := RunShapeComparison(16, 32, net, 8192, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Divisor pairs of 16: 1×16, 2×8, 4×4, 8×2, 16×1.
+	if len(cmp.Rows) != 5 {
+		t.Fatalf("%d shapes, want 5", len(cmp.Rows))
+	}
+	// The 2D motivation: 1×16 moves more bytes than 4×4. In the 1×n
+	// outer-product every A-column block crosses the whole grid row.
+	var flat, square ShapeRow
+	for _, r := range cmp.Rows {
+		if r.P == 1 {
+			flat = r
+		}
+		if r.P == 4 {
+			square = r
+		}
+	}
+	if flat.Bytes <= square.Bytes {
+		t.Fatalf("1×16 bytes %v not above 4×4 bytes %v", flat.Bytes, square.Bytes)
+	}
+	best := cmp.Best()
+	if best.Makespan > flat.Makespan {
+		t.Fatal("Best() returned a non-minimal shape")
+	}
+	if !strings.Contains(cmp.Table(), "grid shapes") {
+		t.Fatal("table header missing")
+	}
+	if !strings.HasPrefix(cmp.CSV(), "p,q,") {
+		t.Fatal("csv header missing")
+	}
+}
+
+func TestRunShapeComparisonSquareWinsWithChattyNetwork(t *testing.T) {
+	// With high per-message latency the square grid's lower traffic must
+	// win outright.
+	net := sim.Config{Latency: 2.0, ByteTime: 1e-4, SharedBus: true}
+	cmp, err := RunShapeComparison(16, 32, net, 8192, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := cmp.Best()
+	if best.P == 1 || best.Q == 1 {
+		t.Fatalf("flat grid won under a chatty network: %d×%d", best.P, best.Q)
+	}
+}
+
+func TestRunShapeComparisonValidation(t *testing.T) {
+	if _, err := RunShapeComparison(0, 8, sim.Config{}, 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RunShapeComparison(4, 0, sim.Config{}, 0, 1); err == nil {
+		t.Fatal("nb=0 accepted")
+	}
+}
+
+func TestRunShapeComparisonDeterministic(t *testing.T) {
+	net := sim.Config{Latency: 0.1}
+	a, err := RunShapeComparison(8, 16, net, 1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShapeComparison(8, 16, net, 1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatal("shape comparison not deterministic")
+		}
+	}
+}

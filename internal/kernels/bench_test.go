@@ -1,0 +1,120 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
+)
+
+func benchOpts() Options {
+	return Options{Net: sim.Config{Latency: 0.05, ByteTime: 1e-5}, BlockBytes: 8192}
+}
+
+func BenchmarkSimulateMM(b *testing.B) {
+	arr := hetArr()
+	d, err := distribution.UniformBlockCyclic(2, 2, 32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateMM(d, arr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateLU(b *testing.B) {
+	arr := hetArr()
+	d, err := distribution.UniformBlockCyclic(2, 2, 32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateLU(d, arr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateCholesky(b *testing.B) {
+	arr := hetArr()
+	d, err := distribution.UniformBlockCyclic(2, 2, 32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateCholesky(d, arr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d, err := distribution.UniformBlockCyclic(2, 2, 8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := matrix.Random(64, 64, rng)
+	c := matrix.Random(64, 64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayMM(d, a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayLU(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	d, err := distribution.UniformBlockCyclic(2, 2, 8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := matrix.RandomWellConditioned(64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayLU(d, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayQR(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	d, err := distribution.UniformBlockCyclic(2, 2, 8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := matrix.Random(64, 64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayQR(d, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayCholesky(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	d, err := distribution.UniformBlockCyclic(2, 2, 8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := matrix.RandomSPD(64, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayCholesky(d, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package kernels
+
+import (
+	"fmt"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/grid"
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
+)
+
+// SimulateCholesky runs the right-looking blocked Cholesky factorization
+// A = L·Lᵀ (lower variant) on an nb×nb block matrix. It is the third
+// ScaLAPACK factorization alongside LU and QR; its structure matches LU
+// with a symmetric trailing update restricted to the lower triangle. At
+// step k:
+//
+//  1. the diagonal owner factors A(k,k);
+//  2. the factored diagonal is broadcast down block column k, whose owners
+//     apply triangular solves to their L(i,k) panels;
+//  3. each L(i,k) block is broadcast to the owners that need it for the
+//     trailing update — owners of row i (columns k+1..i) and of column i
+//     (rows i..nb-1), the symmetric communication pattern;
+//  4. owners update their lower-triangle trailing blocks
+//     A(i,j) -= L(i,k)·L(j,k)ᵀ, k < j ≤ i.
+func SimulateCholesky(d distribution.Distribution, arr *grid.Arrangement, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	nbr, nbc := d.Blocks()
+	if nbr != nbc {
+		return nil, fmt.Errorf("kernels: Cholesky needs a square block matrix, got %d×%d", nbr, nbc)
+	}
+	nb := nbr
+	g, err := newGridCluster(d, arr, o.Net)
+	if err != nil {
+		return nil, err
+	}
+	var tr *sim.Trace
+	if o.EnableTrace {
+		tr = g.c.EnableTrace()
+	}
+	nodes := g.p * g.q
+	updDone := make([]float64, nodes)
+
+	// needers[i] at step k: nodes that use L(i,k) in the trailing update.
+	needers := func(k, i int) []int {
+		seen := map[int]struct{}{}
+		var out []int
+		add := func(n int) {
+			if _, ok := seen[n]; !ok {
+				seen[n] = struct{}{}
+				out = append(out, n)
+			}
+		}
+		for j := k + 1; j <= i; j++ {
+			add(g.owner(i, j))
+		}
+		for m := i; m < nb; m++ {
+			add(g.owner(m, i))
+		}
+		return out
+	}
+
+	for k := 0; k < nb; k++ {
+		// 1. Diagonal Cholesky factor.
+		diagOwner := g.owner(k, k)
+		diagDone := g.c.Compute(diagOwner, updDone[diagOwner], o.FactorCost*g.cycleTime(diagOwner))
+
+		// 2. Broadcast the diagonal down the column, then panel solves.
+		var colOwnerList []int
+		seen := map[int]struct{}{}
+		for bi := k + 1; bi < nb; bi++ {
+			n := g.owner(bi, k)
+			if _, ok := seen[n]; !ok {
+				seen[n] = struct{}{}
+				colOwnerList = append(colOwnerList, n)
+			}
+		}
+		diagArr := g.c.Broadcast(o.Broadcast, diagOwner, colOwnerList, o.BlockBytes, diagDone)
+		solveCount := make([]int, nodes)
+		for bi := k + 1; bi < nb; bi++ {
+			solveCount[g.owner(bi, k)]++
+		}
+		solveDone := make([]float64, nodes)
+		for n, cnt := range solveCount {
+			if cnt == 0 {
+				continue
+			}
+			start := maxf(diagArr[n], updDone[n])
+			solveDone[n] = g.c.Compute(n, start, float64(cnt)*o.SolveCost*g.cycleTime(n))
+		}
+
+		// 3. Broadcast each panel block to its needers, panel-aggregated.
+		var idx []int
+		for bi := k + 1; bi < nb; bi++ {
+			idx = append(idx, bi)
+		}
+		lArr := g.panelBroadcast(o.Broadcast, idx,
+			func(bi int) int { return g.owner(bi, k) },
+			func(bi int) []int { return needers(k, bi) },
+			func(bi int) float64 { return solveDone[g.owner(bi, k)] },
+			o.BlockBytes)
+
+		// 4. Symmetric trailing update on the lower triangle.
+		updCount := make([]int, nodes)
+		updReady := make([]float64, nodes)
+		for bi := k + 1; bi < nb; bi++ {
+			for bj := k + 1; bj <= bi; bj++ {
+				n := g.owner(bi, bj)
+				updCount[n]++
+				updReady[n] = maxf(updReady[n], maxf(lArr[bi][n], lArr[bj][n]))
+			}
+		}
+		for n := 0; n < nodes; n++ {
+			if updCount[n] == 0 {
+				continue
+			}
+			updDone[n] = g.c.Compute(n, maxf(updReady[n], updDone[n]),
+				float64(updCount[n])*g.cycleTime(n))
+		}
+	}
+	return g.finish("cholesky", tr), nil
+}
+
+// ReplayCholesky executes the blocked right-looking Cholesky factorization
+// numerically with block ownership from d, returning the lower factor L
+// (upper triangle zero) and per-node block-operation counts. The input must
+// be symmetric positive definite.
+func ReplayCholesky(d distribution.Distribution, a *matrix.Dense) (*Replay, error) {
+	n, nc := a.Dims()
+	if n != nc {
+		return nil, fmt.Errorf("kernels: ReplayCholesky needs a square matrix, got %d×%d", n, nc)
+	}
+	r, err := checkBlocking(n, d)
+	if err != nil {
+		return nil, err
+	}
+	nb, _ := d.Blocks()
+	p, q := d.Dims()
+	ops := make([]int, p*q)
+	charge := func(bi, bj int) {
+		pi, pj := d.Owner(bi, bj)
+		ops[pi*q+pj]++
+	}
+	work := a.Clone()
+	for k := 0; k < nb; k++ {
+		diag := blockView(work, k, k, r)
+		f, err := matrix.FactorCholesky(diag.Clone())
+		if err != nil {
+			return nil, fmt.Errorf("kernels: step %d: %w", k, err)
+		}
+		diag.CopyFrom(f.L)
+		charge(k, k)
+		lkkT := f.L.T()
+		for bi := k + 1; bi < nb; bi++ {
+			// L(i,k) = A(i,k) · L(k,k)^{-T}: solve X·Lᵀ = A.
+			if err := blockView(work, bi, k, r).SolveUpperRight(lkkT); err != nil {
+				return nil, fmt.Errorf("kernels: step %d row %d: %w", k, bi, err)
+			}
+			charge(bi, k)
+		}
+		for bi := k + 1; bi < nb; bi++ {
+			li := blockView(work, bi, k, r)
+			for bj := k + 1; bj <= bi; bj++ {
+				lj := blockView(work, bj, k, r)
+				blockView(work, bi, bj, r).AddMul(-1, li, lj.T())
+				charge(bi, bj)
+			}
+		}
+	}
+	// Zero the strict upper triangle (the algorithm never wrote it, but the
+	// input's upper values linger in the untouched blocks).
+	l := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			l.Set(i, j, work.At(i, j))
+		}
+	}
+	return &Replay{C: l, Ops: ops}, nil
+}
+
+// CholeskyOpCounts returns per-node [factor, solve, update] counts matching
+// SimulateCholesky's charging, for cross-checks against ReplayCholesky.
+func CholeskyOpCounts(d distribution.Distribution) (factor, solve, update []int, err error) {
+	nbr, nbc := d.Blocks()
+	if nbr != nbc {
+		return nil, nil, nil, fmt.Errorf("kernels: Cholesky needs a square block matrix, got %d×%d", nbr, nbc)
+	}
+	p, q := d.Dims()
+	factor = make([]int, p*q)
+	solve = make([]int, p*q)
+	update = make([]int, p*q)
+	node := func(bi, bj int) int {
+		pi, pj := d.Owner(bi, bj)
+		return pi*q + pj
+	}
+	for k := 0; k < nbr; k++ {
+		factor[node(k, k)]++
+		for bi := k + 1; bi < nbr; bi++ {
+			solve[node(bi, k)]++
+			for bj := k + 1; bj <= bi; bj++ {
+				update[node(bi, bj)]++
+			}
+		}
+	}
+	return factor, solve, update, nil
+}

@@ -1,0 +1,267 @@
+// Package kernels simulates and replays the dense linear algebra kernels of
+// the paper — the outer-product matrix multiplication and the right-looking
+// LU decomposition — on a heterogeneous 2D processor grid under an
+// arbitrary block distribution.
+//
+// Two complementary modes are provided:
+//
+//   - Simulate…: virtual-time execution over internal/sim, producing
+//     makespans, compute lower bounds and traffic statistics. This is the
+//     "simulation measurements for a heterogeneous network of workstations"
+//     substrate of the paper's abstract.
+//   - Replay…: real numeric execution of the same block algorithm with
+//     every block operation attributed to its owner, verifying that the
+//     result is independent of the distribution and that the per-processor
+//     operation counts match what the simulator charges.
+package kernels
+
+import (
+	"fmt"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/grid"
+	"hetgrid/internal/sim"
+)
+
+// Options configures a kernel simulation.
+type Options struct {
+	// Net is the communication fabric model.
+	Net sim.Config
+	// Broadcast selects the one-to-many algorithm for panel broadcasts.
+	Broadcast sim.BroadcastKind
+	// BlockBytes is the message size of one r×r block (8·r² for float64).
+	BlockBytes float64
+	// SyncSteps inserts a barrier between outer-product steps: step k's
+	// broadcasts start only after every processor finished step k−1. This
+	// reproduces the paper's per-step analysis T = Σ_k max_ij(...); without
+	// it the pipelined schedule lets communication run ahead.
+	SyncSteps bool
+	// FactorCost and SolveCost scale the per-block cost of the LU panel
+	// factorization and triangular solve relative to a block update
+	// (defaults 1).
+	FactorCost, SolveCost float64
+	// EnableTrace records every simulated operation; the trace is attached
+	// to the Result.
+	EnableTrace bool
+	// Pivoting charges the LU simulation for partial pivoting: a
+	// max-reduction among the owners of the active block column at every
+	// step, plus the exchange of the pivot row with the diagonal row
+	// across the trailing columns. The pivot row is not known statically,
+	// so the model deterministically assumes the worst case — the last
+	// active block row — making the result a pessimistic bound; the paper's
+	// ScaLAPACK baseline pivots, the cost model here shows what that adds.
+	Pivoting bool
+	// PivotMsgBytes is the size of one pivot-search message (a value and
+	// an index; default 16 bytes).
+	PivotMsgBytes float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FactorCost <= 0 {
+		out.FactorCost = 1
+	}
+	if out.SolveCost <= 0 {
+		out.SolveCost = 1
+	}
+	return out
+}
+
+// Result reports one simulated kernel execution.
+type Result struct {
+	// Kernel and Distribution identify the run.
+	Kernel, Distribution string
+	// Makespan is the simulated completion time.
+	Makespan float64
+	// CompBound is the busiest processor's pure compute time — no schedule
+	// under this distribution can beat it.
+	CompBound float64
+	// Stats carries traffic and utilization counters.
+	Stats *sim.Stats
+	// Trace holds the recorded operations when Options.EnableTrace was
+	// set; nil otherwise.
+	Trace *sim.Trace
+}
+
+// Efficiency returns CompBound/Makespan: 1.0 means communication was fully
+// hidden behind the (balanced) computation.
+func (r *Result) Efficiency() float64 {
+	if r.Makespan == 0 {
+		return 1
+	}
+	return r.CompBound / r.Makespan
+}
+
+// gridCluster couples a distribution with a simulated cluster, mapping grid
+// position (pi,pj) to node pi·q+pj.
+type gridCluster struct {
+	dist distribution.Distribution
+	arr  *grid.Arrangement
+	c    *sim.Cluster
+	p, q int
+}
+
+func newGridCluster(d distribution.Distribution, arr *grid.Arrangement, cfg sim.Config) (*gridCluster, error) {
+	p, q := d.Dims()
+	if arr.P != p || arr.Q != q {
+		return nil, fmt.Errorf("kernels: %d×%d distribution vs %d×%d arrangement", p, q, arr.P, arr.Q)
+	}
+	// Guard against broken user-supplied Distribution implementations
+	// before they corrupt the schedule (built-ins always pass).
+	if err := distribution.Validate(d); err != nil {
+		return nil, err
+	}
+	c, err := sim.NewCluster(p*q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &gridCluster{dist: d, arr: arr, c: c, p: p, q: q}, nil
+}
+
+// finish assembles a Result from the cluster state.
+func (g *gridCluster) finish(kernel string, trace *sim.Trace) *Result {
+	stats := g.c.Snapshot()
+	return &Result{
+		Kernel:       kernel,
+		Distribution: g.dist.Name(),
+		Makespan:     stats.Makespan,
+		CompBound:    stats.CompBound,
+		Stats:        stats,
+		Trace:        trace,
+	}
+}
+
+// SimulateTraced dispatches a kernel simulation by name with tracing
+// forced on, returning the result and its trace. Recognized kinds:
+// "matmul", "lu", "qr" (LU structure with doubled panel costs),
+// "cholesky".
+func SimulateTraced(kind string, d distribution.Distribution, arr *grid.Arrangement, opts Options) (*Result, *sim.Trace, error) {
+	opts.EnableTrace = true
+	var res *Result
+	var err error
+	switch kind {
+	case "matmul":
+		res, err = SimulateMM(d, arr, opts)
+	case "lu":
+		res, err = SimulateLU(d, arr, opts)
+	case "qr":
+		if opts.FactorCost <= 0 {
+			opts.FactorCost = 2
+		}
+		if opts.SolveCost <= 0 {
+			opts.SolveCost = 2
+		}
+		res, err = SimulateLU(d, arr, opts)
+		if res != nil {
+			res.Kernel = "qr"
+		}
+	case "cholesky":
+		res, err = SimulateCholesky(d, arr, opts)
+	default:
+		return nil, nil, fmt.Errorf("kernels: unknown kernel %q", kind)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, res.Trace, nil
+}
+
+func (g *gridCluster) node(pi, pj int) int { return pi*g.q + pj }
+
+func (g *gridCluster) owner(bi, bj int) int {
+	return g.node(g.dist.Owner(bi, bj))
+}
+
+// cycleTime returns the cycle-time of a node id.
+func (g *gridCluster) cycleTime(node int) float64 {
+	return g.arr.T[node/g.q][node%g.q]
+}
+
+// rowReceivers returns, for each block row, the distinct nodes owning at
+// least one block in columns [jmin, nbc) of that row — the recipients of a
+// horizontal (A- or L-panel) broadcast.
+func (g *gridCluster) rowReceivers(nbr, nbc, jmin int) [][]int {
+	out := make([][]int, nbr)
+	for bi := 0; bi < nbr; bi++ {
+		seen := map[int]struct{}{}
+		for bj := jmin; bj < nbc; bj++ {
+			n := g.owner(bi, bj)
+			if _, ok := seen[n]; !ok {
+				seen[n] = struct{}{}
+				out[bi] = append(out[bi], n)
+			}
+		}
+	}
+	return out
+}
+
+// colReceivers is the column analogue for vertical (B- or U-panel)
+// broadcasts over rows [imin, nbr).
+func (g *gridCluster) colReceivers(nbr, nbc, imin int) [][]int {
+	out := make([][]int, nbc)
+	for bj := 0; bj < nbc; bj++ {
+		seen := map[int]struct{}{}
+		for bi := imin; bi < nbr; bi++ {
+			n := g.owner(bi, bj)
+			if _, ok := seen[n]; !ok {
+				seen[n] = struct{}{}
+				out[bj] = append(out[bj], n)
+			}
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// panelBroadcast delivers a set of blocks — identified by their block-row
+// (or block-column) index — to per-block receiver sets, aggregating blocks
+// that share both their source and their receiver set into a single message
+// (the ScaLAPACK panel message). For product distributions every source's
+// blocks share one receiver set (its grid row or column), so each source
+// issues exactly one broadcast per step; for the Kalinov–Lastovetsky
+// distribution, misaligned row boundaries split the panels into more
+// messages involving more parties — precisely the extra-neighbour penalty
+// of the paper's Figure 3.
+//
+// src[i] is the owner of block i, recv[i] its receiver set, ready[i] the
+// time block i becomes available at its source. The returned arrivals map
+// index i to a node→time map.
+func (g *gridCluster) panelBroadcast(kind sim.BroadcastKind, indices []int,
+	src func(int) int, recv func(int) []int, ready func(int) float64,
+	blockBytes float64) map[int]map[int]float64 {
+
+	type groupKey struct {
+		src  int
+		recv string
+	}
+	groups := make(map[groupKey][]int)
+	order := make([]groupKey, 0)
+	for _, i := range indices {
+		rs := recv(i)
+		key := groupKey{src: src(i), recv: fmt.Sprint(rs)}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	arrivals := make(map[int]map[int]float64, len(indices))
+	for _, key := range order {
+		blocks := groups[key]
+		// The panel message leaves when its last block is ready.
+		at := 0.0
+		for _, i := range blocks {
+			at = maxf(at, ready(i))
+		}
+		arr := g.c.Broadcast(kind, key.src, recv(blocks[0]), float64(len(blocks))*blockBytes, at)
+		for _, i := range blocks {
+			arrivals[i] = arr
+		}
+	}
+	return arrivals
+}

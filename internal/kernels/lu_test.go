@@ -1,0 +1,189 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"hetgrid/internal/core"
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/grid"
+	"hetgrid/internal/sim"
+)
+
+// luPanelDist builds the Figure-4 LU panel (B_p=8, B_q=6) on [[1,2],[3,5]]
+// with the requested column ordering.
+func luPanelDist(t *testing.T, nb int, colOrd distribution.Ordering) distribution.Distribution {
+	t.Helper()
+	arr := hetArr()
+	sol, _, err := core.SolveArrangementExact(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pan, err := distribution.NewPanel(sol, 8, 6, distribution.Contiguous, colOrd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := pan.Distribution(nb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSimulateLUMakespanAtLeastCompBound(t *testing.T) {
+	arr := hetArr()
+	for _, mk := range []func() distribution.Distribution{
+		func() distribution.Distribution { d, _ := distribution.UniformBlockCyclic(2, 2, 16, 16); return d },
+		func() distribution.Distribution { return luPanelDist(t, 16, distribution.Interleaved) },
+		func() distribution.Distribution { d, _ := distribution.NewKL(arr, 16, 16); return d },
+	} {
+		d := mk()
+		res, err := SimulateLU(d, arr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < res.CompBound-1e-9 {
+			t.Fatalf("%s: makespan %v below compute bound %v", d.Name(), res.Makespan, res.CompBound)
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("%s: non-positive makespan", d.Name())
+		}
+	}
+}
+
+func TestSimulateLUPanelBeatsUniform(t *testing.T) {
+	arr := hetArr()
+	nb := 24
+	opts := Options{Net: sim.Config{Latency: 1e-4, ByteTime: 1e-7}, BlockBytes: 8192}
+	uni, _ := distribution.UniformBlockCyclic(2, 2, nb, nb)
+	uniRes, err := SimulateLU(uni, arr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panRes, err := SimulateLU(luPanelDist(t, nb, distribution.Interleaved), arr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if panRes.Makespan >= uniRes.Makespan {
+		t.Fatalf("panel LU %v not faster than uniform %v", panRes.Makespan, uniRes.Makespan)
+	}
+}
+
+func TestSimulateLUInterleavedBeatsContiguous(t *testing.T) {
+	// §3.2.2's point: with a contiguous column order, the processors owning
+	// the leading panel columns go idle as the factorization proceeds; the
+	// 1D-greedy interleaving keeps the shrinking active region balanced.
+	arr := hetArr()
+	nb := 48
+	inter, err := SimulateLU(luPanelDist(t, nb, distribution.Interleaved), arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := SimulateLU(luPanelDist(t, nb, distribution.Contiguous), arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.Makespan >= cont.Makespan {
+		t.Fatalf("interleaved %v not faster than contiguous %v", inter.Makespan, cont.Makespan)
+	}
+}
+
+func TestLUOpCountsTotals(t *testing.T) {
+	nb := 10
+	d, _ := distribution.UniformBlockCyclic(2, 2, nb, nb)
+	factor, solve, update, err := LUOpCounts(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumF, sumS, sumU := 0, 0, 0
+	for n := range factor {
+		sumF += factor[n]
+		sumS += solve[n]
+		sumU += update[n]
+	}
+	// Σ_k (nb-k) factors, Σ_k (nb-k-1) solves, Σ_k (nb-k-1)² updates.
+	wantF, wantS, wantU := 0, 0, 0
+	for k := 0; k < nb; k++ {
+		wantF += nb - k
+		wantS += nb - k - 1
+		wantU += (nb - k - 1) * (nb - k - 1)
+	}
+	if sumF != wantF || sumS != wantS || sumU != wantU {
+		t.Fatalf("op totals (%d,%d,%d), want (%d,%d,%d)", sumF, sumS, sumU, wantF, wantS, wantU)
+	}
+	if _, _, _, err := LUOpCounts(mustRect(t)); err == nil {
+		t.Fatal("non-square block grid accepted")
+	}
+}
+
+func mustRect(t *testing.T) distribution.Distribution {
+	t.Helper()
+	d, err := distribution.UniformBlockCyclic(2, 2, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSimulateLUHigherCostFactorsSlower(t *testing.T) {
+	arr := hetArr()
+	d := luPanelDist(t, 12, distribution.Interleaved)
+	base, err := SimulateLU(d, arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QR-like costs: panel and solve roughly twice as expensive.
+	qr, err := SimulateLU(d, arr, Options{FactorCost: 2, SolveCost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Makespan <= base.Makespan {
+		t.Fatalf("doubled panel costs did not slow the run: %v vs %v", qr.Makespan, base.Makespan)
+	}
+}
+
+func TestSimulateLUValidation(t *testing.T) {
+	arr := hetArr()
+	if _, err := SimulateLU(mustRect(t), arr, Options{}); err == nil {
+		t.Fatal("non-square block matrix accepted")
+	}
+	d, _ := distribution.UniformBlockCyclic(2, 2, 4, 4)
+	if _, err := SimulateLU(d, grid.MustNew([][]float64{{1}}), Options{}); err == nil {
+		t.Fatal("mismatched arrangement accepted")
+	}
+}
+
+func TestSimulateLUDeterministic(t *testing.T) {
+	arr := hetArr()
+	d := luPanelDist(t, 16, distribution.Interleaved)
+	opts := Options{Net: sim.Config{Latency: 1e-4, ByteTime: 1e-7, SharedBus: true}, BlockBytes: 4096}
+	a, err := SimulateLU(d, arr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateLU(d, arr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Stats.Messages != b.Stats.Messages {
+		t.Fatal("LU simulation not deterministic")
+	}
+}
+
+func TestSimulateLUHomogeneous(t *testing.T) {
+	// Sanity: homogeneous grid, uniform distribution, zero comm. The
+	// makespan must be within a small factor of the compute bound (the
+	// critical path adds panel dependencies).
+	arr := grid.MustNew([][]float64{{1, 1}, {1, 1}})
+	d, _ := distribution.UniformBlockCyclic(2, 2, 16, 16)
+	res, err := SimulateLU(d, arr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Efficiency() < 0.5 {
+		t.Fatalf("homogeneous LU efficiency %v suspiciously low", res.Efficiency())
+	}
+	if math.IsNaN(res.Makespan) {
+		t.Fatal("NaN makespan")
+	}
+}

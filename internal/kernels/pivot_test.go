@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"testing"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/sim"
+)
+
+func TestSimulateLUPivotingCostsMore(t *testing.T) {
+	arr := hetArr()
+	d, err := distribution.UniformBlockCyclic(2, 2, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Net: sim.Config{Latency: 0.05, ByteTime: 1e-6}, BlockBytes: 4096}
+	plain, err := SimulateLU(d, arr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Pivoting = true
+	pivoted, err := SimulateLU(d, arr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pivoted.Makespan <= plain.Makespan {
+		t.Fatalf("pivoting makespan %v not above plain %v", pivoted.Makespan, plain.Makespan)
+	}
+	if pivoted.Stats.Messages <= plain.Stats.Messages {
+		t.Fatalf("pivoting messages %d not above plain %d",
+			pivoted.Stats.Messages, plain.Stats.Messages)
+	}
+}
+
+func TestSimulateLUPivotingZeroCommStillWorks(t *testing.T) {
+	// With a free network, pivoting adds no time (messages are
+	// instantaneous) and the makespan still meets the compute bound.
+	arr := hetArr()
+	d := luPanelDist(t, 16, distribution.Interleaved)
+	res, err := SimulateLU(d, arr, Options{Pivoting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < res.CompBound-1e-9 {
+		t.Fatalf("makespan %v below compute bound %v", res.Makespan, res.CompBound)
+	}
+}
+
+func TestSimulateLUPivotingDeterministic(t *testing.T) {
+	arr := hetArr()
+	d := luPanelDist(t, 12, distribution.Interleaved)
+	opts := Options{Net: sim.Config{Latency: 0.01, ByteTime: 1e-6}, BlockBytes: 2048, Pivoting: true}
+	a, err := SimulateLU(d, arr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateLU(d, arr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Stats.Messages != b.Stats.Messages {
+		t.Fatal("pivoted simulation not deterministic")
+	}
+}
+
+func TestSimulateLUPivotingPanelStillBeatsUniform(t *testing.T) {
+	// The headline result survives the pivoting overhead.
+	arr := hetArr()
+	nb := 24
+	opts := Options{Net: sim.Config{Latency: 0.02, ByteTime: 1e-6}, BlockBytes: 4096, Pivoting: true}
+	uni, _ := distribution.UniformBlockCyclic(2, 2, nb, nb)
+	uniRes, err := SimulateLU(uni, arr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panRes, err := SimulateLU(luPanelDist(t, nb, distribution.Interleaved), arr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if panRes.Makespan >= uniRes.Makespan {
+		t.Fatalf("panel %v not faster than uniform %v under pivoting",
+			panRes.Makespan, uniRes.Makespan)
+	}
+}

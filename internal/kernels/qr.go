@@ -1,0 +1,115 @@
+package kernels
+
+import (
+	"fmt"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/matrix"
+)
+
+// ReplayQR executes the blocked right-looking Householder QR factorization
+// numerically under the given distribution: at step k the owners of block
+// column k factor the tall panel A[k·r:, k·r:(k+1)·r], and the reflectors
+// are applied to every trailing block column. Ownership is charged at block
+// granularity exactly like the simulator's cost model (panel blocks at
+// FactorCost, trailing blocks at update cost).
+//
+// The result packs R in the upper triangle and the Householder vectors
+// below the diagonal; Taus carries the reflector scalings per panel. The
+// factors are numerically identical to an unblocked Householder QR of the
+// full matrix, which tests exploit.
+type QRReplay struct {
+	Replay
+	// Taus[k] holds the Householder scalings of panel k.
+	Taus [][]float64
+}
+
+// ReplayQR factors a square matrix; see QRReplay.
+func ReplayQR(d distribution.Distribution, a *matrix.Dense) (*QRReplay, error) {
+	n, nc := a.Dims()
+	if n != nc {
+		return nil, fmt.Errorf("kernels: ReplayQR needs a square matrix, got %d×%d", n, nc)
+	}
+	r, err := checkBlocking(n, d)
+	if err != nil {
+		return nil, err
+	}
+	nb, _ := d.Blocks()
+	p, q := d.Dims()
+	ops := make([]int, p*q)
+	charge := func(bi, bj int) {
+		pi, pj := d.Owner(bi, bj)
+		ops[pi*q+pj]++
+	}
+	work := a.Clone()
+	taus := make([][]float64, nb)
+	for k := 0; k < nb; k++ {
+		// Panel factorization over the full trailing column slab.
+		panel := work.Slice(k*r, n, k*r, (k+1)*r)
+		f := matrix.FactorQR(panel.Clone())
+		panel.CopyFrom(f.Packed())
+		taus[k] = append([]float64(nil), f.Tau()...)
+		for bi := k; bi < nb; bi++ {
+			charge(bi, k)
+		}
+		// Apply Qᵀ of the panel to each trailing block column.
+		for bj := k + 1; bj < nb; bj++ {
+			slab := work.Slice(k*r, n, bj*r, (bj+1)*r)
+			f.QTMul(slab)
+			for bi := k; bi < nb; bi++ {
+				charge(bi, bj)
+			}
+		}
+	}
+	return &QRReplay{Replay: Replay{C: work, Ops: ops}, Taus: taus}, nil
+}
+
+// R extracts the upper triangular factor from the replay.
+func (f *QRReplay) R() *matrix.Dense {
+	n, _ := f.C.Dims()
+	out := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			out.Set(i, j, f.C.At(i, j))
+		}
+	}
+	return out
+}
+
+// Q reconstructs the full orthogonal factor by applying the stored panel
+// reflectors to the identity in reverse order. Cost is O(n³); intended for
+// verification.
+func (f *QRReplay) Q(blockSize int) *matrix.Dense {
+	n, _ := f.C.Dims()
+	r := blockSize
+	nb := n / r
+	qm := matrix.Identity(n)
+	for k := nb - 1; k >= 0; k-- {
+		// Apply H_k0 H_k1 ... (the panel's reflectors) to q[k·r:, :].
+		applyPanelQ(f.C.Slice(k*r, n, k*r, (k+1)*r), f.Taus[k], qm.Slice(k*r, n, 0, n))
+	}
+	return qm
+}
+
+// applyPanelQ applies Q = H_0·H_1⋯ (not transposed) of a packed panel to b
+// in place: reflectors run last-to-first.
+func applyPanelQ(packed *matrix.Dense, tau []float64, b *matrix.Dense) {
+	m, cols := packed.Dims()
+	_, bc := b.Dims()
+	for k := len(tau) - 1; k >= 0; k-- {
+		if k >= cols || tau[k] == 0 {
+			continue
+		}
+		for j := 0; j < bc; j++ {
+			sum := b.At(k, j)
+			for i := k + 1; i < m; i++ {
+				sum += packed.At(i, k) * b.At(i, j)
+			}
+			s := tau[k] * sum
+			b.Add(k, j, -s)
+			for i := k + 1; i < m; i++ {
+				b.Add(i, j, -s*packed.At(i, k))
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/sim"
+)
+
+// TestMMVolumeMatchesSimulator ties the closed-form communication analytics
+// to the simulator: message and byte counters must agree exactly for every
+// distribution family and broadcast kind (the per-send count is
+// kind-independent in the panel-aggregated model: each receiver gets the
+// panel once).
+func TestMMVolumeMatchesSimulator(t *testing.T) {
+	arr := hetArr()
+	const nb = 16
+	const blockBytes = 512.0
+	for _, d := range testDistributions(t, nb) {
+		vol, err := distribution.MMCommVolume(d, blockBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []sim.BroadcastKind{sim.StarBroadcast, sim.RingBroadcast, sim.TreeBroadcast} {
+			res, err := SimulateMM(d, arr, Options{
+				Net:        sim.Config{Latency: 1e-3, ByteTime: 1e-7},
+				Broadcast:  kind,
+				BlockBytes: blockBytes,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Messages != vol.Messages {
+				t.Fatalf("%s kind %d: simulator %d messages, analytics %d",
+					d.Name(), kind, res.Stats.Messages, vol.Messages)
+			}
+			if math.Abs(res.Stats.Bytes-vol.Bytes) > 1e-6 {
+				t.Fatalf("%s kind %d: simulator %v bytes, analytics %v",
+					d.Name(), kind, res.Stats.Bytes, vol.Bytes)
+			}
+		}
+	}
+}
+
+// TestLUVolumeMatchesSimulator does the same for the LU kernel.
+func TestLUVolumeMatchesSimulator(t *testing.T) {
+	arr := hetArr()
+	const nb = 12
+	const blockBytes = 256.0
+	for _, d := range testDistributions(t, nb) {
+		vol, err := distribution.LUCommVolume(d, blockBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SimulateLU(d, arr, Options{
+			Net:        sim.Config{Latency: 1e-3, ByteTime: 1e-7},
+			Broadcast:  sim.StarBroadcast,
+			BlockBytes: blockBytes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Messages != vol.Messages {
+			t.Fatalf("%s: simulator %d messages, analytics %d", d.Name(), res.Stats.Messages, vol.Messages)
+		}
+		if math.Abs(res.Stats.Bytes-vol.Bytes) > 1e-6 {
+			t.Fatalf("%s: simulator %v bytes, analytics %v", d.Name(), res.Stats.Bytes, vol.Bytes)
+		}
+	}
+}

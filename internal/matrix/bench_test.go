@@ -1,0 +1,110 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrices(n int) (*Dense, *Dense) {
+	rng := rand.New(rand.NewSource(1))
+	return Random(n, n, rng), Random(n, n, rng)
+}
+
+func BenchmarkMul(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			x, y := benchMatrices(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Mul(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkAddMul(b *testing.B) {
+	x, y := benchMatrices(64)
+	c := New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AddMul(1, x, y)
+	}
+}
+
+func BenchmarkLUFactor(b *testing.B) {
+	for _, n := range []int{16, 64, 128} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			a := RandomWellConditioned(n, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Factor(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLUSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandomWellConditioned(64, rng)
+	rhs := Random(64, 1, rng)
+	f, err := Factor(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQRFactor(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(4))
+			a := Random(n, n, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				FactorQR(a)
+			}
+		})
+	}
+}
+
+func BenchmarkCholeskyFactor(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			a := RandomSPD(n, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := FactorCholesky(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFrobeniusNorm(b *testing.B) {
+	a, _ := benchMatrices(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.FrobeniusNorm()
+	}
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n < 10:
+		return "n00" + string(rune('0'+n))
+	case n < 100:
+		return "n0" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+	default:
+		return "n" + string(rune('0'+n/100)) + string(rune('0'+(n/10)%10)) + string(rune('0'+n%10))
+	}
+}

@@ -1,0 +1,141 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockedMulMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for _, dims := range [][3]int{{5, 7, 3}, {64, 64, 64}, {100, 33, 67}, {1, 1, 1}, {65, 129, 31}} {
+		a := Random(dims[0], dims[1], rng)
+		b := Random(dims[1], dims[2], rng)
+		want := Mul(a, b)
+		for _, bs := range []int{0, 1, 8, 16, 1000} {
+			got := BlockedMul(a, b, bs)
+			if !got.EqualApprox(want, 1e-10) {
+				t.Fatalf("dims %v block %d: blocked product differs", dims, bs)
+			}
+		}
+	}
+}
+
+func TestBlockedMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BlockedMul(New(2, 3), New(2, 3), 8)
+}
+
+func TestBlockedFactorMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	for _, n := range []int{1, 5, 32, 64, 70} {
+		a := Random(n, n, rng)
+		unblocked, err1 := Factor(a)
+		for _, bs := range []int{0, 1, 7, 16, 1000} {
+			blocked, err2 := BlockedFactor(a, bs)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("n=%d bs=%d: error mismatch %v vs %v", n, bs, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			// Same pivot choices → identical packed factors.
+			if !blocked.LU.EqualApprox(unblocked.LU, 1e-10) {
+				t.Fatalf("n=%d bs=%d: blocked factors differ from unblocked", n, bs)
+			}
+			for k := range blocked.Pivots {
+				if blocked.Pivots[k] != unblocked.Pivots[k] {
+					t.Fatalf("n=%d bs=%d: pivot %d differs (%d vs %d)",
+						n, bs, k, blocked.Pivots[k], unblocked.Pivots[k])
+				}
+			}
+		}
+	}
+}
+
+func TestBlockedFactorReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	f := func(seed int64) bool {
+		n := 1 + int(uint(seed)%20)
+		bs := 1 + int(uint(seed>>8)%8)
+		a := Random(n, n, rng)
+		fac, err := BlockedFactor(a, bs)
+		if err != nil {
+			return true // exactly singular random matrix: skip
+		}
+		pa := Mul(fac.PermMatrix(), a)
+		return pa.EqualApprox(Mul(fac.L(), fac.U()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockedFactorSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(154))
+	a := RandomWellConditioned(48, rng)
+	want := Random(48, 2, rng)
+	b := Mul(a, want)
+	fac, err := BlockedFactor(a, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fac.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("blocked LU solve inaccurate")
+	}
+}
+
+func TestBlockedFactorSingular(t *testing.T) {
+	a := NewFromSlice(4, 4, []float64{
+		1, 2, 3, 4,
+		2, 4, 6, 8,
+		0, 0, 1, 1,
+		0, 0, 2, 2,
+	})
+	if _, err := BlockedFactor(a, 2); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func BenchmarkNaiveVsBlockedMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Random(192, 192, rng)
+	y := Random(192, 192, rng)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Mul(x, y)
+		}
+	})
+	b.Run("blocked64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BlockedMul(x, y, 64)
+		}
+	})
+}
+
+func BenchmarkNaiveVsBlockedLU(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandomWellConditioned(192, rng)
+	b.Run("unblocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Factor(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("blocked32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BlockedFactor(a, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

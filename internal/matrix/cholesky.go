@@ -1,0 +1,107 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular Cholesky factor of a symmetric
+// positive definite matrix: A = L·Lᵀ.
+type Cholesky struct {
+	L *Dense
+}
+
+// ErrNotPositiveDefinite is returned when a pivot is non-positive during
+// Cholesky factorization.
+var ErrNotPositiveDefinite = fmt.Errorf("matrix: not positive definite: %w", ErrSingular)
+
+// FactorCholesky computes the lower Cholesky factor of a. Only the lower
+// triangle of a is read; the input is not modified.
+func FactorCholesky(a *Dense) (*Cholesky, error) {
+	n, c := a.Dims()
+	if n != c {
+		panic(fmt.Sprintf("matrix: Cholesky of non-square %d×%d", n, c))
+	}
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		// Diagonal: l_jj = sqrt(a_jj - Σ_k l_jk²).
+		sum := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			sum -= v * v
+		}
+		if sum <= 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		d := math.Sqrt(sum)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// Solve solves A·x = b for each column of b via the factor.
+func (f *Cholesky) Solve(b *Dense) (*Dense, error) {
+	n, _ := f.L.Dims()
+	if b.rows != n {
+		panic(fmt.Sprintf("matrix: Cholesky solve with rhs %d×%d for order %d", b.rows, b.cols, n))
+	}
+	x := b.Clone()
+	// Forward: L·y = b.
+	for i := 0; i < n; i++ {
+		d := f.L.At(i, i)
+		for j := 0; j < x.cols; j++ {
+			sum := x.At(i, j)
+			for k := 0; k < i; k++ {
+				sum -= f.L.At(i, k) * x.At(k, j)
+			}
+			x.Set(i, j, sum/d)
+		}
+	}
+	// Backward: Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		d := f.L.At(i, i)
+		for j := 0; j < x.cols; j++ {
+			sum := x.At(i, j)
+			for k := i + 1; k < n; k++ {
+				sum -= f.L.At(k, i) * x.At(k, j)
+			}
+			x.Set(i, j, sum/d)
+		}
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix (product of squared
+// diagonal entries of L).
+func (f *Cholesky) Det() float64 {
+	n, _ := f.L.Dims()
+	det := 1.0
+	for i := 0; i < n; i++ {
+		d := f.L.At(i, i)
+		det *= d * d
+	}
+	return det
+}
+
+// RandomSPD returns a random symmetric positive definite matrix of order n:
+// M·Mᵀ + n·I for a random M.
+func RandomSPD(n int, rng interface{ Float64() float64 }) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 2*rng.Float64()-1)
+		}
+	}
+	spd := Mul(m, m.T())
+	for i := 0; i < n; i++ {
+		spd.Add(i, i, float64(n))
+	}
+	return spd
+}

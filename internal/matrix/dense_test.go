@@ -1,0 +1,296 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroInitialized(t *testing.T) {
+	m := New(3, 4)
+	r, c := m.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("Dims = %d,%d want 3,4", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("entry (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestNewFromSliceRoundTrip(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := NewFromSlice(2, 3, data)
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+		t.Fatalf("unexpected layout: %v", m)
+	}
+	// The slice must be copied, not aliased.
+	data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("NewFromSlice aliased the input slice")
+	}
+}
+
+func TestNewFromSliceBadLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong-size slice")
+		}
+	}()
+	NewFromSlice(2, 3, []float64{1, 2})
+}
+
+func TestNewFromRows(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims = %d×%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v", m.At(2, 1))
+	}
+	empty := NewFromRows(nil)
+	if empty.Rows() != 0 || empty.Cols() != 0 {
+		t.Fatal("NewFromRows(nil) not empty")
+	}
+}
+
+func TestNewFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	NewFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I(4) entry (%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := New(2, 2)
+	m.Set(1, 0, 5)
+	m.Add(1, 0, 2.5)
+	if m.At(1, 0) != 7.5 {
+		t.Fatalf("got %v want 7.5", m.At(1, 0))
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	n := m.Clone()
+	n.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with the original")
+	}
+	if !m.EqualApprox(m.Clone(), 0) {
+		t.Fatal("Clone not equal to original")
+	}
+}
+
+func TestSliceViewShares(t *testing.T) {
+	m := NewFromSlice(4, 4, []float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	})
+	v := m.Slice(1, 3, 1, 3)
+	if v.Rows() != 2 || v.Cols() != 2 {
+		t.Fatalf("slice dims %d×%d", v.Rows(), v.Cols())
+	}
+	if v.At(0, 0) != 6 || v.At(1, 1) != 11 {
+		t.Fatalf("slice content wrong: %v", v)
+	}
+	v.Set(0, 0, -1)
+	if m.At(1, 1) != -1 {
+		t.Fatal("slice write not visible in parent")
+	}
+	// A clone of a view must be compact and independent.
+	c := v.Clone()
+	c.Set(1, 1, 100)
+	if m.At(2, 2) != 11 {
+		t.Fatal("clone of view aliased parent")
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	m := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Slice(0, 4, 0, 2)
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatalf("T dims %d×%d", mt.Rows(), mt.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := 1 + int(seed%7&0x7)
+		c := 1 + int((seed>>3)%7&0x7)
+		m := Random(r, c, rng)
+		return m.T().T().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleZero(t *testing.T) {
+	m := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Fatalf("Scale: got %v", m.At(1, 1))
+	}
+	m.Zero()
+	if m.MaxAbs() != 0 {
+		t.Fatal("Zero left nonzero entries")
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromSlice(2, 2, []float64{1, 2, 3, 4.0000001})
+	if !a.EqualApprox(b, 1e-6) {
+		t.Fatal("should be approx equal")
+	}
+	if a.EqualApprox(b, 1e-9) {
+		t.Fatal("should not be equal at 1e-9")
+	}
+	if a.EqualApprox(New(2, 3), 1) {
+		t.Fatal("different shapes compared equal")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := NewFromSlice(2, 2, []float64{3, -4, 0, 0})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Frobenius = %v want 5", got)
+	}
+	if got := m.InfNorm(); got != 7 {
+		t.Fatalf("InfNorm = %v want 7", got)
+	}
+	if got := m.OneNorm(); got != 4 {
+		t.Fatalf("OneNorm = %v want 4", got)
+	}
+	if got := m.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v want 4", got)
+	}
+	if New(0, 0).FrobeniusNorm() != 0 {
+		t.Fatal("empty Frobenius != 0")
+	}
+}
+
+func TestFrobeniusNoOverflow(t *testing.T) {
+	m := NewFromSlice(1, 2, []float64{1e200, 1e200})
+	got := m.FrobeniusNorm()
+	want := 1e200 * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Frobenius overflowed: %v", got)
+	}
+}
+
+func TestSwapRows(t *testing.T) {
+	m := NewFromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	m.SwapRows(0, 2)
+	if m.At(0, 0) != 5 || m.At(2, 1) != 2 {
+		t.Fatalf("SwapRows wrong: %v", m)
+	}
+	m.SwapRows(1, 1) // no-op must be safe
+	if m.At(1, 0) != 3 {
+		t.Fatal("self-swap corrupted row")
+	}
+}
+
+func TestRawRowAliases(t *testing.T) {
+	m := New(2, 3)
+	row := m.RawRow(1)
+	row[2] = 9
+	if m.At(1, 2) != 9 {
+		t.Fatal("RawRow is not a live view")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	m := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	s := m.String()
+	if !strings.Contains(s, "1.0000") || !strings.Contains(s, "4.0000") {
+		t.Fatalf("String output unexpected: %q", s)
+	}
+	if strings.Count(s, "\n") != 2 {
+		t.Fatalf("String should have one line per row: %q", s)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	dst := New(2, 2)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom mismatch")
+	}
+	// Into a view.
+	big := New(4, 4)
+	big.Slice(1, 3, 2, 4).CopyFrom(src)
+	if big.At(1, 2) != 1 || big.At(2, 3) != 4 {
+		t.Fatal("CopyFrom into view failed")
+	}
+	if big.At(0, 0) != 0 || big.At(3, 3) != 0 {
+		t.Fatal("CopyFrom into view touched outside the view")
+	}
+}

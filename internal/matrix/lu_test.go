@@ -1,0 +1,149 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUKnown(t *testing.T) {
+	a := NewFromSlice(3, 3, []float64{
+		2, 1, 1,
+		4, -6, 0,
+		-2, 7, 2,
+	})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := Mul(f.PermMatrix(), a)
+	lu := Mul(f.L(), f.U())
+	if !pa.EqualApprox(lu, 1e-12) {
+		t.Fatalf("P*A != L*U:\n%v\nvs\n%v", pa, lu)
+	}
+}
+
+func TestLUReconstructionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		n := 1 + int(uint(seed)%8)
+		a := Random(n, n, rng)
+		fac, err := Factor(a)
+		if err != nil {
+			// Exactly singular random matrices are measure-zero; treat as pass.
+			return true
+		}
+		pa := Mul(fac.PermMatrix(), a)
+		return pa.EqualApprox(Mul(fac.L(), fac.U()), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := RandomWellConditioned(10, rng)
+	want := Random(10, 3, rng)
+	b := Mul(a, want)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("LU solve inaccurate")
+	}
+}
+
+func TestLUSolveVec(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{4, 3, 6, 3})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.SolveVec([]float64{10, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x+3y=10, 6x+3y=12 -> x=1, y=2.
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("SolveVec = %v", x)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-(-2)) > 1e-12 {
+		t.Fatalf("det = %v want -2", d)
+	}
+	if d := mustFactor(t, Identity(5)).Det(); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("det(I) = %v", d)
+	}
+}
+
+func mustFactor(t *testing.T, a *Dense) *LU {
+	t.Helper()
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 2, 4})
+	if _, err := Factor(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	if _, err := Factor(New(3, 3)); err != ErrSingular {
+		t.Fatal("zero matrix should be singular")
+	}
+}
+
+func TestLUInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := RandomWellConditioned(6, rng)
+	inv, err := mustFactor(t, a).Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Mul(a, inv).EqualApprox(Identity(6), 1e-9) {
+		t.Fatal("A * A^{-1} != I")
+	}
+}
+
+func TestLUPivotingStability(t *testing.T) {
+	// Without pivoting this matrix loses all accuracy (tiny leading pivot).
+	a := NewFromSlice(2, 2, []float64{1e-20, 1, 1, 1})
+	f := mustFactor(t, a)
+	x, err := f.SolveVec([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True solution ≈ (1, 1).
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Fatalf("pivoted solve inaccurate: %v", x)
+	}
+}
+
+func TestLUPermIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	f := mustFactor(t, Random(7, 7, rng))
+	perm := f.Perm()
+	seen := make(map[int]bool)
+	for _, p := range perm {
+		if p < 0 || p >= 7 || seen[p] {
+			t.Fatalf("Perm is not a permutation: %v", perm)
+		}
+		seen[p] = true
+	}
+}

@@ -1,0 +1,155 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes m in MatrixMarket array format (real, general),
+// the interchange format used throughout the dense linear algebra world,
+// so hetgrid's inputs and outputs interoperate with standard tooling.
+// Entries are written in column-major order per the specification.
+func WriteMatrixMarket(w io.Writer, m *Dense) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix array real general\n"); err != nil {
+		return err
+	}
+	r, c := m.Dims()
+	if _, err := fmt.Fprintf(bw, "%d %d\n", r, c); err != nil {
+		return err
+	}
+	for j := 0; j < c; j++ {
+		for i := 0; i < r; i++ {
+			if _, err := fmt.Fprintf(bw, "%.17g\n", m.At(i, j)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket file holding a real matrix in
+// either array (dense, column-major) or coordinate (sparse triplet,
+// 1-indexed) format, with the general or symmetric symmetry qualifiers.
+// Pattern and complex fields are rejected.
+func ReadMatrixMarket(r io.Reader) (*Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	// Header line.
+	if !sc.Scan() {
+		return nil, fmt.Errorf("matrix: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("matrix: not a MatrixMarket file: %q", sc.Text())
+	}
+	format := header[2]
+	field := header[3]
+	symmetry := "general"
+	if len(header) >= 5 {
+		symmetry = header[4]
+	}
+	if field != "real" && field != "integer" && field != "double" {
+		return nil, fmt.Errorf("matrix: unsupported MatrixMarket field %q", field)
+	}
+	if symmetry != "general" && symmetry != "symmetric" {
+		return nil, fmt.Errorf("matrix: unsupported MatrixMarket symmetry %q", symmetry)
+	}
+	// Skip comments, read the size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("matrix: missing MatrixMarket size line")
+	}
+	sizes := strings.Fields(sizeLine)
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "%") {
+				continue
+			}
+			return line, nil
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	switch format {
+	case "array":
+		if len(sizes) != 2 {
+			return nil, fmt.Errorf("matrix: array size line %q", sizeLine)
+		}
+		rows, err1 := strconv.Atoi(sizes[0])
+		cols, err2 := strconv.Atoi(sizes[1])
+		if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
+			return nil, fmt.Errorf("matrix: bad array dimensions %q", sizeLine)
+		}
+		m := New(rows, cols)
+		for j := 0; j < cols; j++ {
+			iStart := 0
+			if symmetry == "symmetric" {
+				iStart = j // lower triangle stored
+			}
+			for i := iStart; i < rows; i++ {
+				line, err := next()
+				if err != nil {
+					return nil, fmt.Errorf("matrix: truncated array data: %w", err)
+				}
+				v, err := strconv.ParseFloat(strings.Fields(line)[0], 64)
+				if err != nil {
+					return nil, fmt.Errorf("matrix: bad value %q: %v", line, err)
+				}
+				m.Set(i, j, v)
+				if symmetry == "symmetric" && i != j {
+					m.Set(j, i, v)
+				}
+			}
+		}
+		return m, nil
+	case "coordinate":
+		if len(sizes) != 3 {
+			return nil, fmt.Errorf("matrix: coordinate size line %q", sizeLine)
+		}
+		rows, err1 := strconv.Atoi(sizes[0])
+		cols, err2 := strconv.Atoi(sizes[1])
+		nnz, err3 := strconv.Atoi(sizes[2])
+		if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+			return nil, fmt.Errorf("matrix: bad coordinate dimensions %q", sizeLine)
+		}
+		m := New(rows, cols)
+		for k := 0; k < nnz; k++ {
+			line, err := next()
+			if err != nil {
+				return nil, fmt.Errorf("matrix: truncated coordinate data: %w", err)
+			}
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("matrix: bad coordinate entry %q", line)
+			}
+			i, err1 := strconv.Atoi(fields[0])
+			j, err2 := strconv.Atoi(fields[1])
+			v, err3 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("matrix: bad coordinate entry %q", line)
+			}
+			if i < 1 || i > rows || j < 1 || j > cols {
+				return nil, fmt.Errorf("matrix: coordinate (%d,%d) outside %d×%d", i, j, rows, cols)
+			}
+			m.Set(i-1, j-1, v)
+			if symmetry == "symmetric" && i != j {
+				m.Set(j-1, i-1, v)
+			}
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("matrix: unsupported MatrixMarket format %q", format)
+	}
+}

@@ -1,0 +1,124 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	for _, dims := range [][2]int{{1, 1}, {3, 5}, {8, 8}, {2, 7}} {
+		m := Random(dims[0], dims[1], rng)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("%v: round trip lost precision", dims)
+		}
+	}
+}
+
+func TestMatrixMarketEmptyMatrix(t *testing.T) {
+	m := New(0, 0)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := got.Dims()
+	if r != 0 || c != 0 {
+		t.Fatalf("dims %d×%d", r, c)
+	}
+}
+
+func TestReadMatrixMarketCoordinate(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 3
+1 1 2.5
+2 3 -1
+3 2 4
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 2.5 || m.At(1, 2) != -1 || m.At(2, 1) != 4 || m.At(1, 1) != 0 {
+		t.Fatalf("coordinate parse wrong: %v", m)
+	}
+}
+
+func TestReadMatrixMarketSymmetricCoordinate(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 3
+2 1 7
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 7 || m.At(1, 0) != 7 || m.At(0, 0) != 3 {
+		t.Fatalf("symmetric mirror missing: %v", m)
+	}
+}
+
+func TestReadMatrixMarketSymmetricArray(t *testing.T) {
+	// Lower triangle column-major: (1,1),(2,1),(2,2) = 1,2,3.
+	in := `%%MatrixMarket matrix array real symmetric
+2 2
+1
+2
+3
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewFromSlice(2, 2, []float64{1, 2, 2, 3})
+	if !m.Equal(want) {
+		t.Fatalf("symmetric array parse: %v", m)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"not mm":           "hello\n1 1\n0\n",
+		"complex field":    "%%MatrixMarket matrix array complex general\n1 1\n0 0\n",
+		"bad symmetry":     "%%MatrixMarket matrix array real hermitian\n1 1\n0\n",
+		"bad format":       "%%MatrixMarket matrix banana real general\n1 1\n0\n",
+		"missing size":     "%%MatrixMarket matrix array real general\n",
+		"truncated array":  "%%MatrixMarket matrix array real general\n2 2\n1\n2\n",
+		"bad value":        "%%MatrixMarket matrix array real general\n1 1\nxyz\n",
+		"coord short size": "%%MatrixMarket matrix coordinate real general\n2 2\n1 1 5\n",
+		"coord bad index":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5\n",
+		"coord truncated":  "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMatrixMarketIntegerField(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 42\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 42 {
+		t.Fatalf("integer field value %v", m.At(0, 0))
+	}
+}

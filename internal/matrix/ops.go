@@ -1,0 +1,194 @@
+package matrix
+
+import "fmt"
+
+// Mul returns the product a*b as a newly allocated matrix.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("matrix: Mul %d×%d by %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	out.AddMul(1, a, b)
+	return out
+}
+
+// AddMul accumulates m += alpha * a * b. This is the GEMM kernel the
+// distributed outer-product algorithm replays block by block.
+func (m *Dense) AddMul(alpha float64, a, b *Dense) {
+	if a.cols != b.rows || m.rows != a.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("matrix: AddMul %d×%d += %d×%d * %d×%d",
+			m.rows, m.cols, a.rows, a.cols, b.rows, b.cols))
+	}
+	if alpha == 0 {
+		return
+	}
+	// ikj loop order: stream along contiguous rows of b and m.
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.stride : i*a.stride+a.cols]
+		mrow := m.data[i*m.stride : i*m.stride+m.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			s := alpha * av
+			brow := b.data[k*b.stride : k*b.stride+b.cols]
+			for j, bv := range brow {
+				mrow[j] += s * bv
+			}
+		}
+	}
+}
+
+// Sub returns a - b as a newly allocated matrix.
+func Sub(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("matrix: Sub %d×%d - %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		ar := a.data[i*a.stride : i*a.stride+a.cols]
+		br := b.data[i*b.stride : i*b.stride+b.cols]
+		or := out.data[i*out.stride : i*out.stride+out.cols]
+		for j := range ar {
+			or[j] = ar[j] - br[j]
+		}
+	}
+	return out
+}
+
+// Sum returns a + b as a newly allocated matrix.
+func Sum(a, b *Dense) *Dense {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("matrix: Sum %d×%d + %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		ar := a.data[i*a.stride : i*a.stride+a.cols]
+		br := b.data[i*b.stride : i*b.stride+b.cols]
+		or := out.data[i*out.stride : i*out.stride+out.cols]
+		for j := range ar {
+			or[j] = ar[j] + br[j]
+		}
+	}
+	return out
+}
+
+// MulVec returns a*x for a vector x of length a.Cols().
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("matrix: MulVec %d×%d by vector %d", a.rows, a.cols, len(x)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.stride : i*a.stride+a.cols]
+		sum := 0.0
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// SolveLowerUnit solves L*x = b in place over the columns of b, where L is
+// unit lower triangular (diagonal treated as 1; strictly-upper part of the
+// receiver ignored). b is overwritten with the solution.
+func (m *Dense) SolveLowerUnit(b *Dense) {
+	if m.rows != m.cols || m.rows != b.rows {
+		panic(fmt.Sprintf("matrix: SolveLowerUnit %d×%d with rhs %d×%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	n := m.rows
+	for i := 1; i < n; i++ {
+		li := m.data[i*m.stride : i*m.stride+i]
+		bi := b.data[i*b.stride : i*b.stride+b.cols]
+		for k := 0; k < i; k++ {
+			l := li[k]
+			if l == 0 {
+				continue
+			}
+			bk := b.data[k*b.stride : k*b.stride+b.cols]
+			for j := range bi {
+				bi[j] -= l * bk[j]
+			}
+		}
+	}
+}
+
+// SolveUpper solves U*x = b in place over the columns of b, where U is upper
+// triangular (strictly-lower part of the receiver ignored). Returns
+// ErrSingular if a diagonal entry is zero.
+func (m *Dense) SolveUpper(b *Dense) error {
+	if m.rows != m.cols || m.rows != b.rows {
+		panic(fmt.Sprintf("matrix: SolveUpper %d×%d with rhs %d×%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	n := m.rows
+	for i := n - 1; i >= 0; i-- {
+		d := m.data[i*m.stride+i]
+		if d == 0 {
+			return ErrSingular
+		}
+		ui := m.data[i*m.stride : i*m.stride+n]
+		bi := b.data[i*b.stride : i*b.stride+b.cols]
+		for k := i + 1; k < n; k++ {
+			u := ui[k]
+			if u == 0 {
+				continue
+			}
+			bk := b.data[k*b.stride : k*b.stride+b.cols]
+			for j := range bi {
+				bi[j] -= u * bk[j]
+			}
+		}
+		for j := range bi {
+			bi[j] /= d
+		}
+	}
+	return nil
+}
+
+// SolveUpperRight solves x*U = b in place over the rows of the receiver,
+// i.e. it overwrites m with m * U^{-1}. U must be square upper triangular
+// with m.Cols() == U.Rows(). This is the triangular update applied to the
+// U-panel rows during right-looking LU. Returns ErrSingular on a zero
+// diagonal.
+func (m *Dense) SolveUpperRight(u *Dense) error {
+	if u.rows != u.cols || m.cols != u.rows {
+		panic(fmt.Sprintf("matrix: SolveUpperRight %d×%d by %d×%d", m.rows, m.cols, u.rows, u.cols))
+	}
+	n := u.rows
+	for i := 0; i < n; i++ {
+		if u.data[i*u.stride+i] == 0 {
+			return ErrSingular
+		}
+	}
+	for r := 0; r < m.rows; r++ {
+		row := m.data[r*m.stride : r*m.stride+m.cols]
+		for j := 0; j < n; j++ {
+			sum := row[j]
+			for k := 0; k < j; k++ {
+				sum -= row[k] * u.data[k*u.stride+j]
+			}
+			row[j] = sum / u.data[j*u.stride+j]
+		}
+	}
+	return nil
+}
+
+// SolveLowerUnitRight overwrites m with m * L^{-1} for unit lower triangular
+// L (m.Cols() == L.Rows()). Used when replaying LU from the right.
+func (m *Dense) SolveLowerUnitRight(l *Dense) {
+	if l.rows != l.cols || m.cols != l.rows {
+		panic(fmt.Sprintf("matrix: SolveLowerUnitRight %d×%d by %d×%d", m.rows, m.cols, l.rows, l.cols))
+	}
+	n := l.rows
+	for r := 0; r < m.rows; r++ {
+		row := m.data[r*m.stride : r*m.stride+m.cols]
+		for j := n - 1; j >= 0; j-- {
+			sum := row[j]
+			for k := j + 1; k < n; k++ {
+				sum -= row[k] * l.data[k*l.stride+j]
+			}
+			row[j] = sum
+		}
+	}
+}

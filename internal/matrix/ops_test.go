@@ -1,0 +1,247 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulKnown(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewFromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := Mul(a, b)
+	want := NewFromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !got.Equal(want) {
+		t.Fatalf("Mul =\n%vwant\n%v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Random(5, 5, rng)
+	if !Mul(a, Identity(5)).EqualApprox(a, 1e-14) {
+		t.Fatal("A*I != A")
+	}
+	if !Mul(Identity(5), a).EqualApprox(a, 1e-14) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	Mul(New(2, 3), New(2, 3))
+}
+
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := 1 + int(uint(seed)%5)
+		k := 1 + int(uint(seed>>4)%5)
+		c := 1 + int(uint(seed>>8)%5)
+		k2 := 1 + int(uint(seed>>12)%5)
+		a := Random(r, k, rng)
+		b := Random(k, c, rng)
+		cc := Random(c, k2, rng)
+		left := Mul(Mul(a, b), cc)
+		right := Mul(a, Mul(b, cc))
+		return left.EqualApprox(right, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddMulAccumulates(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 0, 0, 1})
+	b := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	m := NewFromSlice(2, 2, []float64{10, 10, 10, 10})
+	m.AddMul(2, a, b)
+	want := NewFromSlice(2, 2, []float64{12, 14, 16, 18})
+	if !m.Equal(want) {
+		t.Fatalf("AddMul =\n%vwant\n%v", m, want)
+	}
+	// alpha = 0 must be a no-op.
+	before := m.Clone()
+	m.AddMul(0, a, b)
+	if !m.Equal(before) {
+		t.Fatal("AddMul with alpha=0 modified the receiver")
+	}
+}
+
+func TestSubSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := Random(3, 4, rng)
+	b := Random(3, 4, rng)
+	if !Sum(Sub(a, b), b).EqualApprox(a, 1e-14) {
+		t.Fatal("(a-b)+b != a")
+	}
+	d := Sub(a, a)
+	if d.MaxAbs() != 0 {
+		t.Fatal("a-a != 0")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := MulVec(a, []float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestSolveLowerUnit(t *testing.T) {
+	l := NewFromSlice(3, 3, []float64{
+		1, 0, 0,
+		2, 1, 0,
+		3, 4, 1,
+	})
+	x := NewFromSlice(3, 1, []float64{1, 1, 1})
+	b := Mul(l, x)
+	l.SolveLowerUnit(b)
+	if !b.EqualApprox(x, 1e-13) {
+		t.Fatalf("SolveLowerUnit: got %v", b)
+	}
+}
+
+func TestSolveLowerUnitIgnoresUpperAndDiag(t *testing.T) {
+	// Garbage above the diagonal and a non-1 diagonal must be ignored.
+	l := NewFromSlice(2, 2, []float64{
+		7, 99,
+		2, -5,
+	})
+	b := NewFromSlice(2, 1, []float64{1, 5})
+	l.SolveLowerUnit(b)
+	// Effective L = [[1,0],[2,1]]: x0=1, x1=5-2*1=3.
+	if b.At(0, 0) != 1 || b.At(1, 0) != 3 {
+		t.Fatalf("got %v", b)
+	}
+}
+
+func TestSolveUpper(t *testing.T) {
+	u := NewFromSlice(3, 3, []float64{
+		2, 1, -1,
+		0, 3, 2,
+		0, 0, 4,
+	})
+	x := NewFromSlice(3, 2, []float64{1, 2, -1, 0, 2, 1})
+	b := Mul(u, x)
+	if err := u.SolveUpper(b); err != nil {
+		t.Fatal(err)
+	}
+	if !b.EqualApprox(x, 1e-13) {
+		t.Fatalf("SolveUpper mismatch:\n%v", b)
+	}
+}
+
+func TestSolveUpperSingular(t *testing.T) {
+	u := NewFromSlice(2, 2, []float64{1, 2, 0, 0})
+	if err := u.SolveUpper(New(2, 1)); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveUpperRight(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	u := New(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := i; j < 3; j++ {
+			u.Set(i, j, 1+rng.Float64())
+		}
+	}
+	m := Random(4, 3, rng)
+	orig := m.Clone()
+	if err := m.SolveUpperRight(u); err != nil {
+		t.Fatal(err)
+	}
+	if !Mul(m, u).EqualApprox(orig, 1e-12) {
+		t.Fatal("SolveUpperRight: (m*U^{-1})*U != m")
+	}
+}
+
+func TestSolveUpperRightSingular(t *testing.T) {
+	u := NewFromSlice(2, 2, []float64{1, 5, 0, 0})
+	m := New(3, 2)
+	if err := m.SolveUpperRight(u); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLowerUnitRight(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < i; j++ {
+			l.Set(i, j, rng.Float64())
+		}
+	}
+	m := Random(2, 3, rng)
+	orig := m.Clone()
+	m.SolveLowerUnitRight(l)
+	if !Mul(m, l).EqualApprox(orig, 1e-12) {
+		t.Fatal("SolveLowerUnitRight: (m*L^{-1})*L != m")
+	}
+}
+
+func TestTriangularSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		n := 1 + int(uint(seed)%6)
+		u := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				u.Set(i, j, 0.5+rng.Float64())
+			}
+		}
+		x := Random(n, 2, rng)
+		b := Mul(u, x)
+		if err := u.SolveUpper(b); err != nil {
+			return false
+		}
+		return b.EqualApprox(x, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(4, 4, rand.New(rand.NewSource(42)))
+	b := Random(4, 4, rand.New(rand.NewSource(42)))
+	if !a.Equal(b) {
+		t.Fatal("Random is not deterministic for equal seeds")
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if v := a.At(i, j); v < -1 || v >= 1 {
+				t.Fatalf("Random entry %v outside [-1,1)", v)
+			}
+		}
+	}
+}
+
+func TestRandomRank1HasRankOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := RandomRank1(4, 5, rng)
+	// Every 2×2 minor must vanish.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			det := m.At(i, j)*m.At(i+1, j+1) - m.At(i, j+1)*m.At(i+1, j)
+			if math.Abs(det) > 1e-12 {
+				t.Fatalf("2×2 minor (%d,%d) = %v, want 0", i, j, det)
+			}
+		}
+	}
+}
+
+func TestRandomWellConditionedSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := RandomWellConditioned(8, rng)
+	if _, err := Factor(m); err != nil {
+		t.Fatalf("well-conditioned matrix reported singular: %v", err)
+	}
+}

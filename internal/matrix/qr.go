@@ -1,0 +1,158 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q*R for an m×n matrix with
+// m >= n: Q is m×m orthogonal, R is m×n upper trapezoidal.
+type QR struct {
+	// qr packs R in the upper triangle and the Householder vectors
+	// (below the diagonal, with implicit unit leading entry) elsewhere.
+	qr *Dense
+	// tau[k] is the scaling factor of the k-th Householder reflector
+	// H_k = I - tau_k * v_k * v_k^T.
+	tau []float64
+}
+
+// FactorQR computes the Householder QR factorization of a (m >= n required).
+// The input is not modified.
+func FactorQR(a *Dense) *QR {
+	m, n := a.rows, a.cols
+	if m < n {
+		panic(fmt.Sprintf("matrix: QR requires rows >= cols, got %d×%d", m, n))
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector annihilating qr[k+1:, k].
+		normx := 0.0
+		for i := k; i < m; i++ {
+			normx = math.Hypot(normx, qr.data[i*qr.stride+k])
+		}
+		if normx == 0 {
+			tau[k] = 0
+			continue
+		}
+		alpha := qr.data[k*qr.stride+k]
+		beta := -math.Copysign(normx, alpha)
+		// v = x - beta*e1, normalized so v[0] = 1.
+		v0 := alpha - beta
+		v[k] = 1
+		for i := k + 1; i < m; i++ {
+			v[i] = qr.data[i*qr.stride+k] / v0
+		}
+		// With v normalized so v[k]=1, H = I - tau*v*v^T maps x to beta*e1
+		// for tau = (beta - alpha)/beta.
+		tau[k] = (beta - alpha) / beta
+		if tau[k] == 0 {
+			continue
+		}
+		// Store R diagonal and the reflector below it.
+		qr.data[k*qr.stride+k] = beta
+		for i := k + 1; i < m; i++ {
+			qr.data[i*qr.stride+k] = v[i]
+		}
+		// Apply H_k to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			sum := qr.data[k*qr.stride+j]
+			for i := k + 1; i < m; i++ {
+				sum += v[i] * qr.data[i*qr.stride+j]
+			}
+			s := tau[k] * sum
+			qr.data[k*qr.stride+j] -= s
+			for i := k + 1; i < m; i++ {
+				qr.data[i*qr.stride+j] -= s * v[i]
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau}
+}
+
+// Packed returns the internal packed representation: R in the upper
+// triangle and the Householder reflector columns (implicit unit leading
+// entry) below the diagonal. The returned matrix is shared with the
+// factorization; callers must not modify it.
+func (f *QR) Packed() *Dense { return f.qr }
+
+// Tau returns the Householder scaling factors, shared with the
+// factorization.
+func (f *QR) Tau() []float64 { return f.tau }
+
+// R returns the upper trapezoidal factor as a new m×n matrix.
+func (f *QR) R() *Dense {
+	m, n := f.qr.rows, f.qr.cols
+	r := New(m, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.data[i*r.stride+j] = f.qr.data[i*f.qr.stride+j]
+		}
+	}
+	return r
+}
+
+// Q returns the full m×m orthogonal factor as a new matrix.
+func (f *QR) Q() *Dense {
+	m, n := f.qr.rows, f.qr.cols
+	q := Identity(m)
+	// Accumulate Q = H_0 H_1 ... H_{n-1} by applying reflectors in reverse.
+	for k := n - 1; k >= 0; k-- {
+		if f.tau[k] == 0 {
+			continue
+		}
+		for j := 0; j < m; j++ {
+			// w = v^T * q[:, j], with v = [0..0, 1, qr[k+1:, k]].
+			sum := q.data[k*q.stride+j]
+			for i := k + 1; i < m; i++ {
+				sum += f.qr.data[i*f.qr.stride+k] * q.data[i*q.stride+j]
+			}
+			s := f.tau[k] * sum
+			q.data[k*q.stride+j] -= s
+			for i := k + 1; i < m; i++ {
+				q.data[i*q.stride+j] -= s * f.qr.data[i*f.qr.stride+k]
+			}
+		}
+	}
+	return q
+}
+
+// QTMul overwrites b with Q^T * b. b must have m rows.
+func (f *QR) QTMul(b *Dense) {
+	m, n := f.qr.rows, f.qr.cols
+	if b.rows != m {
+		panic(fmt.Sprintf("matrix: QTMul with %d×%d rhs for %d-row Q", b.rows, b.cols, m))
+	}
+	for k := 0; k < n; k++ {
+		if f.tau[k] == 0 {
+			continue
+		}
+		for j := 0; j < b.cols; j++ {
+			sum := b.data[k*b.stride+j]
+			for i := k + 1; i < m; i++ {
+				sum += f.qr.data[i*f.qr.stride+k] * b.data[i*b.stride+j]
+			}
+			s := f.tau[k] * sum
+			b.data[k*b.stride+j] -= s
+			for i := k + 1; i < m; i++ {
+				b.data[i*b.stride+j] -= s * f.qr.data[i*f.qr.stride+k]
+			}
+		}
+	}
+}
+
+// SolveLeastSquares solves min ||A*x - b||_2 via the factorization,
+// returning the n×nrhs solution. Requires a full-rank R (ErrSingular
+// otherwise).
+func (f *QR) SolveLeastSquares(b *Dense) (*Dense, error) {
+	n := f.qr.cols
+	qtb := b.Clone()
+	f.QTMul(qtb)
+	top := qtb.Slice(0, n, 0, qtb.cols).Clone()
+	rTop := f.R().Slice(0, n, 0, n).Clone()
+	if err := rTop.SolveUpper(top); err != nil {
+		return nil, err
+	}
+	return top, nil
+}

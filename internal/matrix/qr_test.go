@@ -1,0 +1,138 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := Random(6, 4, rng)
+	f := FactorQR(a)
+	qr := Mul(f.Q(), f.R())
+	if !qr.EqualApprox(a, 1e-12) {
+		t.Fatalf("Q*R != A:\n%v\nvs\n%v", qr, a)
+	}
+}
+
+func TestQROrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := Random(5, 5, rng)
+	q := FactorQR(a).Q()
+	if !Mul(q.T(), q).EqualApprox(Identity(5), 1e-12) {
+		t.Fatal("Q^T Q != I")
+	}
+}
+
+func TestQRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r := FactorQR(Random(7, 5, rng)).R()
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5 && j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R(%d,%d) = %v below diagonal", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	f := func(seed int64) bool {
+		n := 1 + int(uint(seed)%6)
+		m := n + int(uint(seed>>8)%4)
+		a := Random(m, n, rng)
+		fac := FactorQR(a)
+		if !Mul(fac.Q(), fac.R()).EqualApprox(a, 1e-10) {
+			return false
+		}
+		q := fac.Q()
+		return Mul(q.T(), q).EqualApprox(Identity(m), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRZeroColumn(t *testing.T) {
+	a := NewFromSlice(3, 2, []float64{
+		0, 1,
+		0, 2,
+		0, 3,
+	})
+	f := FactorQR(a)
+	if !Mul(f.Q(), f.R()).EqualApprox(a, 1e-12) {
+		t.Fatal("QR of matrix with zero column failed")
+	}
+}
+
+func TestQRWideMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wide matrix")
+		}
+	}()
+	FactorQR(New(2, 3))
+}
+
+func TestQTMulMatchesQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	a := Random(5, 3, rng)
+	b := Random(5, 2, rng)
+	f := FactorQR(a)
+	viaQ := Mul(f.Q().T(), b)
+	inPlace := b.Clone()
+	f.QTMul(inPlace)
+	if !viaQ.EqualApprox(inPlace, 1e-12) {
+		t.Fatal("QTMul disagrees with explicit Q^T multiply")
+	}
+}
+
+func TestQRLeastSquares(t *testing.T) {
+	// Overdetermined consistent system: solution must be exact.
+	rng := rand.New(rand.NewSource(26))
+	a := Random(8, 3, rng)
+	want := Random(3, 1, rng)
+	b := Mul(a, want)
+	got, err := FactorQR(a).SolveLeastSquares(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualApprox(want, 1e-10) {
+		t.Fatalf("least squares: got\n%vwant\n%v", got, want)
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonal(t *testing.T) {
+	// For an inconsistent system the residual must be orthogonal to range(A).
+	rng := rand.New(rand.NewSource(27))
+	a := Random(10, 3, rng)
+	b := Random(10, 1, rng)
+	x, err := FactorQR(a).SolveLeastSquares(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Sub(Mul(a, x), b)
+	atr := Mul(a.T(), res)
+	if atr.MaxAbs() > 1e-10 {
+		t.Fatalf("A^T r = %v, want ~0", atr.MaxAbs())
+	}
+}
+
+func TestQRDetConsistency(t *testing.T) {
+	// |det(A)| = |prod diag(R)| for square A.
+	rng := rand.New(rand.NewSource(28))
+	a := Random(5, 5, rng)
+	luDet := math.Abs(mustFactor(t, a).Det())
+	r := FactorQR(a).R()
+	qrDet := 1.0
+	for i := 0; i < 5; i++ {
+		qrDet *= r.At(i, i)
+	}
+	qrDet = math.Abs(qrDet)
+	if math.Abs(luDet-qrDet)/math.Max(luDet, 1e-300) > 1e-9 {
+		t.Fatalf("|det| via LU %v vs via QR %v", luDet, qrDet)
+	}
+}

@@ -1,0 +1,333 @@
+// Package sim provides a virtual-time simulator for heterogeneous networks
+// of workstations (HNOWs), the evaluation substrate the paper's "simulation
+// measurements" rely on.
+//
+// The model follows §2.2 of the paper:
+//
+//   - each processor has a cycle-time (compute speed) and performs its
+//     communications sequentially (one NIC, serialized);
+//   - the interconnect is either a shared bus (standard Ethernet: all
+//     transfers in the network serialized) or switched (Myrinet-like:
+//     independent transfers proceed in parallel, limited only by the
+//     endpoints);
+//   - a message of s bytes costs Latency + s·ByteTime.
+//
+// Rather than a callback-driven event loop, the simulator uses explicit
+// virtual-time resource timelines: every resource (CPU, NIC, bus) is a
+// serialized timeline, and each operation reserves intervals on the
+// resources it occupies. Because the kernels' dependency graphs are known,
+// reserving in dependency order yields exactly the schedule an event-driven
+// simulation would produce, with far less machinery. Determinism is total:
+// the same inputs give bit-identical schedules.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Timeline is a serialized resource in virtual time. The zero value is a
+// free resource at time 0.
+type Timeline struct {
+	freeAt float64
+	busy   float64
+}
+
+// Reserve books the resource for dur time units starting no earlier than
+// ready and no earlier than the resource's previous reservation, returning
+// the start and end of the booked interval.
+func (t *Timeline) Reserve(ready, dur float64) (start, end float64) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative duration %v", dur))
+	}
+	start = math.Max(ready, t.freeAt)
+	end = start + dur
+	t.freeAt = end
+	t.busy += dur
+	return start, end
+}
+
+// FreeAt returns the end of the last reservation.
+func (t *Timeline) FreeAt() float64 { return t.freeAt }
+
+// Busy returns the total reserved duration.
+func (t *Timeline) Busy() float64 { return t.busy }
+
+// Config describes the communication fabric.
+type Config struct {
+	// Latency is the fixed per-message cost (α).
+	Latency float64
+	// ByteTime is the per-byte transfer cost (β, inverse bandwidth).
+	ByteTime float64
+	// SharedBus serializes every transfer in the network (Ethernet). When
+	// false the network is switched and transfers contend only for their
+	// endpoints' NICs.
+	SharedBus bool
+	// FullDuplex gives every node independent send and receive channels: a
+	// node can forward one message while receiving the next, the property
+	// pipelined ring broadcasts exploit. The default (half duplex) runs
+	// all of a node's communication through one serialized NIC, matching
+	// the paper's "communications performed by one processor are
+	// sequential" model.
+	FullDuplex bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Latency < 0 {
+		return fmt.Errorf("sim: negative latency %v", c.Latency)
+	}
+	if c.ByteTime < 0 {
+		return fmt.Errorf("sim: negative byte time %v", c.ByteTime)
+	}
+	return nil
+}
+
+// Stats accumulates traffic and utilization counters for a simulation run.
+type Stats struct {
+	Messages  int
+	Bytes     float64
+	NodeBusy  []float64 // compute-busy time per node
+	NICBusy   []float64 // communication-busy time per node
+	BusBusy   float64   // shared bus occupancy (0 for switched networks)
+	Makespan  float64   // completion time of the whole run
+	CompBound float64   // max over nodes of pure compute time (lower bound)
+}
+
+// Cluster is a set of nodes with CPU and NIC timelines over a common
+// network. Node identifiers are 0..N-1; grid mapping is the caller's
+// concern.
+type Cluster struct {
+	cfg  Config
+	cpus []Timeline
+	// nics serializes all communication per node in half-duplex mode and
+	// doubles as the send channel in full-duplex mode, where nicsIn
+	// provides the independent receive channel.
+	nics   []Timeline
+	nicsIn []Timeline
+	bus    Timeline
+	msgs   int
+	bytes  float64
+	trace  *Trace
+	label  string
+}
+
+// NewCluster returns a cluster of n idle nodes.
+func NewCluster(n int, cfg Config) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: invalid node count %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:  cfg,
+		cpus: make([]Timeline, n),
+		nics: make([]Timeline, n),
+	}
+	if cfg.FullDuplex {
+		c.nicsIn = make([]Timeline, n)
+	}
+	return c, nil
+}
+
+// rxNIC returns the receive channel of a node.
+func (c *Cluster) rxNIC(node int) *Timeline {
+	if c.cfg.FullDuplex {
+		return &c.nicsIn[node]
+	}
+	return &c.nics[node]
+}
+
+// N returns the number of nodes.
+func (c *Cluster) N() int { return len(c.cpus) }
+
+// Config returns the communication configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Compute reserves dur time units of CPU on node, starting when both the
+// dependency time ready and the CPU allow, and returns the completion time.
+func (c *Cluster) Compute(node int, ready, dur float64) float64 {
+	c.checkNode(node)
+	start, end := c.cpus[node].Reserve(ready, dur)
+	c.record(Op{Kind: OpCompute, Node: node, Peer: -1, Start: start, End: end})
+	return end
+}
+
+// Send transfers bytes from src to dst, starting when ready, the source
+// NIC, the destination NIC (and the bus, on shared networks) are all
+// available, and returns the arrival time. A self-send is free and
+// instantaneous (local data).
+func (c *Cluster) Send(src, dst int, bytes, ready float64) float64 {
+	c.checkNode(src)
+	c.checkNode(dst)
+	if bytes < 0 {
+		panic(fmt.Sprintf("sim: negative message size %v", bytes))
+	}
+	if src == dst {
+		return ready
+	}
+	dur := c.cfg.Latency + bytes*c.cfg.ByteTime
+	rx := c.rxNIC(dst)
+	start := math.Max(ready, math.Max(c.nics[src].FreeAt(), rx.FreeAt()))
+	if c.cfg.SharedBus {
+		start = math.Max(start, c.bus.FreeAt())
+	}
+	c.nics[src].Reserve(start, dur)
+	rx.Reserve(start, dur)
+	if c.cfg.SharedBus {
+		c.bus.Reserve(start, dur)
+	}
+	c.msgs++
+	c.bytes += bytes
+	c.record(Op{Kind: OpSend, Node: src, Peer: dst, Start: start, End: start + dur, Bytes: bytes})
+	return start + dur
+}
+
+// CPUFreeAt returns the time node's CPU becomes free.
+func (c *Cluster) CPUFreeAt(node int) float64 {
+	c.checkNode(node)
+	return c.cpus[node].FreeAt()
+}
+
+// Makespan returns the latest completion time over every resource.
+func (c *Cluster) Makespan() float64 {
+	m := c.bus.FreeAt()
+	for i := range c.cpus {
+		m = math.Max(m, c.cpus[i].FreeAt())
+		m = math.Max(m, c.nics[i].FreeAt())
+		if c.nicsIn != nil {
+			m = math.Max(m, c.nicsIn[i].FreeAt())
+		}
+	}
+	return m
+}
+
+// Snapshot returns the accumulated statistics. CompBound is the maximum
+// compute-busy time over nodes: no schedule can finish before it.
+func (c *Cluster) Snapshot() *Stats {
+	s := &Stats{
+		Messages: c.msgs,
+		Bytes:    c.bytes,
+		NodeBusy: make([]float64, len(c.cpus)),
+		NICBusy:  make([]float64, len(c.nics)),
+		BusBusy:  c.bus.Busy(),
+		Makespan: c.Makespan(),
+	}
+	for i := range c.cpus {
+		s.NodeBusy[i] = c.cpus[i].Busy()
+		s.NICBusy[i] = c.nics[i].Busy()
+		if c.nicsIn != nil {
+			s.NICBusy[i] += c.nicsIn[i].Busy()
+		}
+		if s.NodeBusy[i] > s.CompBound {
+			s.CompBound = s.NodeBusy[i]
+		}
+	}
+	return s
+}
+
+func (c *Cluster) checkNode(node int) {
+	if node < 0 || node >= len(c.cpus) {
+		panic(fmt.Sprintf("sim: node %d out of range %d", node, len(c.cpus)))
+	}
+}
+
+// BroadcastKind selects how one-to-many transfers are realized.
+type BroadcastKind int
+
+const (
+	// StarBroadcast sends from the root to every receiver one after the
+	// other through the root's (sequential) NIC — the basic model matching
+	// "the communications performed by one processor are sequential".
+	StarBroadcast BroadcastKind = iota
+	// RingBroadcast forwards the message along the receiver list:
+	// root → recv[0] → recv[1] → …, the pipelined ring of the ScaLAPACK
+	// row/column broadcasts.
+	RingBroadcast
+	// TreeBroadcast uses a binomial tree over {root} ∪ receivers: informed
+	// nodes keep re-sending to uninformed ones, halving the rounds (the
+	// "minimum spanning tree topology" of the paper's LU description).
+	TreeBroadcast
+	// SegmentedRingBroadcast splits the message into segments pipelined
+	// along the ring: while a node forwards segment s, its predecessor
+	// already sends it segment s+1. For long chains and large messages the
+	// completion time approaches one message time plus one segment per hop
+	// instead of one full message per hop — the pipelined ring the paper's
+	// §3.1.1 relies on ("broadcasts are performed as independent ring
+	// broadcasts, hence they can be pipelined").
+	SegmentedRingBroadcast
+)
+
+// BroadcastSegments is the segment count used by SegmentedRingBroadcast.
+// ScaLAPACK tunes this to the platform; 8 is a reasonable default for the
+// virtual fabric.
+const BroadcastSegments = 8
+
+// Broadcast delivers bytes from root to each receiver, returning each
+// receiver's arrival time keyed by node id. Receivers equal to the root are
+// delivered at ready. The schedule respects NIC serialization, so
+// overlapping broadcasts contend realistically.
+func (c *Cluster) Broadcast(kind BroadcastKind, root int, receivers []int, bytes, ready float64) map[int]float64 {
+	arrival := map[int]float64{root: ready}
+	var targets []int
+	for _, r := range receivers {
+		if r != root {
+			if _, dup := arrival[r]; !dup {
+				arrival[r] = -1 // mark pending
+				targets = append(targets, r)
+			}
+		}
+	}
+	switch kind {
+	case StarBroadcast:
+		for _, r := range targets {
+			arrival[r] = c.Send(root, r, bytes, ready)
+		}
+	case RingBroadcast:
+		prev := root
+		at := ready
+		for _, r := range targets {
+			at = c.Send(prev, r, bytes, at)
+			arrival[r] = at
+			prev = r
+		}
+	case SegmentedRingBroadcast:
+		// Pipeline BroadcastSegments chunks along the chain. segDone[i] is
+		// when node chain[i] has fully received segment s of the previous
+		// iteration; NIC serialization in Send provides the pipeline
+		// hazards automatically.
+		chain := append([]int{root}, targets...)
+		segBytes := bytes / BroadcastSegments
+		done := make([]float64, len(chain))
+		for i := range done {
+			done[i] = ready
+		}
+		for s := 0; s < BroadcastSegments; s++ {
+			for i := 1; i < len(chain); i++ {
+				done[i] = c.Send(chain[i-1], chain[i], segBytes, done[i-1])
+			}
+		}
+		for i := 1; i < len(chain); i++ {
+			arrival[chain[i]] = done[i]
+		}
+	case TreeBroadcast:
+		informed := []int{root}
+		pending := append([]int(nil), targets...)
+		for len(pending) > 0 {
+			// Each informed node sends to one pending node per round; the
+			// per-node NIC serialization in Send keeps timing honest.
+			n := len(informed)
+			for k := 0; k < n && len(pending) > 0; k++ {
+				src := informed[k]
+				dst := pending[0]
+				pending = pending[1:]
+				arrival[dst] = c.Send(src, dst, bytes, arrival[src])
+				informed = append(informed, dst)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown broadcast kind %d", kind))
+	}
+	return arrival
+}

@@ -1,0 +1,30 @@
+package spantree
+
+import "testing"
+
+func BenchmarkEnumerateK33(b *testing.B) {
+	g := CompleteBipartite(3, 3)
+	for i := 0; i < b.N; i++ {
+		if got := Count(g); got != 81 {
+			b.Fatalf("count %d", got)
+		}
+	}
+}
+
+func BenchmarkEnumerateK34(b *testing.B) {
+	g := CompleteBipartite(3, 4)
+	for i := 0; i < b.N; i++ {
+		if got := Count(g); got != 432 {
+			b.Fatalf("count %d", got)
+		}
+	}
+}
+
+func BenchmarkEnumerateK44(b *testing.B) {
+	g := CompleteBipartite(4, 4)
+	for i := 0; i < b.N; i++ {
+		if got := Count(g); got != 4096 {
+			b.Fatalf("count %d", got)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package spantree enumerates spanning trees of small connected graphs.
+//
+// The exact solver of Beaumont et al. (§4.3.1) walks every spanning tree of
+// the complete bipartite graph K_{p,q} whose vertices are the row variables
+// r_1..r_p and column variables c_1..c_q: each tree fixes a candidate
+// solution by turning the tree's inequalities r_i·t_ij·c_j ≤ 1 into
+// equalities. K_{p,q} has p^{q-1}·q^{p-1} spanning trees, so enumeration is
+// exponential — exactly as the paper states — but constructive and feasible
+// for the small grids the exact method targets.
+//
+// The enumerator uses include/exclude backtracking over the edge list with a
+// union-find for cycle detection and a connectivity-based pruning bound, so
+// every spanning tree is produced exactly once and dead branches are cut
+// early.
+package spantree
+
+import "fmt"
+
+// Edge is an undirected edge between vertices U and V.
+type Edge struct {
+	U, V int
+}
+
+// Graph is an undirected graph on vertices 0..N-1 with an explicit edge
+// list. Parallel edges are permitted and are treated as distinct.
+type Graph struct {
+	N     int
+	Edges []Edge
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("spantree: negative vertex count %d", n))
+	}
+	return &Graph{N: n}
+}
+
+// AddEdge appends an undirected edge {u, v} and returns its index.
+func (g *Graph) AddEdge(u, v int) int {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		panic(fmt.Sprintf("spantree: edge (%d,%d) out of range for %d vertices", u, v, g.N))
+	}
+	if u == v {
+		panic(fmt.Sprintf("spantree: self-loop at %d", u))
+	}
+	g.Edges = append(g.Edges, Edge{U: u, V: v})
+	return len(g.Edges) - 1
+}
+
+// CompleteBipartite returns K_{p,q}: vertices 0..p-1 are the "row" side,
+// p..p+q-1 the "column" side, with edges added in row-major order so that
+// the edge index of (i, j) is i*q + j.
+func CompleteBipartite(p, q int) *Graph {
+	g := NewGraph(p + q)
+	for i := 0; i < p; i++ {
+		for j := 0; j < q; j++ {
+			g.AddEdge(i, p+j)
+		}
+	}
+	return g
+}
+
+// unionFind is a standard disjoint-set with path halving and union by size,
+// plus an undo log so the backtracking enumerator can roll back unions.
+type unionFind struct {
+	parent []int
+	size   []int
+	comps  int
+	log    []ufOp
+}
+
+type ufOp struct {
+	child, parent int // child was attached to parent
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n), comps: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// find returns the representative without path compression (compression
+// would complicate undo; the graphs here are tiny).
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b. It reports whether a merge happened and
+// records it for undo.
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	uf.comps--
+	uf.log = append(uf.log, ufOp{child: rb, parent: ra})
+	return true
+}
+
+// undo rolls back the most recent union.
+func (uf *unionFind) undo() {
+	op := uf.log[len(uf.log)-1]
+	uf.log = uf.log[:len(uf.log)-1]
+	uf.parent[op.child] = op.child
+	uf.size[op.parent] -= uf.size[op.child]
+	uf.comps++
+}
+
+// Enumerate calls visit once for every spanning tree of g, passing the
+// sorted indices (into g.Edges) of the tree's edges. The slice is reused
+// between calls; visit must copy it to retain it. If visit returns false the
+// enumeration stops early. Enumerate returns the number of trees visited.
+//
+// A graph with fewer than 2 vertices has exactly one (empty) spanning tree.
+// A disconnected graph has none.
+func Enumerate(g *Graph, visit func(edges []int) bool) int {
+	if g.N <= 1 {
+		if visit == nil || visit(nil) {
+			return 1
+		}
+		return 0
+	}
+	need := g.N - 1
+	if len(g.Edges) < need {
+		return 0
+	}
+	uf := newUnionFind(g.N)
+	chosen := make([]int, 0, need)
+	count := 0
+	stopped := false
+
+	// remaining connectivity check: can the edges from index idx onward,
+	// together with the current partial forest, still connect the graph?
+	canConnect := func(idx int) bool {
+		probe := newUnionFind(g.N)
+		// Replay current forest.
+		for _, e := range chosen {
+			probe.union(g.Edges[e].U, g.Edges[e].V)
+		}
+		for i := idx; i < len(g.Edges) && probe.comps > 1; i++ {
+			probe.union(g.Edges[i].U, g.Edges[i].V)
+		}
+		return probe.comps == 1
+	}
+
+	var rec func(idx int)
+	rec = func(idx int) {
+		if stopped {
+			return
+		}
+		if len(chosen) == need {
+			count++
+			if visit != nil && !visit(chosen) {
+				stopped = true
+			}
+			return
+		}
+		// Not enough edges left to finish the tree.
+		if len(g.Edges)-idx < need-len(chosen) {
+			return
+		}
+		e := g.Edges[idx]
+		// Branch 1: include edge idx if it joins two components.
+		if uf.union(e.U, e.V) {
+			chosen = append(chosen, idx)
+			rec(idx + 1)
+			chosen = chosen[:len(chosen)-1]
+			uf.undo()
+		}
+		// Branch 2: exclude edge idx, but only if connectivity remains
+		// achievable without it.
+		if canConnect(idx + 1) {
+			rec(idx + 1)
+		}
+	}
+	rec(0)
+	return count
+}
+
+// Count returns the number of spanning trees of g, computed by enumeration.
+// For K_{p,q} the closed form p^{q-1}·q^{p-1} is available via
+// CountCompleteBipartite and is used by tests to cross-check this function.
+func Count(g *Graph) int {
+	return Enumerate(g, nil)
+}
+
+// CountCompleteBipartite returns the number of spanning trees of K_{p,q},
+// p^{q-1} * q^{p-1} (Scoins' formula). Panics on overflow-scale inputs
+// (result must fit an int).
+func CountCompleteBipartite(p, q int) int {
+	if p <= 0 || q <= 0 {
+		return 0
+	}
+	result := 1
+	for i := 0; i < q-1; i++ {
+		result = mulCheck(result, p)
+	}
+	for i := 0; i < p-1; i++ {
+		result = mulCheck(result, q)
+	}
+	return result
+}
+
+func mulCheck(a, b int) int {
+	c := a * b
+	if a != 0 && c/a != b {
+		panic("spantree: spanning tree count overflows int")
+	}
+	return c
+}
+
+// AdjacencyFromTree converts a set of edge indices (as produced by
+// Enumerate) into an adjacency list on g's vertices. Useful for walking the
+// tree to propagate variable values.
+func AdjacencyFromTree(g *Graph, edges []int) [][]int {
+	adj := make([][]int, g.N)
+	for _, ei := range edges {
+		e := g.Edges[ei]
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	return adj
+}

@@ -1,0 +1,54 @@
+package svd
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/matrix"
+)
+
+func positiveMatrix(n int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 0.1+rng.Float64())
+		}
+	}
+	return m
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(label(n), func(b *testing.B) {
+			a := positiveMatrix(n, int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Decompose(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDominantTriple(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(label(n), func(b *testing.B) {
+			a := positiveMatrix(n, int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := DominantTriple(a, 1e-13, 2000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func label(n int) string {
+	if n < 10 {
+		return "n0" + string(rune('0'+n))
+	}
+	return "n" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
