@@ -1,0 +1,137 @@
+// Command benchexact measures the exact solver's three execution modes —
+// exhaustive (no pruning, the pre-branch-and-bound baseline), serial
+// branch-and-bound, and parallel branch-and-bound — on the grid sizes the
+// paper's exact method targets, and emits the results as JSON. The committed
+// BENCH_exact.json baseline is produced by this command.
+//
+// Usage:
+//
+//	benchexact                 # print JSON to stdout
+//	benchexact -o BENCH_exact.json -reps 5 -workers 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"hetgrid/internal/core"
+)
+
+// Result is one (grid, mode) measurement. NsPerOp is the best of -reps runs
+// (benchmark convention: least-noise estimate of the true cost).
+type Result struct {
+	Grid         string  `json:"grid"`
+	Mode         string  `json:"mode"`
+	Workers      int     `json:"workers"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	TreesVisited int     `json:"trees_visited"`
+	TreesTotal   int     `json:"trees_theoretical"`
+	PruneRatio   float64 `json:"prune_ratio"`
+	SpeedupVsRef float64 `json:"speedup_vs_noprune"`
+}
+
+type output struct {
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Reps       int      `json:"reps"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchexact: ")
+	var (
+		outFlag     = flag.String("o", "", "write JSON to this file (default: stdout)")
+		repsFlag    = flag.Int("reps", 5, "repetitions per measurement (best is reported)")
+		workersFlag = flag.Int("workers", 8, "worker count for the parallel mode")
+		seedFlag    = flag.Int64("seed", 11, "random seed for the cycle-times")
+	)
+	flag.Parse()
+	if *repsFlag < 1 {
+		log.Fatalf("-reps must be at least 1, got %d", *repsFlag)
+	}
+
+	modes := []struct {
+		name string
+		opts core.ExactOptions
+	}{
+		{"noprune", core.ExactOptions{Workers: 1, NoPrune: true}},
+		{"serial", core.ExactOptions{Workers: 1}},
+		{"parallel", core.ExactOptions{Workers: *workersFlag}},
+	}
+	out := output{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Reps: *repsFlag}
+	for _, dims := range [][2]int{{2, 3}, {3, 3}, {3, 4}} {
+		p, q := dims[0], dims[1]
+		times := randomTimes(p*q, *seedFlag)
+		var refNs int64
+		for _, m := range modes {
+			ns, stats, err := measure(times, p, q, m.opts, *repsFlag)
+			if err != nil {
+				log.Fatalf("%dx%d %s: %v", p, q, m.name, err)
+			}
+			if m.name == "noprune" {
+				refNs = ns
+			}
+			workers := m.opts.Workers
+			out.Results = append(out.Results, Result{
+				Grid:         fmt.Sprintf("%dx%d", p, q),
+				Mode:         m.name,
+				Workers:      workers,
+				NsPerOp:      ns,
+				TreesVisited: stats.TreesVisited,
+				TreesTotal:   stats.TreesTheoretical,
+				PruneRatio:   stats.PruneRatio(),
+				SpeedupVsRef: float64(refNs) / float64(ns),
+			})
+		}
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *outFlag == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *outFlag)
+}
+
+// measure times one solver configuration, returning the best wall time over
+// reps runs and the (run-invariant) search statistics.
+func measure(times []float64, p, q int, opts core.ExactOptions, reps int) (int64, *core.ExactStats, error) {
+	var best int64
+	var stats *core.ExactStats
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		_, s, err := core.SolveGlobalExactOpt(times, p, q, opts)
+		ns := time.Since(start).Nanoseconds()
+		if err != nil {
+			return 0, nil, err
+		}
+		if stats == nil || ns < best {
+			best, stats = ns, s
+		}
+	}
+	return best, stats, nil
+}
+
+// randomTimes mirrors the generator the core benchmarks use, so the JSON
+// baseline and `go test -bench` measure the same inputs.
+func randomTimes(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = 0.05 + rng.Float64()
+	}
+	return times
+}

@@ -31,6 +31,7 @@ func main() {
 		kernelFlag   = flag.String("kernel", "matmul", "kernel the layout targets: matmul, lu, qr, cholesky")
 		nbFlag       = flag.Int("nb", 0, "render the owner map for an nb x nb block matrix (0 = skip)")
 		checkFlag    = flag.Bool("check", false, "numerically execute the kernel under the layout and verify the result")
+		workersFlag  = flag.Int("workers", 0, "worker goroutines for the exact strategy (0 = GOMAXPROCS, 1 = serial; result is identical either way)")
 	)
 	flag.Parse()
 
@@ -53,13 +54,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		plan, err = hetgrid.BalanceArrangement(rows, strategy)
+		plan, err = hetgrid.BalanceArrangementOpts(rows, strategy, hetgrid.BalanceOptions{Workers: *workersFlag})
 		if err != nil {
 			log.Fatal(err)
 		}
 		*pFlag, *qFlag = len(rows), len(rows[0])
 	} else {
-		plan, err = hetgrid.Balance(times, *pFlag, *qFlag, strategy)
+		plan, err = hetgrid.BalanceOpts(times, *pFlag, *qFlag, strategy, hetgrid.BalanceOptions{Workers: *workersFlag})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -31,7 +31,8 @@ func main() {
 		only   = flag.String("only", "", "regenerate one artifact: fig1, fig3, fig4, fig6, fig7, fig8, example, exact, mm-lu, shapes, ablation")
 		trials = flag.Int("trials", 200, "random trials per grid size for Figures 6-8")
 		maxN   = flag.Int("maxn", 8, "largest n for the n×n sweeps of Figures 6-8")
-		seed   = flag.Int64("seed", 20000501, "random seed (defaults to the IPPS 2000 date)")
+		seed    = flag.Int64("seed", 20000501, "random seed (defaults to the IPPS 2000 date)")
+		workers = flag.Int("workers", 0, "worker goroutines for the exact solver (0 = GOMAXPROCS; output is identical for any count)")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -44,7 +45,7 @@ func main() {
 		"fig4":     func() error { return fig4(*outDir) },
 		"fig6":     nil, // handled jointly with fig7/fig8 below
 		"example":  func() error { return workedExample(*outDir) },
-		"exact":    func() error { return exactTable(*outDir, *seed) },
+		"exact":    func() error { return exactTable(*outDir, *seed, *workers) },
 		"mm-lu":    func() error { return simTable(*outDir) },
 		"shapes":   func() error { return shapeTable(*outDir, *seed) },
 		"ablation": func() error { return ablationTables(*outDir) },
@@ -264,11 +265,11 @@ func oneDimLUTable(outDir string) error {
 
 // exactTable compares the heuristic against the exact solver on small
 // grids (enabled by the §4.3.1 spanning-tree method).
-func exactTable(outDir string, seed int64) error {
+func exactTable(outDir string, seed int64, workers int) error {
 	fmt.Println("== heuristic vs exact (spanning-tree solver) ==")
 	var csv string
 	for _, dims := range [][2]int{{2, 2}, {2, 3}, {3, 3}} {
-		cmp, err := experiments.RunExactComparison(dims[0], dims[1], 25, seed)
+		cmp, err := experiments.RunExactComparisonOpt(dims[0], dims[1], 25, seed, workers)
 		if err != nil {
 			return err
 		}

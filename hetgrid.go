@@ -105,10 +105,26 @@ type Plan struct {
 	Tau float64
 }
 
+// BalanceOptions tunes how Balance and BalanceArrangement solve the
+// load-balancing problem. The zero value selects the defaults.
+type BalanceOptions struct {
+	// Workers is the number of worker goroutines the exact strategy uses
+	// for its branch-and-bound search (0 selects GOMAXPROCS, 1 forces the
+	// serial path). The result is bit-identical for every worker count.
+	// Ignored by the heuristic and rank-1 strategies, which are already
+	// polynomial.
+	Workers int
+}
+
 // Balance arranges the given cycle-times on a p×q grid and computes the
 // load-balancing shares with the chosen strategy. len(times) must equal
 // p·q and every cycle-time must be positive.
 func Balance(times []float64, p, q int, strategy Strategy) (*Plan, error) {
+	return BalanceOpts(times, p, q, strategy, BalanceOptions{})
+}
+
+// BalanceOpts is Balance with explicit options.
+func BalanceOpts(times []float64, p, q int, strategy Strategy, opts BalanceOptions) (*Plan, error) {
 	switch strategy {
 	case StrategyAuto:
 		if arr, err := grid.RowMajor(times, p, q); err == nil {
@@ -116,7 +132,7 @@ func Balance(times []float64, p, q int, strategy Strategy) (*Plan, error) {
 				return &Plan{sol: sol, Iterations: 1, Converged: true}, nil
 			}
 		}
-		return Balance(times, p, q, StrategyHeuristic)
+		return BalanceOpts(times, p, q, StrategyHeuristic, opts)
 	case StrategyHeuristic:
 		res, err := core.SolveHeuristic(times, p, q, core.HeuristicOptions{})
 		if err != nil {
@@ -124,7 +140,7 @@ func Balance(times []float64, p, q int, strategy Strategy) (*Plan, error) {
 		}
 		return &Plan{sol: res.Solution, Iterations: res.Iterations, Converged: res.Converged, Tau: res.Tau}, nil
 	case StrategyExact:
-		sol, _, err := core.SolveGlobalExact(times, p, q)
+		sol, _, err := core.SolveGlobalExactOpt(times, p, q, core.ExactOptions{Workers: opts.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -142,13 +158,18 @@ func Balance(times []float64, p, q int, strategy Strategy) (*Plan, error) {
 // StrategyAuto run one rank-1 approximation step (no re-sorting, which
 // would move the machines).
 func BalanceArrangement(rows [][]float64, strategy Strategy) (*Plan, error) {
+	return BalanceArrangementOpts(rows, strategy, BalanceOptions{})
+}
+
+// BalanceArrangementOpts is BalanceArrangement with explicit options.
+func BalanceArrangementOpts(rows [][]float64, strategy Strategy, opts BalanceOptions) (*Plan, error) {
 	arr, err := grid.New(rows)
 	if err != nil {
 		return nil, err
 	}
 	switch strategy {
 	case StrategyExact:
-		sol, _, err := core.SolveArrangementExact(arr)
+		sol, _, err := core.SolveArrangementExactOpt(arr, core.ExactOptions{Workers: opts.Workers})
 		if err != nil {
 			return nil, err
 		}

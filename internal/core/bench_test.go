@@ -73,6 +73,38 @@ func BenchmarkSolveGlobalExact3x3(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveGlobalExact compares the exhaustive seed-equivalent search
+// (noprune, workers=1), the serial branch-and-bound, and the parallel solver
+// at 8 workers, on the grid sizes the paper's exact method targets. The
+// acceptance bar for the parallel path is ≥3× over noprune on 3×4.
+func BenchmarkSolveGlobalExact(b *testing.B) {
+	modes := []struct {
+		name string
+		opts ExactOptions
+	}{
+		{"noprune", ExactOptions{Workers: 1, NoPrune: true}},
+		{"serial", ExactOptions{Workers: 1}},
+		{"parallel8", ExactOptions{Workers: 8}},
+	}
+	for _, dims := range [][2]int{{2, 3}, {3, 3}, {3, 4}} {
+		p, q := dims[0], dims[1]
+		times := randomTimes(p*q, 11)
+		for _, m := range modes {
+			b.Run(gridLabel(p, q)+"/"+m.name, func(b *testing.B) {
+				var visited int
+				for i := 0; i < b.N; i++ {
+					_, stats, err := SolveGlobalExactOpt(times, p, q, m.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					visited = stats.TreesVisited
+				}
+				b.ReportMetric(float64(visited), "trees/op")
+			})
+		}
+	}
+}
+
 func BenchmarkChooseShape(b *testing.B) {
 	times := randomTimes(16, 13)
 	for i := 0; i < b.N; i++ {

@@ -15,151 +15,502 @@ import (
 // reported only if numerical breakdown prevents every tree from validating.
 var ErrNoAcceptableTree = errors.New("core: no acceptable spanning tree found")
 
-// ExactStats reports the work done by an exact solver.
+// ExactStats reports the work done by an exact solver. All counters are
+// deterministic for a given input: they do not depend on the worker count or
+// on scheduling, except BranchesPruned, which depends on how the tree search
+// was partitioned (a branch cut inside several partitions counts once per
+// partition).
 type ExactStats struct {
-	// TreesVisited is the number of spanning trees generated.
+	// TreesVisited is the number of complete spanning trees generated. With
+	// pruning enabled, enumeration branches whose partial trees already
+	// violate a constraint are cut before completion, so this is at most —
+	// and usually far below — TreesTheoretical.
 	TreesVisited int
-	// TreesAcceptable is how many of them satisfied all constraints.
+	// TreesAcceptable is how many visited trees satisfied all constraints.
 	TreesAcceptable int
-	// Arrangements is the number of arrangements searched (1 for the
+	// Arrangements is the number of non-decreasing arrangements examined,
+	// including arrangements skipped by the upper bound (1 for the
 	// fixed-arrangement solver).
 	Arrangements int
+	// ArrangementsPruned counts arrangements skipped entirely because their
+	// rank-1 upper bound could not beat the heuristic-seeded lower bound.
+	ArrangementsPruned int
+	// BranchesPruned counts enumeration subtrees cut by the incremental
+	// feasibility check (each veto skips every spanning tree extending the
+	// partial selection).
+	BranchesPruned int
+	// TreesTheoretical is the full spanning-tree count p^(q-1)·q^(p-1)
+	// summed over every arrangement examined — the work an unpruned search
+	// would do.
+	TreesTheoretical int
+}
+
+// PruneRatio returns the fraction of the theoretical tree search avoided by
+// pruning: 1 − TreesVisited/TreesTheoretical (0 when nothing is known).
+func (s *ExactStats) PruneRatio() float64 {
+	if s.TreesTheoretical == 0 {
+		return 0
+	}
+	return 1 - float64(s.TreesVisited)/float64(s.TreesTheoretical)
+}
+
+// Add accumulates o into s.
+func (s *ExactStats) Add(o *ExactStats) {
+	s.TreesVisited += o.TreesVisited
+	s.TreesAcceptable += o.TreesAcceptable
+	s.Arrangements += o.Arrangements
+	s.ArrangementsPruned += o.ArrangementsPruned
+	s.BranchesPruned += o.BranchesPruned
+	s.TreesTheoretical += o.TreesTheoretical
+}
+
+// ExactOptions tunes the exact solvers. The zero value selects the pruned
+// serial solver.
+type ExactOptions struct {
+	// Workers is the number of concurrent workers for the global search.
+	// 0 selects runtime.GOMAXPROCS(0); 1 forces the serial path. The result
+	// is bit-identical for every worker count.
+	Workers int
+	// NoPrune disables both the incremental feasibility pruning and the
+	// upper-bound arrangement skipping, restoring the exhaustive search.
+	// Intended for cross-checks and baselines.
+	NoPrune bool
+}
+
+// exactCandidate is a candidate optimum with the full deterministic
+// tie-break key: higher objective wins; on exactly equal objectives the
+// lexicographically smaller key wins, where the key is the arrangement's
+// position in enumeration order (arrangements stream in lexicographic
+// row-major order) followed by the tree's sorted edge-index sequence. The
+// serial and parallel solvers share this total order, which is what makes
+// their results bit-identical regardless of scheduling.
+type exactCandidate struct {
+	obj    float64
+	arrSeq int
+	edges  []int
+	arr    *grid.Arrangement
+	r, c   []float64
+}
+
+// betterThan reports whether a beats b under the deterministic total order.
+// A nil b never wins.
+func (a *exactCandidate) betterThan(b *exactCandidate) bool {
+	if b == nil || b.arr == nil {
+		return true
+	}
+	if a.obj != b.obj {
+		return a.obj > b.obj
+	}
+	if a.arrSeq != b.arrSeq {
+		return a.arrSeq < b.arrSeq
+	}
+	for i := range a.edges {
+		if i >= len(b.edges) || a.edges[i] != b.edges[i] {
+			return i >= len(b.edges) || a.edges[i] < b.edges[i]
+		}
+	}
+	return false
+}
+
+// treeSearcher is the reusable per-worker state for the pruned spanning-tree
+// search over one p×q grid shape: the K_{p,q} graph and enumerator, the
+// incremental constraint-propagation state, and the running best candidate.
+// Vertices 0..p-1 are rows, p..p+q-1 are columns.
+//
+// Propagation invariant: within each component of the partial forest, every
+// vertex holds a value val[v] such that all tree equations r·t·c = 1 between
+// members hold. The component's remaining gauge freedom multiplies its row
+// values by μ and divides its column values by μ, so any product
+// val[i]·t[i][j]·val[p+j] between a row and a column of the SAME component
+// is gauge-invariant and can be checked against the feasibility bound the
+// moment the two vertices become connected — long before the tree is
+// complete. A violated product vetoes the edge inclusion, which prunes every
+// spanning tree extending the partial selection.
+type treeSearcher struct {
+	p, q  int
+	g     *spantree.Graph
+	en    *spantree.Enumerator
+	tol   float64
+	prune bool
+
+	arr    *grid.Arrangement
+	arrSeq int
+	hooks  spantree.Hooks
+	// skipBelow short-circuits candidate bookkeeping for objectives strictly
+	// below a known lower bound on the final optimum (the parallel solver
+	// refreshes it from the shared incumbent). It never affects counters.
+	skipBelow float64
+
+	val       []float64
+	parent    []int
+	members   [][]int
+	memberBuf [][]int // backing storage for members, cap p+q each
+	undoLog   []mergeRec
+	savedVals []float64
+
+	stats ExactStats
+	best  exactCandidate
+}
+
+type mergeRec struct {
+	keep, move int
+	keepLen    int
+	savedStart int
+}
+
+func newTreeSearcher(p, q int, opts ExactOptions) *treeSearcher {
+	n := p + q
+	g := spantree.CompleteBipartite(p, q)
+	s := &treeSearcher{
+		p:         p,
+		q:         q,
+		g:         g,
+		en:        spantree.NewEnumerator(g),
+		tol:       FeasibilityTol,
+		prune:     !opts.NoPrune,
+		val:       make([]float64, n),
+		parent:    make([]int, n),
+		members:   make([][]int, n),
+		memberBuf: make([][]int, n),
+	}
+	for i := range s.memberBuf {
+		s.memberBuf[i] = make([]int, 1, n)
+	}
+	s.best.edges = make([]int, 0, maxIntCore(n-1, 0))
+	s.best.r = make([]float64, p)
+	s.best.c = make([]float64, q)
+	s.hooks = spantree.Hooks{Include: s.include, Undo: s.undo}
+	return s
+}
+
+func maxIntCore(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// resetBest clears the running best candidate (between independent solves).
+func (s *treeSearcher) resetBest() {
+	s.skipBelow = math.Inf(-1)
+	s.best.obj = math.Inf(-1)
+	s.best.arr = nil
+	s.best.arrSeq = 0
+	s.best.edges = s.best.edges[:0]
+}
+
+// resetArrangement rebinds the propagation state to arr.
+func (s *treeSearcher) resetArrangement(arr *grid.Arrangement, arrSeq int) {
+	s.arr = arr
+	s.arrSeq = arrSeq
+	for i := range s.val {
+		s.val[i] = 1
+		s.parent[i] = i
+		s.memberBuf[i] = s.memberBuf[i][:1]
+		s.memberBuf[i][0] = i
+		s.members[i] = s.memberBuf[i]
+	}
+	s.undoLog = s.undoLog[:0]
+	s.savedVals = s.savedVals[:0]
+}
+
+func (s *treeSearcher) find(x int) int {
+	for s.parent[x] != x {
+		x = s.parent[x]
+	}
+	return x
+}
+
+// include merges the components of edge ei's endpoints, rescaling the
+// smaller component so the new tree equation holds, and (when pruning)
+// checks every newly-comparable row/column constraint. Returns false to veto
+// the inclusion.
+func (s *treeSearcher) include(ei int) bool {
+	e := s.g.Edges[ei]
+	u, v := e.U, e.V // u is a row vertex, v a column vertex (K_{p,q} order)
+	ra, rb := s.find(u), s.find(v)
+	keep, move := ra, rb
+	if len(s.members[rb]) > len(s.members[ra]) {
+		keep, move = rb, ra
+	}
+	// The edge equation val[u]·t·val[v] = 1 fixes the relative gauge λ of
+	// the moving component: its row values scale by one factor and its
+	// column values by the inverse, preserving the component's internal
+	// equations.
+	lam := s.val[u] * s.arr.T[u][v-s.p] * s.val[v]
+	var fr, fc float64
+	if move == rb { // moving side holds the column endpoint v
+		fr, fc = lam, 1/lam
+	} else { // moving side holds the row endpoint u
+		fr, fc = 1/lam, lam
+	}
+	if s.prune {
+		// Check every row/column pair that this merge makes comparable,
+		// using the tentative rescaled values. Any violation here is
+		// gauge-invariant and final: no completion of this partial tree can
+		// repair it, so the whole enumeration branch is cut.
+		bound := 1 + s.tol
+		for _, m := range s.members[move] {
+			var nv float64
+			if m < s.p {
+				nv = s.val[m] * fr
+			} else {
+				nv = s.val[m] * fc
+			}
+			for _, k := range s.members[keep] {
+				if m < s.p && k >= s.p {
+					if nv*s.arr.T[m][k-s.p]*s.val[k] > bound {
+						s.stats.BranchesPruned++
+						return false
+					}
+				} else if m >= s.p && k < s.p {
+					if s.val[k]*s.arr.T[k][m-s.p]*nv > bound {
+						s.stats.BranchesPruned++
+						return false
+					}
+				}
+			}
+		}
+	}
+	rec := mergeRec{keep: keep, move: move, keepLen: len(s.members[keep]), savedStart: len(s.savedVals)}
+	for _, m := range s.members[move] {
+		s.savedVals = append(s.savedVals, s.val[m])
+		if m < s.p {
+			s.val[m] *= fr
+		} else {
+			s.val[m] *= fc
+		}
+	}
+	s.members[keep] = append(s.members[keep], s.members[move]...)
+	s.parent[move] = keep
+	s.undoLog = append(s.undoLog, rec)
+	return true
+}
+
+// undo rolls back the most recent accepted include, restoring the exact
+// saved values (no multiply-back, so the state is bitwise identical to the
+// pre-merge state and results cannot drift with the enumeration path).
+func (s *treeSearcher) undo(int) {
+	rec := s.undoLog[len(s.undoLog)-1]
+	s.undoLog = s.undoLog[:len(s.undoLog)-1]
+	s.parent[rec.move] = rec.move
+	s.members[rec.keep] = s.members[rec.keep][:rec.keepLen]
+	for i, m := range s.members[rec.move] {
+		s.val[m] = s.savedVals[rec.savedStart+i]
+	}
+	s.savedVals = s.savedVals[:rec.savedStart]
+}
+
+// visitTree scores a completed spanning tree. With pruning, every constraint
+// was already verified incrementally; without, the full p×q scan runs here.
+func (s *treeSearcher) visitTree(edges []int) bool {
+	s.stats.TreesVisited++
+	p, q := s.p, s.q
+	if !s.prune {
+		for i := 0; i < p; i++ {
+			for j := 0; j < q; j++ {
+				if s.val[i]*s.arr.T[i][j]*s.val[p+j] > 1+s.tol {
+					return true // reject tree, keep enumerating
+				}
+			}
+		}
+	}
+	s.stats.TreesAcceptable++
+	// Renormalize to the solver's gauge r_1 = 1 and score.
+	lam0 := s.val[0]
+	sr, sc := 0.0, 0.0
+	for i := 0; i < p; i++ {
+		sr += s.val[i] / lam0
+	}
+	for j := 0; j < q; j++ {
+		sc += s.val[p+j] * lam0
+	}
+	obj := sr * sc
+	if obj < s.skipBelow {
+		return true
+	}
+	cand := exactCandidate{obj: obj, arrSeq: s.arrSeq, edges: edges}
+	if cand.betterThan(&s.best) {
+		s.best.obj = obj
+		s.best.arrSeq = s.arrSeq
+		s.best.arr = s.arr
+		s.best.edges = append(s.best.edges[:0], edges...)
+		for i := 0; i < p; i++ {
+			s.best.r[i] = s.val[i] / lam0
+		}
+		for j := 0; j < q; j++ {
+			s.best.c[j] = s.val[p+j] * lam0
+		}
+	}
+	return true
+}
+
+// searchArrangement enumerates the spanning trees of the current arrangement
+// restricted to the partition class fixed by prefix (nil for all trees),
+// updating stats and the running best candidate.
+func (s *treeSearcher) searchArrangement(arr *grid.Arrangement, arrSeq int, prefix []bool) {
+	s.resetArrangement(arr, arrSeq)
+	// Propagation state is maintained in both modes; NoPrune only moves the
+	// feasibility decision from include-time to visit-time.
+	s.en.Enumerate(prefix, &s.hooks, s.visitTree)
+}
+
+// solution materializes the best candidate, or nil if none was found.
+func (s *treeSearcher) solution() *Solution {
+	if s.best.arr == nil {
+		return nil
+	}
+	return &Solution{
+		Arr: s.best.arr,
+		R:   append([]float64(nil), s.best.r...),
+		C:   append([]float64(nil), s.best.c...),
+	}
+}
+
+// ArrangementUpperBound returns a cheap upper bound on the Obj2 optimum of a
+// fixed arrangement. Writing m_ij = 1/t_ij and g_ij = √m_ij, every feasible
+// solution satisfies r_i·c_j ≤ m_ij, and for any two cells the products
+// (r_i c_j)(r_i' c_j') = (r_i c_j')(r_i' c_j) ≤ √(m_ij·m_i'j'·m_ij'·m_i'j),
+// so squaring the objective Σ_ij r_i c_j and bounding every term gives
+//
+//	Obj2 ≤ ‖G·Gᵀ‖_F   with   G = (1/√t_ij).
+//
+// The bound is exact for rank-1 arrangements (where it equals Σ 1/t_ij, the
+// perfect-balance objective) and — unlike Σ 1/t_ij — depends on how the
+// cycle-times are grouped into rows, so it discriminates between
+// arrangements of the same multiset and lets the global solver skip
+// arrangements that cannot beat an incumbent.
+func ArrangementUpperBound(arr *grid.Arrangement) float64 {
+	p, q := arr.P, arr.Q
+	g := make([][]float64, p)
+	for i := 0; i < p; i++ {
+		g[i] = make([]float64, q)
+		for j := 0; j < q; j++ {
+			g[i][j] = 1 / math.Sqrt(arr.T[i][j])
+		}
+	}
+	sum := 0.0
+	for i := 0; i < p; i++ {
+		for k := 0; k < p; k++ {
+			dot := 0.0
+			for j := 0; j < q; j++ {
+				dot += g[i][j] * g[k][j]
+			}
+			sum += dot * dot
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// seedMargin shaves the heuristic objective before it seeds the exact
+// search's lower bound, so floating-point slack in the heuristic's
+// feasibility scaling can never let the seed exceed the true optimum (which
+// would wrongly prune the optimal arrangement).
+const seedMargin = 4 * FeasibilityTol
+
+// heuristicSeedBound returns a deterministic lower bound on the global Obj2
+// optimum, obtained from the polynomial heuristic (any feasible solution on
+// any arrangement bounds the optimum from below; Theorem 1 makes the
+// non-decreasing optimum global). Returns -Inf if the heuristic fails.
+func heuristicSeedBound(times []float64, p, q int) float64 {
+	res, err := SolveHeuristic(times, p, q, HeuristicOptions{})
+	if err != nil || res.Solution == nil {
+		return math.Inf(-1)
+	}
+	return res.Objective() * (1 - seedMargin)
 }
 
 // SolveArrangementExact solves Obj2 exactly for a fixed arrangement using
 // the spanning-tree characterization of §4.3.1: at an optimum at least
 // p+q−1 of the p·q constraints are tight, and the tight set contains a
 // spanning tree of the complete bipartite graph on {r_i} ∪ {c_j}. The
-// solver enumerates all p^(q−1)·q^(p−1) spanning trees, propagates the
-// equalities r_i·t_ij·c_j = 1 from r_1 = 1 along each tree, keeps the trees
-// whose remaining inequalities hold, and returns the best.
+// solver enumerates the p^(q−1)·q^(p−1) spanning trees, propagating the
+// equalities r_i·t_ij·c_j = 1 incrementally as edges join the partial
+// forest and cutting every enumeration branch whose already-connected
+// row/column pairs violate a constraint, keeps the trees whose inequalities
+// all hold, and returns the best under a deterministic tie-break.
 //
 // Cost is exponential in the grid size; it is intended for the small grids
 // where the exact answer is wanted (the paper conjectures the general
 // problem NP-complete).
 func SolveArrangementExact(arr *grid.Arrangement) (*Solution, *ExactStats, error) {
-	p, q := arr.P, arr.Q
-	g := spantree.CompleteBipartite(p, q)
-	stats := &ExactStats{Arrangements: 1}
+	return SolveArrangementExactOpt(arr, ExactOptions{Workers: 1})
+}
 
-	r := make([]float64, p)
-	c := make([]float64, q)
-	var best *Solution
-	bestObj := math.Inf(-1)
-
-	adj := make([][]int, p+q) // reused adjacency storage
-	spantree.Enumerate(g, func(edges []int) bool {
-		stats.TreesVisited++
-		// Build adjacency for this tree.
-		for v := range adj {
-			adj[v] = adj[v][:0]
-		}
-		for _, ei := range edges {
-			e := g.Edges[ei]
-			adj[e.U] = append(adj[e.U], e.V)
-			adj[e.V] = append(adj[e.V], e.U)
-		}
-		// Propagate r_1 = 1 along the tree. Vertices 0..p-1 are rows,
-		// p..p+q-1 are columns.
-		for i := range r {
-			r[i] = 0
-		}
-		for j := range c {
-			c[j] = 0
-		}
-		r[0] = 1
-		stack := []int{0}
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, w := range adj[v] {
-				if w < p {
-					if r[w] != 0 {
-						continue
-					}
-					// Edge (row w, column v-p): r_w = 1/(t·c).
-					r[w] = 1 / (arr.T[w][v-p] * c[v-p])
-					stack = append(stack, w)
-				} else {
-					if c[w-p] != 0 {
-						continue
-					}
-					// Edge (row v, column w-p): c = 1/(r_v·t).
-					c[w-p] = 1 / (r[v] * arr.T[v][w-p])
-					stack = append(stack, w)
-				}
-			}
-		}
-		// Acceptability: every constraint must hold.
-		for i := 0; i < p; i++ {
-			for j := 0; j < q; j++ {
-				if r[i]*arr.T[i][j]*c[j] > 1+FeasibilityTol {
-					return true // reject tree, keep enumerating
-				}
-			}
-		}
-		stats.TreesAcceptable++
-		sr, sc := 0.0, 0.0
-		for _, v := range r {
-			sr += v
-		}
-		for _, v := range c {
-			sc += v
-		}
-		if obj := sr * sc; obj > bestObj {
-			bestObj = obj
-			best = &Solution{
-				Arr: arr,
-				R:   append([]float64(nil), r...),
-				C:   append([]float64(nil), c...),
-			}
-		}
-		return true
-	})
-	if best == nil {
-		return nil, stats, ErrNoAcceptableTree
+// SolveArrangementExactOpt is SolveArrangementExact with explicit options:
+// opts.NoPrune restores the exhaustive visit-then-scan search, and
+// opts.Workers > 1 splits the spanning-tree enumeration across workers by
+// partitioning on the first edge-choice digits (see
+// solveArrangementParallel). Results are bit-identical across all settings
+// that visit the same acceptable trees.
+func SolveArrangementExactOpt(arr *grid.Arrangement, opts ExactOptions) (*Solution, *ExactStats, error) {
+	workers := normalizeWorkers(opts.Workers)
+	if workers > 1 {
+		return solveArrangementParallel(arr, workers, opts)
 	}
-	return best, stats, nil
+	s := newTreeSearcher(arr.P, arr.Q, opts)
+	s.resetBest()
+	s.stats.Arrangements = 1
+	s.stats.TreesTheoretical = spantree.CountCompleteBipartite(arr.P, arr.Q)
+	s.searchArrangement(arr, 0, nil)
+	stats := s.stats
+	sol := s.solution()
+	if sol == nil {
+		return nil, &stats, ErrNoAcceptableTree
+	}
+	return sol, &stats, nil
 }
 
 // SolveGlobalExact solves the full 2D load-balancing problem: it searches
 // every non-decreasing arrangement of the cycle-times on a p×q grid
 // (sufficient by Theorem 1) and solves each exactly with the spanning-tree
-// method, returning the best solution found. Doubly exponential; intended
-// for small problems and for validating the heuristic.
+// method, returning the best solution found. The search is branch-and-bound:
+// the heuristic's objective seeds a lower bound that skips arrangements
+// whose rank-1 upper bound cannot beat it, and infeasible partial trees are
+// cut during enumeration. Doubly exponential; intended for small problems
+// and for validating the heuristic. SolveGlobalExactParallel runs the same
+// search on several cores with bit-identical results.
 func SolveGlobalExact(times []float64, p, q int) (*Solution, *ExactStats, error) {
+	return SolveGlobalExactOpt(times, p, q, ExactOptions{Workers: 1})
+}
+
+// SolveGlobalExactOpt is SolveGlobalExact with explicit options.
+func SolveGlobalExactOpt(times []float64, p, q int, opts ExactOptions) (*Solution, *ExactStats, error) {
 	if len(times) != p*q {
 		return nil, nil, fmt.Errorf("core: %d cycle-times for a %d×%d grid", len(times), p, q)
 	}
-	total := &ExactStats{}
-	var best *Solution
-	bestObj := math.Inf(-1)
-	var solveErr error
+	if normalizeWorkers(opts.Workers) > 1 {
+		return solveGlobalParallel(times, p, q, opts)
+	}
+	seed := math.Inf(-1)
+	if !opts.NoPrune {
+		seed = heuristicSeedBound(times, p, q)
+	}
+	s := newTreeSearcher(p, q, opts)
+	s.resetBest()
+	treeCount := spantree.CountCompleteBipartite(p, q)
+	seq := 0
 	_, err := grid.EnumerateNonDecreasing(times, p, q, func(arr *grid.Arrangement) bool {
-		sol, stats, err := SolveArrangementExact(arr)
-		total.Arrangements++
-		total.TreesVisited += stats.TreesVisited
-		total.TreesAcceptable += stats.TreesAcceptable
-		if err != nil {
-			solveErr = err
+		s.stats.Arrangements++
+		s.stats.TreesTheoretical += treeCount
+		if !opts.NoPrune && ArrangementUpperBound(arr) < seed {
+			s.stats.ArrangementsPruned++
+			seq++
 			return true
 		}
-		if obj := sol.Objective(); obj > bestObj {
-			bestObj = obj
-			best = sol
-		}
+		s.searchArrangement(arr, seq, nil)
+		seq++
 		return true
 	})
+	stats := s.stats
 	if err != nil {
-		return nil, total, err
+		return nil, &stats, err
 	}
-	if best == nil {
-		if solveErr != nil {
-			return nil, total, solveErr
-		}
-		return nil, total, ErrNoAcceptableTree
+	sol := s.solution()
+	if sol == nil {
+		return nil, &stats, ErrNoAcceptableTree
 	}
-	return best, total, nil
+	return sol, &stats, nil
 }
 
 // Solve2x2Exact returns the exact solution for a 2×2 arrangement. K_{2,2}

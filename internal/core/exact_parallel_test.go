@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"hetgrid/internal/grid"
+)
+
+// exactEqualSolutions fails the test unless a and b are bit-identical in
+// objective, arrangement, R and C.
+func exactEqualSolutions(t *testing.T, label string, a, b *Solution) {
+	t.Helper()
+	if math.Float64bits(a.Objective()) != math.Float64bits(b.Objective()) {
+		t.Fatalf("%s: objective %v != %v", label, a.Objective(), b.Objective())
+	}
+	if !a.Arr.Equal(b.Arr) {
+		t.Fatalf("%s: arrangements differ:\n%svs\n%s", label, a.Arr, b.Arr)
+	}
+	for i := range a.R {
+		if math.Float64bits(a.R[i]) != math.Float64bits(b.R[i]) {
+			t.Fatalf("%s: R[%d] = %v != %v", label, i, a.R[i], b.R[i])
+		}
+	}
+	for j := range a.C {
+		if math.Float64bits(a.C[j]) != math.Float64bits(b.C[j]) {
+			t.Fatalf("%s: C[%d] = %v != %v", label, j, a.C[j], b.C[j])
+		}
+	}
+}
+
+// TestParallelSerialEquivalenceProperty is the determinism contract of the
+// parallel solver: for every worker count the returned solution is
+// bit-identical to the serial solver's, and the scheduling-independent
+// statistics (trees visited/acceptable, arrangements, pruned arrangements)
+// agree exactly. Over 200 randomized cycle-time sets across 2×2…3×4 grids.
+func TestParallelSerialEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive property test")
+	}
+	type shape struct{ p, q, seeds int }
+	shapes := []shape{
+		{2, 2, 60}, {2, 3, 50}, {3, 2, 40}, {2, 4, 30}, {3, 3, 14}, {3, 4, 6},
+	}
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	total := 0
+	for _, sh := range shapes {
+		total += sh.seeds
+	}
+	if total < 200 {
+		t.Fatalf("property test covers %d seeds, want at least 200", total)
+	}
+	for _, sh := range shapes {
+		for seed := 0; seed < sh.seeds; seed++ {
+			rng := rand.New(rand.NewSource(int64(1000*sh.p+100*sh.q) + int64(seed)))
+			times := make([]float64, sh.p*sh.q)
+			for i := range times {
+				times[i] = 0.05 + rng.Float64()
+			}
+			serial, serialStats, err := SolveGlobalExact(times, sh.p, sh.q)
+			if err != nil {
+				t.Fatalf("%dx%d seed %d: serial: %v", sh.p, sh.q, seed, err)
+			}
+			for _, w := range workerCounts {
+				par, parStats, err := SolveGlobalExactParallel(times, sh.p, sh.q, w)
+				if err != nil {
+					t.Fatalf("%dx%d seed %d workers %d: %v", sh.p, sh.q, seed, w, err)
+				}
+				label := gridLabel(sh.p, sh.q)
+				exactEqualSolutions(t, label, par, serial)
+				if parStats.TreesVisited != serialStats.TreesVisited ||
+					parStats.TreesAcceptable != serialStats.TreesAcceptable ||
+					parStats.Arrangements != serialStats.Arrangements ||
+					parStats.ArrangementsPruned != serialStats.ArrangementsPruned ||
+					parStats.TreesTheoretical != serialStats.TreesTheoretical {
+					t.Fatalf("%s seed %d workers %d: stats diverge: parallel %+v serial %+v",
+						label, seed, w, *parStats, *serialStats)
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedVisitsFewerTreesIdenticalSolutions checks the serial
+// branch-and-bound against the exhaustive search: same solutions bit for
+// bit, strictly fewer trees visited in aggregate.
+func TestPrunedVisitsFewerTreesIdenticalSolutions(t *testing.T) {
+	prunedTrees, fullTrees := 0, 0
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(7000 + seed))
+		p, q := 2+rng.Intn(2), 2+rng.Intn(2)
+		times := make([]float64, p*q)
+		for i := range times {
+			times[i] = 0.05 + rng.Float64()
+		}
+		pruned, prunedStats, err := SolveGlobalExact(times, p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, fullStats, err := SolveGlobalExactOpt(times, p, q, ExactOptions{Workers: 1, NoPrune: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exactEqualSolutions(t, gridLabel(p, q), pruned, full)
+		if prunedStats.TreesVisited > fullStats.TreesVisited {
+			t.Fatalf("pruned search visited more trees: %d > %d", prunedStats.TreesVisited, fullStats.TreesVisited)
+		}
+		prunedTrees += prunedStats.TreesVisited
+		fullTrees += fullStats.TreesVisited
+	}
+	if prunedTrees >= fullTrees {
+		t.Fatalf("pruning never cut the search: %d vs %d trees", prunedTrees, fullTrees)
+	}
+}
+
+// TestSolveArrangementExactParallelMatchesSerial covers the partitioned
+// spanning-tree enumeration for a single fixed arrangement.
+func TestSolveArrangementExactParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 10; trial++ {
+		tm := make([][]float64, 3)
+		for i := range tm {
+			tm[i] = make([]float64, 4)
+			for j := range tm[i] {
+				tm[i][j] = 0.1 + rng.Float64()
+			}
+		}
+		arr := grid.MustNew(tm)
+		serial, serialStats, err := SolveArrangementExact(arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, runtime.NumCPU()} {
+			par, parStats, err := SolveArrangementExactOpt(arr, ExactOptions{Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exactEqualSolutions(t, "3x4 fixed", par, serial)
+			if parStats.TreesVisited != serialStats.TreesVisited ||
+				parStats.TreesAcceptable != serialStats.TreesAcceptable {
+				t.Fatalf("workers %d: tree stats diverge: %+v vs %+v", w, *parStats, *serialStats)
+			}
+		}
+	}
+}
+
+// TestArrangementUpperBoundValid: the rank-1 upper bound must dominate the
+// exact optimum on every arrangement, and be tight on rank-1 grids.
+func TestArrangementUpperBoundValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 50; trial++ {
+		p, q := 1+rng.Intn(3), 1+rng.Intn(3)
+		tm := make([][]float64, p)
+		for i := range tm {
+			tm[i] = make([]float64, q)
+			for j := range tm[i] {
+				tm[i][j] = 0.1 + rng.Float64()
+			}
+		}
+		arr := grid.MustNew(tm)
+		sol, _, err := SolveArrangementExact(arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub := ArrangementUpperBound(arr)
+		if sol.Objective() > ub*(1+1e-12) {
+			t.Fatalf("upper bound %v below exact optimum %v for %v", ub, sol.Objective(), tm)
+		}
+	}
+	// Rank-1 grid: bound equals the perfect-balance objective Σ 1/t.
+	arr := grid.MustNew([][]float64{{1, 2}, {3, 6}})
+	ub := ArrangementUpperBound(arr)
+	want := 1.0 + 0.5 + 1.0/3 + 1.0/6
+	if math.Abs(ub-want) > 1e-12 {
+		t.Fatalf("rank-1 bound %v, want %v", ub, want)
+	}
+}
+
+// TestGlobalExactSeedPruningActive: on grids where the heuristic is strong,
+// the seeded bound should skip at least some arrangements; the global
+// optimum must survive regardless.
+func TestGlobalExactSeedPruningActive(t *testing.T) {
+	pruned := 0
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(9000 + seed))
+		times := make([]float64, 9)
+		for i := range times {
+			times[i] = 0.05 + rng.Float64()
+		}
+		_, stats, err := SolveGlobalExact(times, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned += stats.ArrangementsPruned
+		if stats.ArrangementsPruned > stats.Arrangements {
+			t.Fatalf("pruned %d of %d arrangements", stats.ArrangementsPruned, stats.Arrangements)
+		}
+	}
+	if pruned == 0 {
+		t.Log("upper bound never skipped an arrangement on these seeds (bound valid but loose)")
+	}
+}
+
+// TestParallelWithDuplicateTimes exercises the tie-break path: duplicated
+// cycle-times create symmetric arrangements with exactly equal objectives,
+// where only the deterministic total order keeps worker counts consistent.
+func TestParallelWithDuplicateTimes(t *testing.T) {
+	cases := [][]float64{
+		{1, 1, 1, 1},
+		{1, 2, 1, 2},
+		{1, 1, 2, 2, 3, 3},
+		{2, 2, 2, 1, 1, 1, 3, 3, 3},
+	}
+	for _, times := range cases {
+		var p, q int
+		switch len(times) {
+		case 4:
+			p, q = 2, 2
+		case 6:
+			p, q = 2, 3
+		case 9:
+			p, q = 3, 3
+		}
+		serial, _, err := SolveGlobalExact(times, p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, runtime.NumCPU()} {
+			par, _, err := SolveGlobalExactParallel(times, p, q, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exactEqualSolutions(t, "dup-times", par, serial)
+		}
+	}
+}
+
+// TestAtomicFloat64Raise covers the CAS max used for the shared incumbent.
+func TestAtomicFloat64Raise(t *testing.T) {
+	var a atomicFloat64
+	a.store(math.Inf(-1))
+	a.raise(1.5)
+	a.raise(0.5)
+	if got := a.load(); got != 1.5 {
+		t.Fatalf("raise sequence gave %v, want 1.5", got)
+	}
+	a.raise(2.25)
+	if got := a.load(); got != 2.25 {
+		t.Fatalf("raise gave %v, want 2.25", got)
+	}
+}

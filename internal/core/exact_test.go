@@ -224,11 +224,40 @@ func TestExactSingleRowAndColumn(t *testing.T) {
 
 func TestExact3x3TreeCount(t *testing.T) {
 	arr := grid.MustNew([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
-	_, stats, err := SolveArrangementExact(arr)
+	full, fullStats, err := SolveArrangementExactOpt(arr, ExactOptions{Workers: 1, NoPrune: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.TreesVisited != 81 {
-		t.Fatalf("K_{3,3}: visited %d trees, want 81", stats.TreesVisited)
+	if fullStats.TreesVisited != 81 {
+		t.Fatalf("K_{3,3} unpruned: visited %d trees, want 81", fullStats.TreesVisited)
+	}
+	pruned, prunedStats, err := SolveArrangementExact(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prunedStats.TreesVisited >= fullStats.TreesVisited {
+		t.Fatalf("pruning did not cut the search: %d vs %d trees", prunedStats.TreesVisited, fullStats.TreesVisited)
+	}
+	if prunedStats.BranchesPruned == 0 {
+		t.Fatal("no branches pruned on a strongly heterogeneous grid")
+	}
+	if prunedStats.TreesTheoretical != 81 || fullStats.TreesTheoretical != 81 {
+		t.Fatalf("TreesTheoretical = %d/%d, want 81", prunedStats.TreesTheoretical, fullStats.TreesTheoretical)
+	}
+	if pr := prunedStats.PruneRatio(); pr <= 0 || pr >= 1 {
+		t.Fatalf("prune ratio %v out of (0,1)", pr)
+	}
+	if math.Float64bits(pruned.Objective()) != math.Float64bits(full.Objective()) {
+		t.Fatalf("pruned objective %v != unpruned %v", pruned.Objective(), full.Objective())
+	}
+	for i := range pruned.R {
+		if pruned.R[i] != full.R[i] {
+			t.Fatalf("R[%d] differs: %v vs %v", i, pruned.R[i], full.R[i])
+		}
+	}
+	for j := range pruned.C {
+		if pruned.C[j] != full.C[j] {
+			t.Fatalf("C[%d] differs: %v vs %v", j, pruned.C[j], full.C[j])
+		}
 	}
 }

@@ -71,11 +71,12 @@ func SolveHeuristic(times []float64, p, q int, opts HeuristicOptions) (*Heuristi
 	}
 
 	res := &HeuristicResult{}
-	seen := map[string]int{arr.String(): 0}
+	sc := newHeurScratch(p, q)
+	seen := map[string]int{sc.arrKey(arr): 0}
 	var best *Solution
 	bestObj := 0.0
 	for iter := 0; iter < maxIter; iter++ {
-		sol, err := RankOneStep(arr)
+		sol, err := rankOneStep(arr, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -93,17 +94,18 @@ func SolveHeuristic(times []float64, p, q int, opts HeuristicOptions) (*Heuristi
 			res.Converged = true
 			break
 		}
-		next := Rearrange(arr, sol)
+		next := rearrange(arr, sol, sc)
 		if next.Equal(arr) {
 			res.Converged = true
 			break
 		}
-		if _, cycled := seen[next.String()]; cycled {
+		key := sc.arrKey(next)
+		if _, cycled := seen[key]; cycled {
 			// The re-sorting revisited an earlier arrangement without
 			// reaching a fixed point; stop with the best solution so far.
 			break
 		}
-		seen[next.String()] = iter + 1
+		seen[key] = iter + 1
 		arr = next
 	}
 	res.Solution = best
@@ -111,6 +113,49 @@ func SolveHeuristic(times []float64, p, q int, opts HeuristicOptions) (*Heuristi
 		res.Tau = best.Objective()/res.FirstObjective - 1
 	}
 	return res, nil
+}
+
+// heurScratch holds the buffers SolveHeuristic reuses across refinement
+// iterations: the T^inv matrix handed to the SVD, the position slice the
+// re-sorting step orders, the sorted cycle-time buffer, and the byte buffer
+// for canonical arrangement keys. One SVD per step still dominates the
+// cost; the scratch removes the per-iteration allocations around it.
+type heurScratch struct {
+	tinv      *matrix.Dense
+	positions []heurPos
+	times     []float64
+	key       []byte
+}
+
+type heurPos struct {
+	val  float64
+	i, j int
+}
+
+func newHeurScratch(p, q int) *heurScratch {
+	return &heurScratch{
+		tinv:      matrix.New(p, q),
+		positions: make([]heurPos, 0, p*q),
+		times:     make([]float64, 0, p*q),
+		key:       make([]byte, 0, 8*p*q),
+	}
+}
+
+// arrKey returns a canonical byte-string key for the arrangement — the
+// row-major IEEE-754 bit patterns of its cycle-times. Cheaper than the
+// decimal rendering of Arrangement.String and injective on float64s.
+func (sc *heurScratch) arrKey(arr *grid.Arrangement) string {
+	buf := sc.key[:0]
+	for _, row := range arr.T {
+		for _, v := range row {
+			bits := math.Float64bits(v)
+			buf = append(buf,
+				byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+				byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+		}
+	}
+	sc.key = buf
+	return string(buf)
 }
 
 // RankOneStep performs one evaluation step of the heuristic for a fixed
@@ -121,8 +166,12 @@ func SolveHeuristic(times []float64, p, q int, opts HeuristicOptions) (*Heuristi
 // every row has a tight constraint, and (for the resulting matrices in
 // practice) every column keeps one too.
 func RankOneStep(arr *grid.Arrangement) (*Solution, error) {
+	return rankOneStep(arr, newHeurScratch(arr.P, arr.Q))
+}
+
+func rankOneStep(arr *grid.Arrangement, sc *heurScratch) (*Solution, error) {
 	p, q := arr.P, arr.Q
-	tinv := matrix.New(p, q)
+	tinv := sc.tinv
 	for i := 0; i < p; i++ {
 		for j := 0; j < q; j++ {
 			tinv.Set(i, j, 1/arr.T[i][j])
@@ -188,17 +237,18 @@ func RankOneStep(arr *grid.Arrangement) (*Solution, error) {
 // trajectory, whose second step has an exact tie), making the result
 // deterministic.
 func Rearrange(arr *grid.Arrangement, sol *Solution) *grid.Arrangement {
+	return rearrange(arr, sol, newHeurScratch(arr.P, arr.Q))
+}
+
+func rearrange(arr *grid.Arrangement, sol *Solution, sc *heurScratch) *grid.Arrangement {
 	p, q := arr.P, arr.Q
-	type pos struct {
-		val  float64
-		i, j int
-	}
-	positions := make([]pos, 0, p*q)
+	positions := sc.positions[:0]
 	for i := 0; i < p; i++ {
 		for j := 0; j < q; j++ {
-			positions = append(positions, pos{val: 1 / (sol.R[i] * sol.C[j]), i: i, j: j})
+			positions = append(positions, heurPos{val: 1 / (sol.R[i] * sol.C[j]), i: i, j: j})
 		}
 	}
+	sc.positions = positions
 	sort.SliceStable(positions, func(a, b int) bool {
 		return positions[a].val < positions[b].val
 	})
@@ -223,7 +273,11 @@ func Rearrange(arr *grid.Arrangement, sol *Solution) *grid.Arrangement {
 		}
 		lo = hi
 	}
-	times := arr.Times()
+	times := sc.times[:0]
+	for _, row := range arr.T {
+		times = append(times, row...)
+	}
+	sc.times = times
 	sort.Float64s(times)
 	t := make([][]float64, p)
 	for i := range t {

@@ -22,6 +22,10 @@ type ExactComparison struct {
 	// ExactPerfect counts trials where the exact solver achieved a mean
 	// workload of 1 (a rank-1-arrangeable cycle-time set).
 	ExactPerfect int
+	// Stats accumulates the exact solver's search statistics over all
+	// trials; PruneRatio reports how much of the theoretical spanning-tree
+	// space the branch-and-bound never visited.
+	Stats core.ExactStats
 }
 
 // RunExactComparison draws trials random cycle-time sets in (0,1], solves
@@ -29,6 +33,13 @@ type ExactComparison struct {
 // records the objective ratios. Grid sizes beyond 3×3 get expensive fast
 // (the search is doubly exponential).
 func RunExactComparison(p, q, trials int, seed int64) (*ExactComparison, error) {
+	return RunExactComparisonOpt(p, q, trials, seed, 0)
+}
+
+// RunExactComparisonOpt is RunExactComparison with an explicit worker count
+// for the exact solver (0 selects GOMAXPROCS; results are identical for
+// every worker count).
+func RunExactComparisonOpt(p, q, trials int, seed int64, workers int) (*ExactComparison, error) {
 	if p <= 0 || q <= 0 || trials <= 0 {
 		return nil, fmt.Errorf("experiments: invalid comparison %d×%d × %d trials", p, q, trials)
 	}
@@ -44,10 +55,11 @@ func RunExactComparison(p, q, trials int, seed int64) (*ExactComparison, error) 
 		if err != nil {
 			return nil, err
 		}
-		exact, _, err := core.SolveGlobalExact(times, p, q)
+		exact, stats, err := core.SolveGlobalExactOpt(times, p, q, core.ExactOptions{Workers: workers})
 		if err != nil {
 			return nil, err
 		}
+		cmp.Stats.Add(stats)
 		ratio := heur.Objective() / exact.Objective()
 		cmp.Ratios = append(cmp.Ratios, ratio)
 		sum += ratio
@@ -69,6 +81,8 @@ func (c *ExactComparison) Table() string {
 	fmt.Fprintf(&sb, "  mean objective ratio : %.4f\n", c.MeanRatio)
 	fmt.Fprintf(&sb, "  worst objective ratio: %.4f\n", c.WorstRatio)
 	fmt.Fprintf(&sb, "  exact perfect balance: %d/%d trials\n", c.ExactPerfect, c.Trials)
+	fmt.Fprintf(&sb, "  trees visited        : %d of %d theoretical (prune ratio %.1f%%)\n",
+		c.Stats.TreesVisited, c.Stats.TreesTheoretical, 100*c.Stats.PruneRatio())
 	return sb.String()
 }
 

@@ -11,7 +11,14 @@
 // The enumerator uses include/exclude backtracking over the edge list with a
 // union-find for cycle detection and a connectivity-based pruning bound, so
 // every spanning tree is produced exactly once and dead branches are cut
-// early.
+// early. Two extensions support the parallel branch-and-bound exact solver:
+//
+//   - Hooks let a caller maintain incremental state (e.g. propagated
+//     variable values) as edges join the partial forest, and veto an
+//     inclusion to prune every spanning tree extending it.
+//   - A prefix of forced include/exclude decisions over the first edges
+//     partitions the enumeration space into disjoint classes, so workers can
+//     split the trees of a single graph without coordination.
 package spantree
 
 import "fmt"
@@ -76,11 +83,18 @@ type ufOp struct {
 
 func newUnionFind(n int) *unionFind {
 	uf := &unionFind{parent: make([]int, n), size: make([]int, n), comps: n}
+	uf.reset()
+	return uf
+}
+
+// reset restores the all-singletons state without reallocating.
+func (uf *unionFind) reset() {
 	for i := range uf.parent {
 		uf.parent[i] = i
 		uf.size[i] = 1
 	}
-	return uf
+	uf.comps = len(uf.parent)
+	uf.log = uf.log[:0]
 }
 
 // find returns the representative without path compression (compression
@@ -118,15 +132,75 @@ func (uf *unionFind) undo() {
 	uf.comps++
 }
 
-// Enumerate calls visit once for every spanning tree of g, passing the
-// sorted indices (into g.Edges) of the tree's edges. The slice is reused
+// Hooks lets a caller track incremental state during enumeration and prune
+// branches. Both fields may be nil.
+type Hooks struct {
+	// Include is called whenever edge ei is about to join two components of
+	// the partial forest (never for cycle-closing edges). Returning false
+	// vetoes the inclusion: the enumerator skips every spanning tree that
+	// contains the current partial selection plus ei, does not call Undo for
+	// the vetoed edge, and continues with the exclude branch.
+	Include func(ei int) bool
+	// Undo reverses the most recent accepted Include; calls are strictly
+	// LIFO-nested.
+	Undo func(ei int)
+}
+
+// Enumerator runs repeated spanning-tree enumerations over one graph with
+// reusable internal buffers (union-find, probe union-find for the
+// connectivity bound, edge stack), so per-call allocation stays O(1). It is
+// not safe for concurrent use; give each worker its own Enumerator.
+type Enumerator struct {
+	g      *Graph
+	uf     *unionFind
+	probe  *unionFind
+	chosen []int
+}
+
+// NewEnumerator returns an Enumerator over g. The graph must not be mutated
+// while the enumerator is in use.
+func NewEnumerator(g *Graph) *Enumerator {
+	return &Enumerator{
+		g:      g,
+		uf:     newUnionFind(g.N),
+		probe:  newUnionFind(g.N),
+		chosen: make([]int, 0, maxInt(g.N-1, 0)),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Enumerate calls visit once for every spanning tree of the graph that
+// matches the prefix: for i < len(prefix), edge i is part of the tree iff
+// prefix[i] is true. A nil or empty prefix enumerates every spanning tree.
+// The edge-index slice passed to visit is sorted ascending and reused
 // between calls; visit must copy it to retain it. If visit returns false the
-// enumeration stops early. Enumerate returns the number of trees visited.
+// enumeration stops early. Returns the number of trees visited.
+//
+// Trees are produced in lexicographic order of their sorted edge-index
+// sequences. Distinct prefixes of equal length describe disjoint tree sets
+// whose union (over all 2^len bit patterns) is the full enumeration, which
+// is what lets callers partition the search across workers.
 //
 // A graph with fewer than 2 vertices has exactly one (empty) spanning tree.
 // A disconnected graph has none.
-func Enumerate(g *Graph, visit func(edges []int) bool) int {
+func (en *Enumerator) Enumerate(prefix []bool, h *Hooks, visit func(edges []int) bool) int {
+	g := en.g
+	if len(prefix) > len(g.Edges) {
+		panic(fmt.Sprintf("spantree: prefix of %d decisions for %d edges", len(prefix), len(g.Edges)))
+	}
 	if g.N <= 1 {
+		// The empty tree matches only the all-exclude prefix.
+		for _, inc := range prefix {
+			if inc {
+				return 0
+			}
+		}
 		if visit == nil || visit(nil) {
 			return 1
 		}
@@ -136,17 +210,17 @@ func Enumerate(g *Graph, visit func(edges []int) bool) int {
 	if len(g.Edges) < need {
 		return 0
 	}
-	uf := newUnionFind(g.N)
-	chosen := make([]int, 0, need)
+	en.uf.reset()
+	en.chosen = en.chosen[:0]
 	count := 0
 	stopped := false
 
 	// remaining connectivity check: can the edges from index idx onward,
 	// together with the current partial forest, still connect the graph?
 	canConnect := func(idx int) bool {
-		probe := newUnionFind(g.N)
-		// Replay current forest.
-		for _, e := range chosen {
+		probe := en.probe
+		probe.reset()
+		for _, e := range en.chosen {
 			probe.union(g.Edges[e].U, g.Edges[e].V)
 		}
 		for i := idx; i < len(g.Edges) && probe.comps > 1; i++ {
@@ -160,33 +234,82 @@ func Enumerate(g *Graph, visit func(edges []int) bool) int {
 		if stopped {
 			return
 		}
-		if len(chosen) == need {
+		if len(en.chosen) == need {
 			count++
-			if visit != nil && !visit(chosen) {
+			if visit != nil && !visit(en.chosen) {
 				stopped = true
 			}
 			return
 		}
 		// Not enough edges left to finish the tree.
-		if len(g.Edges)-idx < need-len(chosen) {
+		if len(g.Edges)-idx < need-len(en.chosen) {
 			return
 		}
 		e := g.Edges[idx]
-		// Branch 1: include edge idx if it joins two components.
-		if uf.union(e.U, e.V) {
-			chosen = append(chosen, idx)
-			rec(idx + 1)
-			chosen = chosen[:len(chosen)-1]
-			uf.undo()
+		forced := idx < len(prefix)
+		// Branch 1: include edge idx if it joins two components and the
+		// caller's hook accepts it.
+		if !forced || prefix[idx] {
+			if en.uf.union(e.U, e.V) {
+				if h == nil || h.Include == nil || h.Include(idx) {
+					en.chosen = append(en.chosen, idx)
+					rec(idx + 1)
+					en.chosen = en.chosen[:len(en.chosen)-1]
+					if h != nil && h.Undo != nil {
+						h.Undo(idx)
+					}
+				}
+				en.uf.undo()
+			}
 		}
 		// Branch 2: exclude edge idx, but only if connectivity remains
 		// achievable without it.
-		if canConnect(idx + 1) {
+		if (!forced || !prefix[idx]) && canConnect(idx+1) {
 			rec(idx + 1)
 		}
 	}
 	rec(0)
 	return count
+}
+
+// Enumerate calls visit once for every spanning tree of g. See
+// Enumerator.Enumerate for the callback contract. Callers running many
+// enumerations over the same graph should construct an Enumerator once and
+// reuse it to avoid per-call allocation.
+func Enumerate(g *Graph, visit func(edges []int) bool) int {
+	return NewEnumerator(g).Enumerate(nil, nil, visit)
+}
+
+// EnumeratePart enumerates the spanning trees of g in the partition class
+// fixed by prefix, with optional pruning hooks. See Enumerator.Enumerate.
+func EnumeratePart(g *Graph, prefix []bool, h *Hooks, visit func(edges []int) bool) int {
+	return NewEnumerator(g).Enumerate(prefix, h, visit)
+}
+
+// PartitionPrefixes returns the 2^bits include/exclude prefixes over the
+// first bits edges of a graph with nEdges edges. Every spanning tree matches
+// exactly one returned prefix, so enumerating each prefix independently
+// (possibly on different workers) covers the full tree set exactly once.
+// bits is clamped to [0, min(nEdges, 16)].
+func PartitionPrefixes(nEdges, bits int) [][]bool {
+	if bits > nEdges {
+		bits = nEdges
+	}
+	if bits > 16 {
+		bits = 16
+	}
+	if bits < 0 {
+		bits = 0
+	}
+	prefixes := make([][]bool, 1<<bits)
+	for mask := range prefixes {
+		pre := make([]bool, bits)
+		for b := 0; b < bits; b++ {
+			pre[b] = mask&(1<<b) != 0
+		}
+		prefixes[mask] = pre
+	}
+	return prefixes
 }
 
 // Count returns the number of spanning trees of g, computed by enumeration.

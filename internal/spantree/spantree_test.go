@@ -313,3 +313,141 @@ func kirchhoff(g *Graph) int {
 	}
 	return int(l[n-1][n-1])
 }
+
+func TestPartitionPrefixesCoverEnumeration(t *testing.T) {
+	// The union of the per-prefix enumerations must equal the full
+	// enumeration exactly — same trees, each exactly once — for every
+	// partition width. This is the disjoint-cover property the parallel
+	// exact solver relies on.
+	g := CompleteBipartite(3, 3)
+	full := make(map[string]bool)
+	Enumerate(g, func(edges []int) bool {
+		full[fmt.Sprint(edges)] = true
+		return true
+	})
+	for bits := 0; bits <= 5; bits++ {
+		seen := make(map[string]bool)
+		total := 0
+		for _, prefix := range PartitionPrefixes(len(g.Edges), bits) {
+			total += EnumeratePart(g, prefix, nil, func(edges []int) bool {
+				key := fmt.Sprint(edges)
+				if seen[key] {
+					t.Fatalf("bits=%d: tree %v in two partition classes", bits, edges)
+				}
+				seen[key] = true
+				return true
+			})
+		}
+		if total != len(full) || len(seen) != len(full) {
+			t.Fatalf("bits=%d: partitions produced %d trees (%d distinct), full enumeration has %d",
+				bits, total, len(seen), len(full))
+		}
+		for key := range seen {
+			if !full[key] {
+				t.Fatalf("bits=%d: partition produced tree %s not in full enumeration", bits, key)
+			}
+		}
+	}
+}
+
+func TestPartitionPrefixesClamped(t *testing.T) {
+	if got := len(PartitionPrefixes(4, 10)); got != 16 {
+		t.Fatalf("bits clamped to nEdges: %d prefixes, want 16", got)
+	}
+	if got := len(PartitionPrefixes(100, 20)); got != 1<<16 {
+		t.Fatalf("bits clamped to 16: %d prefixes, want %d", got, 1<<16)
+	}
+	if got := len(PartitionPrefixes(5, -3)); got != 1 {
+		t.Fatalf("negative bits: %d prefixes, want 1", got)
+	}
+}
+
+func TestHooksVetoPrunesSubtree(t *testing.T) {
+	// Vetoing every inclusion of edge 0 must remove exactly the trees
+	// containing edge 0, and Undo must never fire for vetoed edges.
+	g := CompleteBipartite(2, 3)
+	withEdge0 := 0
+	total := Enumerate(g, func(edges []int) bool {
+		for _, e := range edges {
+			if e == 0 {
+				withEdge0++
+				break
+			}
+		}
+		return true
+	})
+	undos := 0
+	h := &Hooks{
+		Include: func(ei int) bool { return ei != 0 },
+		Undo: func(ei int) {
+			if ei == 0 {
+				t.Fatal("Undo called for a vetoed edge")
+			}
+			undos++
+		},
+	}
+	got := EnumeratePart(g, nil, h, func([]int) bool { return true })
+	if got != total-withEdge0 {
+		t.Fatalf("veto of edge 0: %d trees, want %d (%d total - %d containing it)",
+			got, total-withEdge0, total, withEdge0)
+	}
+	if undos == 0 {
+		t.Fatal("Undo never called for accepted edges")
+	}
+}
+
+func TestHooksIncludeUndoBalanced(t *testing.T) {
+	// Accepted includes and undos must pair up LIFO; at the end the stack
+	// is empty.
+	g := CompleteBipartite(3, 3)
+	var stack []int
+	h := &Hooks{
+		Include: func(ei int) bool {
+			stack = append(stack, ei)
+			return true
+		},
+		Undo: func(ei int) {
+			if len(stack) == 0 || stack[len(stack)-1] != ei {
+				t.Fatalf("Undo(%d) does not match include stack %v", ei, stack)
+			}
+			stack = stack[:len(stack)-1]
+		},
+	}
+	n := EnumeratePart(g, nil, h, func([]int) bool { return true })
+	if n != 81 {
+		t.Fatalf("hooked enumeration visited %d trees, want 81", n)
+	}
+	if len(stack) != 0 {
+		t.Fatalf("include stack not empty after enumeration: %v", stack)
+	}
+}
+
+func TestEnumeratorReuse(t *testing.T) {
+	// One Enumerator must give identical results across repeated calls and
+	// mixed prefix/no-prefix use.
+	g := CompleteBipartite(3, 4)
+	en := NewEnumerator(g)
+	first := en.Enumerate(nil, nil, nil)
+	if first != CountCompleteBipartite(3, 4) {
+		t.Fatalf("first enumeration: %d trees, want %d", first, CountCompleteBipartite(3, 4))
+	}
+	partial := 0
+	for _, prefix := range PartitionPrefixes(len(g.Edges), 3) {
+		partial += en.Enumerate(prefix, nil, nil)
+	}
+	if partial != first {
+		t.Fatalf("partitioned reuse: %d trees, want %d", partial, first)
+	}
+	if again := en.Enumerate(nil, nil, nil); again != first {
+		t.Fatalf("third enumeration: %d trees, want %d", again, first)
+	}
+}
+
+func TestPrefixTrivialGraph(t *testing.T) {
+	// A graph with one vertex has a single empty tree; it matches only the
+	// all-exclude prefix.
+	g := NewGraph(1)
+	if got := EnumeratePart(g, nil, nil, nil); got != 1 {
+		t.Fatalf("trivial graph, nil prefix: %d, want 1", got)
+	}
+}
