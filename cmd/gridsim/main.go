@@ -1,9 +1,12 @@
 // Command gridsim simulates a dense linear algebra kernel on a
-// heterogeneous network of workstations under a chosen data distribution.
+// heterogeneous network of workstations under a chosen data distribution,
+// or — with -real — executes it for real on goroutine ranks exchanging
+// messages, reporting the measured per-rank traffic.
 //
-// Example:
+// Examples:
 //
 //	gridsim -times 1,2,3,5 -p 2 -q 2 -nb 24 -kernel lu -dist panel -net bus
+//	gridsim -real -kernel lu -dist all -nb 8 -r 8 -bcast tree -tracefile lu.json
 package main
 
 import (
@@ -11,7 +14,9 @@ import (
 	"fmt"
 	"hetgrid"
 	"hetgrid/internal/cliutil"
+	"hetgrid/internal/matrix"
 	"log"
+	"math/rand"
 	"os"
 )
 
@@ -34,6 +39,9 @@ func main() {
 		fullDuplex = flag.Bool("fullduplex", false, "independent send/receive channels per node")
 		gantt      = flag.Bool("gantt", false, "print a per-processor activity chart for each run")
 		traceFile  = flag.String("tracefile", "", "write a Chrome-tracing JSON of the last run to this file")
+		realFlag   = flag.Bool("real", false, "execute the kernel for real (goroutine ranks, measured traffic) instead of simulating")
+		rFlag      = flag.Int("r", 8, "element block size for -real runs (matrix side = nb*r)")
+		bcastFlag  = flag.String("bcast", "auto", "broadcast algorithm: auto, flat, ring, pipeline, tree")
 	)
 	flag.Parse()
 
@@ -42,6 +50,10 @@ func main() {
 		log.Fatal(err)
 	}
 	kernel, err := cliutil.ParseKernel(*kernelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bcast, err := cliutil.ParseBroadcast(*bcastFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,6 +69,7 @@ func main() {
 		BlockBytes: *blockBytes,
 		SyncSteps:  *syncSteps,
 		Pivoting:   *pivoting,
+		Broadcast:  bcast,
 	}
 	if *netFlag != "bus" && *netFlag != "switched" {
 		log.Fatalf("unknown network %q (want switched or bus)", *netFlag)
@@ -65,6 +78,13 @@ func main() {
 	dists, err := buildDistributions(*distFlag, plan, kernel, *nbFlag, *pFlag, *qFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *realFlag {
+		if err := runReal(kernel, dists, *nbFlag, *rFlag, bcast, *traceFile); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("%-20s %12s %12s %8s %9s %12s\n", "distribution", "makespan", "comp bound", "eff", "msgs", "bytes")
@@ -110,6 +130,61 @@ func main() {
 		}
 		fmt.Printf("wrote Chrome trace of the last run to %s\n", *traceFile)
 	}
+}
+
+// runReal executes the kernel with one goroutine per grid processor and
+// reports the measured traffic: world totals plus the per-rank breakdown
+// the engine's instrumented transport collects. With a trace file the last
+// run's timestamped events are written in Chrome-tracing format.
+func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r int, bcast hetgrid.BroadcastKind, traceFile string) error {
+	if r <= 0 {
+		return fmt.Errorf("block size -r must be positive, got %d", r)
+	}
+	n := nb * r
+	rng := rand.New(rand.NewSource(1))
+	fmt.Printf("real execution: %d×%d matrix (%d×%d blocks of %d), %s broadcast\n\n", n, n, nb, nb, r, bcast)
+
+	var lastStats *hetgrid.ExecStats
+	for _, dc := range dists {
+		opts := hetgrid.ExecOptions{Broadcast: bcast, Trace: traceFile != ""}
+		var stats *hetgrid.ExecStats
+		var err error
+		switch kernel {
+		case hetgrid.MatMul:
+			a, b := matrix.Random(n, n, rng), matrix.Random(n, n, rng)
+			_, stats, err = hetgrid.DistributedMultiplyOpts(dc.d, a, b, r, opts)
+		case hetgrid.LU:
+			_, stats, err = hetgrid.DistributedFactorLUOpts(dc.d, matrix.RandomWellConditioned(n, rng), r, opts)
+		case hetgrid.QR:
+			_, stats, err = hetgrid.DistributedFactorQROpts(dc.d, matrix.Random(n, n, rng), r, opts)
+		case hetgrid.Cholesky:
+			_, stats, err = hetgrid.DistributedFactorCholeskyOpts(dc.d, matrix.RandomSPD(n, rng), r, opts)
+		default:
+			return fmt.Errorf("kernel %v has no real execution path", kernel)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %9d messages %12d bytes\n", dc.name, stats.Messages, stats.Bytes)
+		fmt.Printf("  %6s %22s %22s\n", "rank", "sent (msgs / bytes)", "recv (msgs / bytes)")
+		for i, rs := range stats.Ranks {
+			fmt.Printf("  %6d %10d / %9d %10d / %9d\n", i, rs.MsgsSent, rs.BytesSent, rs.MsgsRecv, rs.BytesRecv)
+		}
+		fmt.Println()
+		lastStats = stats
+	}
+	if traceFile != "" && lastStats != nil && lastStats.Trace != nil {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := lastStats.Trace.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace of the last run to %s\n", traceFile)
+	}
+	return nil
 }
 
 type distCase struct {

@@ -4,8 +4,106 @@ import (
 	"fmt"
 
 	"hetgrid/internal/engine"
+	"hetgrid/internal/kernels"
 	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
 )
+
+// BroadcastKind selects the collective algorithm used for the row/column
+// panel broadcasts — by the real distributed engine and by the simulator
+// alike, so a simulated schedule and a real execution can be compared on
+// the identical communication pattern.
+type BroadcastKind int
+
+const (
+	// BroadcastAuto picks the context's default: the ring broadcast the
+	// simulator has always used for simulations, the flat broadcast for
+	// real executions.
+	BroadcastAuto BroadcastKind = iota
+	// FlatBroadcast sends from the source to each receiver directly (star).
+	// Its message count equals the analytic communication volumes
+	// (MMCommVolume/LUCommVolume).
+	FlatBroadcast
+	// RingBroadcast forwards along a chain of receivers.
+	RingBroadcast
+	// PipelinedRingBroadcast splits the payload into segments pipelined
+	// along the ring, overlapping the hops.
+	PipelinedRingBroadcast
+	// TreeBroadcast uses a binomial tree: everyone who has the data
+	// forwards it each round.
+	TreeBroadcast
+)
+
+func (b BroadcastKind) String() string {
+	switch b {
+	case BroadcastAuto:
+		return "auto"
+	case FlatBroadcast:
+		return "flat"
+	case RingBroadcast:
+		return "ring"
+	case PipelinedRingBroadcast:
+		return "pipeline"
+	case TreeBroadcast:
+		return "tree"
+	default:
+		return fmt.Sprintf("broadcast(%d)", int(b))
+	}
+}
+
+// kind maps to the simulator's enum, with def filling BroadcastAuto.
+func (b BroadcastKind) kind(def sim.BroadcastKind) (sim.BroadcastKind, error) {
+	switch b {
+	case BroadcastAuto:
+		return def, nil
+	case FlatBroadcast:
+		return sim.StarBroadcast, nil
+	case RingBroadcast:
+		return sim.RingBroadcast, nil
+	case PipelinedRingBroadcast:
+		return sim.SegmentedRingBroadcast, nil
+	case TreeBroadcast:
+		return sim.TreeBroadcast, nil
+	default:
+		return 0, fmt.Errorf("hetgrid: unknown broadcast kind %d", int(b))
+	}
+}
+
+// ExecOptions configures a real distributed execution.
+type ExecOptions struct {
+	// Broadcast selects the collective algorithm; BroadcastAuto is the flat
+	// broadcast, whose message counts match the analytic volumes.
+	Broadcast BroadcastKind
+	// Trace records timestamped per-message and per-compute events;
+	// ExecStats.Trace then carries them in the simulator's trace format
+	// (Gantt, chrome://tracing).
+	Trace bool
+}
+
+// RankStats is one rank's message/byte traffic (engine counters).
+type RankStats = engine.RankStats
+
+// PairStats is the traffic of one ordered (src,dst) rank pair.
+type PairStats = engine.PairStats
+
+// Trace is a timestamped event log shared between simulated and real
+// executions; see WriteChromeTrace and Gantt.
+type Trace = sim.Trace
+
+// ExecStats reports the real traffic of a distributed execution (kernel
+// plus scatter/gather): world totals, per-rank and per-pair breakdowns,
+// and optionally a timestamped trace. The per-rank sent counters sum
+// exactly to Messages and Bytes.
+type ExecStats struct {
+	Messages, Bytes int
+	// Ranks holds per-rank counters, indexed by flat rank pi·q+pj.
+	Ranks []RankStats
+	// Pairs[src][dst] counts the messages and bytes src sent to dst.
+	Pairs [][]PairStats
+	// Trace is the recorded event log (nil unless ExecOptions.Trace); write
+	// it with Trace.WriteChromeTrace for chrome://tracing.
+	Trace *Trace
+}
 
 // validateTiling checks up front that the matrix tiles into the
 // distribution's block grid — inside engine.Run a failure on rank 0 alone
@@ -19,10 +117,61 @@ func validateTiling(d Distribution, m *Matrix, blockSize int) error {
 	return nil
 }
 
-// ExecStats reports the real message traffic of a distributed execution
-// (kernel plus scatter/gather).
-type ExecStats struct {
-	Messages, Bytes int
+// runDistributed is the shared execution path of every Distributed* entry
+// point: validate the tilings, spawn one goroutine per grid processor,
+// scatter the inputs, run the kernel, gather the result at rank 0 and
+// collect the traffic statistics.
+func runDistributed(d Distribution, opts ExecOptions, blockSize int, inputs []*Matrix,
+	kernel func(c *engine.Comm, stores []*engine.BlockStore) (*engine.BlockStore, error)) (*Matrix, *ExecStats, error) {
+
+	for _, m := range inputs {
+		if err := validateTiling(d, m, blockSize); err != nil {
+			return nil, nil, err
+		}
+	}
+	bk, err := opts.Broadcast.kind(sim.StarBroadcast)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, q := d.Dims()
+	var out *Matrix
+	world, err := engine.RunOpts(p*q, engine.Options{Broadcast: bk, Record: opts.Trace}, func(c *engine.Comm) error {
+		stores := make([]*engine.BlockStore, len(inputs))
+		for i, m := range inputs {
+			s, err := engine.Scatter(c, d, onRank0(c, m), blockSize)
+			if err != nil {
+				return err
+			}
+			stores[i] = s
+		}
+		result, err := kernel(c, stores)
+		if err != nil {
+			return err
+		}
+		full, err := engine.Gather(c, d, result)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = full
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, execStats(world), nil
+}
+
+// execStats snapshots a finished world's counters.
+func execStats(w *engine.World) *ExecStats {
+	return &ExecStats{
+		Messages: w.Messages(),
+		Bytes:    w.Bytes(),
+		Ranks:    w.RankStats(),
+		Pairs:    w.PairStats(),
+		Trace:    w.Trace(),
+	}
 }
 
 // DistributedMultiply executes C = A·B on the distribution for real: one
@@ -31,40 +180,15 @@ type ExecStats struct {
 // distribution's block grid. The caller sees a serial API; the concurrency
 // is internal.
 func DistributedMultiply(d Distribution, a, b *Matrix, blockSize int) (*Matrix, *ExecStats, error) {
-	if err := validateTiling(d, a, blockSize); err != nil {
-		return nil, nil, err
-	}
-	if err := validateTiling(d, b, blockSize); err != nil {
-		return nil, nil, err
-	}
-	p, q := d.Dims()
-	var out *Matrix
-	world, err := engine.Run(p*q, func(c *engine.Comm) error {
-		aStore, err := engine.Scatter(c, d, onRank0(c, a), blockSize)
-		if err != nil {
-			return err
-		}
-		bStore, err := engine.Scatter(c, d, onRank0(c, b), blockSize)
-		if err != nil {
-			return err
-		}
-		cStore, err := engine.MM(c, d, aStore, bStore)
-		if err != nil {
-			return err
-		}
-		full, err := engine.Gather(c, d, cStore)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			out = full
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return out, &ExecStats{Messages: world.Messages(), Bytes: world.Bytes()}, nil
+	return DistributedMultiplyOpts(d, a, b, blockSize, ExecOptions{})
+}
+
+// DistributedMultiplyOpts is DistributedMultiply with explicit options.
+func DistributedMultiplyOpts(d Distribution, a, b *Matrix, blockSize int, opts ExecOptions) (*Matrix, *ExecStats, error) {
+	return runDistributed(d, opts, blockSize, []*Matrix{a, b},
+		func(c *engine.Comm, stores []*engine.BlockStore) (*engine.BlockStore, error) {
+			return engine.MM(c, d, stores[0], stores[1])
+		})
 }
 
 // DistributedFactorLU executes the unpivoted right-looking LU on the
@@ -72,64 +196,81 @@ func DistributedMultiply(d Distribution, a, b *Matrix, blockSize int) (*Matrix, 
 // factors (see SplitLU). Supply matrices that are safely factorable without
 // pivoting (e.g. diagonally dominant).
 func DistributedFactorLU(d Distribution, a *Matrix, blockSize int) (*Matrix, *ExecStats, error) {
-	if err := validateTiling(d, a, blockSize); err != nil {
-		return nil, nil, err
-	}
-	p, q := d.Dims()
-	var out *Matrix
-	world, err := engine.Run(p*q, func(c *engine.Comm) error {
-		store, err := engine.Scatter(c, d, onRank0(c, a), blockSize)
-		if err != nil {
-			return err
-		}
-		if err := engine.LU(c, d, store); err != nil {
-			return err
-		}
-		full, err := engine.Gather(c, d, store)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			out = full
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	return out, &ExecStats{Messages: world.Messages(), Bytes: world.Bytes()}, nil
+	return DistributedFactorLUOpts(d, a, blockSize, ExecOptions{})
+}
+
+// DistributedFactorLUOpts is DistributedFactorLU with explicit options.
+func DistributedFactorLUOpts(d Distribution, a *Matrix, blockSize int, opts ExecOptions) (*Matrix, *ExecStats, error) {
+	return runDistributed(d, opts, blockSize, []*Matrix{a},
+		func(c *engine.Comm, stores []*engine.BlockStore) (*engine.BlockStore, error) {
+			return stores[0], engine.LU(c, d, stores[0])
+		})
 }
 
 // DistributedFactorCholesky executes the distributed Cholesky
 // factorization A = L·Lᵀ with one goroutine per processor, returning the
 // lower factor. The input must be symmetric positive definite.
 func DistributedFactorCholesky(d Distribution, a *Matrix, blockSize int) (*Matrix, *ExecStats, error) {
-	if err := validateTiling(d, a, blockSize); err != nil {
-		return nil, nil, err
-	}
-	p, q := d.Dims()
-	var out *Matrix
-	world, err := engine.Run(p*q, func(c *engine.Comm) error {
-		store, err := engine.Scatter(c, d, onRank0(c, a), blockSize)
-		if err != nil {
-			return err
-		}
-		if err := engine.Cholesky(c, d, store); err != nil {
-			return err
-		}
-		full, err := engine.Gather(c, d, store)
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			out = full
-		}
-		return nil
-	})
+	return DistributedFactorCholeskyOpts(d, a, blockSize, ExecOptions{})
+}
+
+// DistributedFactorCholeskyOpts is DistributedFactorCholesky with explicit
+// options.
+func DistributedFactorCholeskyOpts(d Distribution, a *Matrix, blockSize int, opts ExecOptions) (*Matrix, *ExecStats, error) {
+	return runDistributed(d, opts, blockSize, []*Matrix{a},
+		func(c *engine.Comm, stores []*engine.BlockStore) (*engine.BlockStore, error) {
+			return stores[0], engine.Cholesky(c, d, stores[0])
+		})
+}
+
+// DistributedFactorQR executes the distributed blocked Householder QR with
+// one goroutine per processor. The returned factorization exposes R and a
+// reconstructor for Q, like FactorQR, but is produced by real
+// message-passing execution (bit-identical to the replay).
+func DistributedFactorQR(d Distribution, a *Matrix, blockSize int) (*QRFactorization, *ExecStats, error) {
+	return DistributedFactorQROpts(d, a, blockSize, ExecOptions{})
+}
+
+// DistributedFactorQROpts is DistributedFactorQR with explicit options.
+func DistributedFactorQROpts(d Distribution, a *Matrix, blockSize int, opts ExecOptions) (*QRFactorization, *ExecStats, error) {
+	var taus [][]float64
+	packed, stats, err := runDistributed(d, opts, blockSize, []*Matrix{a},
+		func(c *engine.Comm, stores []*engine.BlockStore) (*engine.BlockStore, error) {
+			ts, err := engine.QR(c, d, stores[0])
+			if err != nil {
+				return nil, err
+			}
+			if c.Rank() == 0 {
+				taus = ts
+			}
+			return stores[0], nil
+		})
 	if err != nil {
 		return nil, nil, err
 	}
-	return out, &ExecStats{Messages: world.Messages(), Bytes: world.Bytes()}, nil
+	rep := &kernels.QRReplay{
+		Replay: kernels.Replay{C: packed, Ops: qrOpCounts(d)},
+		Taus:   taus,
+	}
+	return &QRFactorization{rep: rep}, stats, nil
+}
+
+// qrOpCounts attributes QR block operations to owners exactly like
+// kernels.ReplayQR: panel blocks and trailing blocks of step k charge
+// their owner once each.
+func qrOpCounts(d Distribution) []int {
+	nb, _ := d.Blocks()
+	p, q := d.Dims()
+	ops := make([]int, p*q)
+	for k := 0; k < nb; k++ {
+		for bj := k; bj < nb; bj++ {
+			for bi := k; bi < nb; bi++ {
+				pi, pj := d.Owner(bi, bj)
+				ops[pi*q+pj]++
+			}
+		}
+	}
+	return ops
 }
 
 // onRank0 passes the matrix only to rank 0, as Scatter expects.

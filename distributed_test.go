@@ -65,6 +65,146 @@ func TestDistributedFactorLU(t *testing.T) {
 	}
 }
 
+func TestDistributedFactorQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	d, err := Uniform(2, 2, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nb, r = 5, 3
+	a := matrix.Random(nb*r, nb*r, rng)
+	f, stats, err := DistributedFactorQR(d, a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if !matrix.Mul(f.Q(r), f.R()).EqualApprox(a, 1e-9) {
+		t.Fatal("distributed QR: Q·R != A")
+	}
+	// Real execution and serial replay agree bit for bit, including the
+	// ownership-attributed operation counts.
+	rep, err := FactorQR(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.R().Equal(rep.R()) {
+		t.Fatal("distributed R differs from replay")
+	}
+	gotOps, wantOps := f.Ops(), rep.Ops()
+	for i := range wantOps {
+		if gotOps[i] != wantOps[i] {
+			t.Fatalf("ops[%d] = %d, replay %d", i, gotOps[i], wantOps[i])
+		}
+	}
+}
+
+func TestDistributedExecStatsBreakdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	d, err := Uniform(2, 3, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 2
+	a := matrix.RandomWellConditioned(12, rng)
+	packed, stats, err := DistributedFactorLUOpts(d, a, r, ExecOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed == nil {
+		t.Fatal("no result")
+	}
+	if len(stats.Ranks) != 6 || len(stats.Pairs) != 6 {
+		t.Fatalf("expected 6-rank breakdowns, got %d/%d", len(stats.Ranks), len(stats.Pairs))
+	}
+	var msgs, bytes, pairMsgs int
+	for _, rs := range stats.Ranks {
+		msgs += rs.MsgsSent
+		bytes += rs.BytesSent
+	}
+	for _, row := range stats.Pairs {
+		for _, ps := range row {
+			pairMsgs += ps.Messages
+		}
+	}
+	if msgs != stats.Messages || bytes != stats.Bytes || pairMsgs != stats.Messages {
+		t.Fatalf("per-rank sums (%d msgs, %d bytes; pairs %d) != totals (%d, %d)",
+			msgs, bytes, pairMsgs, stats.Messages, stats.Bytes)
+	}
+	if stats.Trace == nil || len(stats.Trace.Ops) == 0 {
+		t.Fatal("trace requested but empty")
+	}
+	// Without the option the trace stays nil (no recording overhead).
+	_, plain, err := DistributedFactorLU(d, a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("trace recorded without being requested")
+	}
+}
+
+func TestDistributedBroadcastKindsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 2
+	a := matrix.RandomWellConditioned(12, rng)
+	base, _, err := DistributedFactorLU(d, a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bk := range []BroadcastKind{FlatBroadcast, RingBroadcast, PipelinedRingBroadcast, TreeBroadcast} {
+		got, _, err := DistributedFactorLUOpts(d, a, r, ExecOptions{Broadcast: bk})
+		if err != nil {
+			t.Fatalf("%v: %v", bk, err)
+		}
+		if !got.Equal(base) {
+			t.Fatalf("%v: factors differ from the flat broadcast", bk)
+		}
+	}
+	if _, _, err := DistributedFactorLUOpts(d, a, r, ExecOptions{Broadcast: BroadcastKind(99)}); err == nil {
+		t.Fatal("invalid broadcast kind accepted")
+	}
+}
+
+func TestSimulateBroadcastSelection(t *testing.T) {
+	plan, err := Balance([]float64{1, 2, 3, 5}, 2, 2, StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Uniform(2, 2, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Simulate(LU, d, plan, SimOptions{Latency: 1e-4, ByteTime: 1e-8, BlockBytes: 8 * 32 * 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := Simulate(LU, d, plan, SimOptions{Latency: 1e-4, ByteTime: 1e-8, BlockBytes: 8 * 32 * 32, Broadcast: RingBroadcast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BroadcastAuto preserves the simulator's historical default, the ring
+	// broadcast.
+	if auto.Makespan != ring.Makespan {
+		t.Fatalf("auto makespan %v differs from ring %v", auto.Makespan, ring.Makespan)
+	}
+	// On a 2×2 grid star, ring and tree schedules coincide (every broadcast
+	// has at most one forwarding hop), but segment pipelining still changes
+	// the message structure and therefore the makespan.
+	pipe, err := Simulate(LU, d, plan, SimOptions{Latency: 1e-4, ByteTime: 1e-8, BlockBytes: 8 * 32 * 32, Broadcast: PipelinedRingBroadcast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Makespan == ring.Makespan {
+		t.Fatal("broadcast kind had no effect on the simulated schedule")
+	}
+}
+
 func TestDistributedMultiplyBadBlockSize(t *testing.T) {
 	d, err := Uniform(2, 2, 4, 4)
 	if err != nil {

@@ -89,9 +89,13 @@ func RandomSPDMatrix(n int, rng interface{ Float64() float64 }) *Matrix {
 
 // simulateCholesky dispatches the Cholesky kernel for Simulate.
 func simulateCholesky(d Distribution, plan *Plan, opts SimOptions) (*SimResult, error) {
+	bk, err := opts.Broadcast.kind(sim.RingBroadcast)
+	if err != nil {
+		return nil, err
+	}
 	kopts := kernels.Options{
 		Net:        sim.Config{Latency: opts.Latency, ByteTime: opts.ByteTime, SharedBus: opts.SharedBus, FullDuplex: opts.FullDuplex},
-		Broadcast:  sim.RingBroadcast,
+		Broadcast:  bk,
 		BlockBytes: opts.BlockBytes,
 	}
 	return kernels.SimulateCholesky(d, plan.sol.Arr, kopts)
@@ -102,9 +106,13 @@ func simulateCholesky(d Distribution, plan *Plan, opts SimOptions) (*SimResult, 
 // activity (width columns wide). Useful for inspecting where the schedule
 // loses time.
 func TraceSimulation(k Kernel, d Distribution, plan *Plan, opts SimOptions, width int) (*SimResult, string, error) {
+	bk, err := opts.Broadcast.kind(sim.RingBroadcast)
+	if err != nil {
+		return nil, "", err
+	}
 	res, trace, err := kernels.SimulateTraced(kindOf(k), d, plan.sol.Arr, kernels.Options{
 		Net:        sim.Config{Latency: opts.Latency, ByteTime: opts.ByteTime, SharedBus: opts.SharedBus, FullDuplex: opts.FullDuplex},
-		Broadcast:  sim.RingBroadcast,
+		Broadcast:  bk,
 		BlockBytes: opts.BlockBytes,
 		SyncSteps:  opts.SyncSteps,
 	})

@@ -311,6 +311,11 @@ type SimOptions struct {
 	// Pivoting charges the LU/QR simulations for partial pivoting (pivot
 	// search reduction plus worst-case row exchange per step).
 	Pivoting bool
+	// Broadcast selects the collective algorithm the simulated kernels
+	// schedule; BroadcastAuto keeps the simulator's historical default, the
+	// ring broadcast. The same enum drives real executions through
+	// ExecOptions, so both substrates can run the identical schedule.
+	Broadcast BroadcastKind
 }
 
 // SimResult reports one simulated kernel execution.
@@ -320,9 +325,13 @@ type SimResult = kernels.Result
 // distribution. The arrangement is taken from the plan; the distribution
 // must have matching grid dimensions.
 func Simulate(k Kernel, d Distribution, plan *Plan, opts SimOptions) (*SimResult, error) {
+	bk, err := opts.Broadcast.kind(sim.RingBroadcast)
+	if err != nil {
+		return nil, err
+	}
 	kopts := kernels.Options{
 		Net:        sim.Config{Latency: opts.Latency, ByteTime: opts.ByteTime, SharedBus: opts.SharedBus, FullDuplex: opts.FullDuplex},
-		Broadcast:  sim.RingBroadcast,
+		Broadcast:  bk,
 		BlockBytes: opts.BlockBytes,
 		SyncSteps:  opts.SyncSteps,
 		Pivoting:   opts.Pivoting,

@@ -41,6 +41,25 @@ func ParseKernel(s string) (hetgrid.Kernel, error) {
 	}
 }
 
+// ParseBroadcast maps a broadcast-algorithm name to its constant.
+// Accepted: auto, flat (or star), ring, pipeline (or segring), tree.
+func ParseBroadcast(s string) (hetgrid.BroadcastKind, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return hetgrid.BroadcastAuto, nil
+	case "flat", "star":
+		return hetgrid.FlatBroadcast, nil
+	case "ring":
+		return hetgrid.RingBroadcast, nil
+	case "pipeline", "segring":
+		return hetgrid.PipelinedRingBroadcast, nil
+	case "tree":
+		return hetgrid.TreeBroadcast, nil
+	default:
+		return 0, fmt.Errorf("unknown broadcast %q (want auto, flat, ring, pipeline or tree)", s)
+	}
+}
+
 // ParseStrategy maps a strategy name to its constant.
 func ParseStrategy(s string) (hetgrid.Strategy, error) {
 	switch strings.ToLower(s) {

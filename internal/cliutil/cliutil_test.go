@@ -45,6 +45,23 @@ func TestParseKernel(t *testing.T) {
 	}
 }
 
+func TestParseBroadcast(t *testing.T) {
+	for s, want := range map[string]hetgrid.BroadcastKind{
+		"auto": hetgrid.BroadcastAuto, "flat": hetgrid.FlatBroadcast,
+		"star": hetgrid.FlatBroadcast, "ring": hetgrid.RingBroadcast,
+		"pipeline": hetgrid.PipelinedRingBroadcast, "segring": hetgrid.PipelinedRingBroadcast,
+		"tree": hetgrid.TreeBroadcast, "TREE": hetgrid.TreeBroadcast,
+	} {
+		got, err := ParseBroadcast(s)
+		if err != nil || got != want {
+			t.Fatalf("%q: got %v err %v", s, got, err)
+		}
+	}
+	if _, err := ParseBroadcast("carrier-pigeon"); err == nil {
+		t.Fatal("unknown broadcast accepted")
+	}
+}
+
 func TestParseStrategy(t *testing.T) {
 	for s, want := range map[string]hetgrid.Strategy{
 		"auto": hetgrid.StrategyAuto, "heuristic": hetgrid.StrategyHeuristic,

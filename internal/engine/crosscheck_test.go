@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/grid"
+	"hetgrid/internal/matrix"
+)
+
+// crosscheckGrids returns named distribution sets on 2×2 and 2×3 process
+// grids: the analytic communication volumes must hold on non-square grids
+// too.
+func crosscheckGrids(t *testing.T, nb int) map[string][]distribution.Distribution {
+	t.Helper()
+	out := map[string][]distribution.Distribution{}
+	out["2x2"] = engineDistributions(t, nb)
+	uni, err := distribution.UniformBlockCyclic(2, 3, nb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := grid.MustNew([][]float64{{1, 2, 3}, {4, 5, 6}})
+	kl, err := distribution.NewKL(arr, nb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["2x3"] = []distribution.Distribution{uni, kl}
+	return out
+}
+
+// ranksOf returns the world size of a distribution's process grid.
+func ranksOf(d distribution.Distribution) int {
+	p, q := d.Dims()
+	return p * q
+}
+
+// checkRankSums asserts the per-rank counters are internally consistent
+// with the world totals: sent sums equal Messages()/Bytes() exactly, every
+// sent message was received (the kernels strand nothing), and the pair
+// matrix tells the same story.
+func checkRankSums(t *testing.T, name string, w *World) {
+	t.Helper()
+	var msgsSent, msgsRecv, bytesSent, bytesRecv int
+	for _, rs := range w.RankStats() {
+		msgsSent += rs.MsgsSent
+		msgsRecv += rs.MsgsRecv
+		bytesSent += rs.BytesSent
+		bytesRecv += rs.BytesRecv
+	}
+	if msgsSent != w.Messages() || bytesSent != w.Bytes() {
+		t.Fatalf("%s: per-rank sums (%d msgs, %d bytes) != world totals (%d, %d)",
+			name, msgsSent, bytesSent, w.Messages(), w.Bytes())
+	}
+	if msgsRecv != msgsSent || bytesRecv != bytesSent {
+		t.Fatalf("%s: received (%d msgs, %d bytes) != sent (%d, %d): stranded messages",
+			name, msgsRecv, bytesRecv, msgsSent, bytesSent)
+	}
+	var pairMsgs, pairBytes int
+	for _, row := range w.PairStats() {
+		for _, ps := range row {
+			pairMsgs += ps.Messages
+			pairBytes += ps.Bytes
+		}
+	}
+	if pairMsgs != w.Messages() || pairBytes != w.Bytes() {
+		t.Fatalf("%s: pair sums (%d msgs, %d bytes) != world totals (%d, %d)",
+			name, pairMsgs, pairBytes, w.Messages(), w.Bytes())
+	}
+}
+
+func TestMMCountersMatchAnalytics(t *testing.T) {
+	// Three-layer parity for MM under the flat broadcast: the real
+	// execution's kernel message and byte counts (scatter traffic
+	// subtracted via a baseline run) equal distribution.MMCommVolume, on
+	// square and rectangular process grids, and the per-rank counters sum
+	// exactly to the world totals.
+	rng := rand.New(rand.NewSource(311))
+	const nb, r = 6, 2
+	a := matrix.Random(nb*r, nb*r, rng)
+	b := matrix.Random(nb*r, nb*r, rng)
+	for gname, ds := range crosscheckGrids(t, nb) {
+		for _, d := range ds {
+			name := gname + "/" + d.Name()
+			n := ranksOf(d)
+			base, err := Run(n, func(c *Comm) error {
+				if _, err := Scatter(c, d, pick(c.Rank() == 0, a), r); err != nil {
+					return err
+				}
+				_, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Run(n, func(c *Comm) error {
+				s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+				if err != nil {
+					return err
+				}
+				s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+				if err != nil {
+					return err
+				}
+				_, err = MM(c, d, s1, s2)
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkRankSums(t, name, base)
+			checkRankSums(t, name, full)
+			vol, err := distribution.MMCommVolume(d, 8*float64(r*r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := full.Messages() - base.Messages(); got != vol.Messages {
+				t.Fatalf("%s: engine sent %d kernel messages, analytics says %d", name, got, vol.Messages)
+			}
+			if got := full.Bytes() - base.Bytes(); float64(got) != vol.Bytes {
+				t.Fatalf("%s: engine moved %d kernel bytes, analytics says %v", name, got, vol.Bytes)
+			}
+		}
+	}
+}
+
+func TestLUCountersMatchAnalytics(t *testing.T) {
+	// Same parity for LU: per step the diagonal travels once to the column
+	// owners and once to the row's receiver set, and grouped L/U panels
+	// match distribution.LUCommVolume exactly.
+	rng := rand.New(rand.NewSource(312))
+	const nb, r = 6, 2
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	for gname, ds := range crosscheckGrids(t, nb) {
+		for _, d := range ds {
+			name := gname + "/" + d.Name()
+			n := ranksOf(d)
+			base, err := Run(n, func(c *Comm) error {
+				_, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Run(n, func(c *Comm) error {
+				store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+				if err != nil {
+					return err
+				}
+				return LU(c, d, store)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkRankSums(t, name, full)
+			vol, err := distribution.LUCommVolume(d, 8*float64(r*r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := full.Messages() - base.Messages(); got != vol.Messages {
+				t.Fatalf("%s: engine sent %d kernel messages, analytics says %d", name, got, vol.Messages)
+			}
+			if got := full.Bytes() - base.Bytes(); float64(got) != vol.Bytes {
+				t.Fatalf("%s: engine moved %d kernel bytes, analytics says %v", name, got, vol.Bytes)
+			}
+		}
+	}
+}
+
+func TestBytesConservedAcrossBroadcastKinds(t *testing.T) {
+	// Ring and tree broadcasts reshape who forwards to whom but deliver the
+	// same panels: total byte volume is invariant across point-to-point
+	// schedules (the segmented ring splits the same bytes into more
+	// envelopes, so only its message count differs).
+	rng := rand.New(rand.NewSource(313))
+	const nb, r = 6, 2
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	d := engineDistributions(t, nb)[2] // KL
+	run := func(kind Options) *World {
+		w, err := RunOpts(4, kind, func(c *Comm) error {
+			store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			return LU(c, d, store)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	flat := run(Options{})
+	for _, bk := range allBroadcastKinds {
+		w := run(Options{Broadcast: bk.kind})
+		checkRankSums(t, bk.name, w)
+		if w.Bytes() != flat.Bytes() {
+			t.Fatalf("%s: byte volume %d differs from flat %d", bk.name, w.Bytes(), flat.Bytes())
+		}
+	}
+}

@@ -7,6 +7,16 @@
 // designed for: no rank ever touches another rank's blocks, and the final
 // result is assembled exclusively from messages.
 //
+// The package is layered:
+//
+//	Transport   point-to-point fabric (in-process mailboxes by default),
+//	            wrapped by a Meter that keeps per-rank / per-pair traffic
+//	            counters and an optional timestamped event trace
+//	Collectives row/column panel broadcasts and reductions, supporting the
+//	            same sim.BroadcastKind algorithms the simulator models, so
+//	            real and simulated runs select the identical schedule
+//	Kernels     MM / LU / Cholesky / QR written on the collectives
+//
 // Messages are delivered through unbounded per-pair mailboxes, so sends
 // never block and the SPMD kernels cannot deadlock on buffer capacity;
 // receives block until a matching tag arrives. Traffic counters let tests
@@ -17,75 +27,31 @@ package engine
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
 )
 
-// message is one tagged payload in flight.
-type message struct {
-	tag  string
-	data *matrix.Dense
+// Options configures one Run.
+type Options struct {
+	// Broadcast selects the collective algorithm used by the kernels —
+	// the same variants the simulator models (star/flat, ring, segmented
+	// ring, binomial tree). The zero value is the flat broadcast.
+	Broadcast sim.BroadcastKind
+	// Record enables the timestamped event trace (per-message enqueue →
+	// delivery spans plus labeled compute sections), retrievable from
+	// World.Trace after the run.
+	Record bool
+	// Transport overrides the message fabric; nil uses the in-process
+	// mailbox transport.
+	Transport Transport
 }
-
-// mailbox is an unbounded queue of messages between one ordered pair of
-// ranks, with tag-selective receive.
-type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []message
-	aborted bool
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-func (m *mailbox) put(tag string, data *matrix.Dense) {
-	m.mu.Lock()
-	m.queue = append(m.queue, message{tag: tag, data: data})
-	m.mu.Unlock()
-	m.cond.Broadcast()
-}
-
-// abort unblocks any waiting take; blocked receivers panic with errAborted
-// so a failing rank cannot leave its peers deadlocked in Recv.
-func (m *mailbox) abort() {
-	m.mu.Lock()
-	m.aborted = true
-	m.mu.Unlock()
-	m.cond.Broadcast()
-}
-
-func (m *mailbox) take(tag string) *matrix.Dense {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for {
-		for i, msg := range m.queue {
-			if msg.tag == tag {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg.data
-			}
-		}
-		if m.aborted {
-			panic(errAborted)
-		}
-		m.cond.Wait()
-	}
-}
-
-// errAborted is the panic payload delivered to ranks blocked in Recv when
-// another rank fails.
-var errAborted = fmt.Errorf("engine: run aborted by a failing rank")
 
 // World is the communication context shared by all ranks of one Run.
 type World struct {
-	n        int
-	boxes    [][]*mailbox // boxes[src][dst]
-	messages atomic.Int64
-	bytes    atomic.Int64
+	n     int
+	opts  Options
+	meter *Meter
 }
 
 // Comm is one rank's endpoint.
@@ -94,20 +60,24 @@ type Comm struct {
 	rank  int
 }
 
-// Run spawns n ranks, each executing body with its own Comm, and waits for
-// all of them. The first non-nil error is returned (all ranks still run to
-// completion; SPMD bodies are expected to fail collectively or not at all).
+// Run spawns n ranks with default options; see RunOpts.
 func Run(n int, body func(c *Comm) error) (*World, error) {
+	return RunOpts(n, Options{}, body)
+}
+
+// RunOpts spawns n ranks, each executing body with its own Comm, and waits
+// for all of them. The first non-nil error is returned (all ranks still run
+// to completion; SPMD bodies are expected to fail collectively or not at
+// all).
+func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("engine: invalid rank count %d", n)
 	}
-	w := &World{n: n, boxes: make([][]*mailbox, n)}
-	for i := range w.boxes {
-		w.boxes[i] = make([]*mailbox, n)
-		for j := range w.boxes[i] {
-			w.boxes[i][j] = newMailbox()
-		}
+	inner := opts.Transport
+	if inner == nil {
+		inner = NewMemTransport(n)
 	}
+	w := &World{n: n, opts: opts, meter: NewMeter(inner, n, opts.Record)}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
@@ -123,12 +93,12 @@ func Run(n int, body func(c *Comm) error) (*World, error) {
 					} else {
 						errs[rank] = fmt.Errorf("engine: rank %d panicked: %v", rank, p)
 					}
-					w.abortAll()
+					w.meter.Abort()
 				}
 			}()
 			if err := body(&Comm{world: w, rank: rank}); err != nil {
 				errs[rank] = err
-				w.abortAll()
+				w.meter.Abort()
 			}
 		}(r)
 	}
@@ -141,20 +111,14 @@ func Run(n int, body func(c *Comm) error) (*World, error) {
 	return w, nil
 }
 
-// abortAll unblocks every pending Recv in the world.
-func (w *World) abortAll() {
-	for _, row := range w.boxes {
-		for _, box := range row {
-			box.abort()
-		}
-	}
-}
-
 // Rank returns this endpoint's rank.
 func (c *Comm) Rank() int { return c.rank }
 
 // N returns the number of ranks.
 func (c *Comm) N() int { return c.world.n }
+
+// Broadcast returns the collective algorithm this world runs under.
+func (c *Comm) Broadcast() sim.BroadcastKind { return c.world.opts.Broadcast }
 
 // Send delivers a copy of data to dst under tag. Sending to yourself is
 // allowed and does not count as traffic (local data). Send never blocks.
@@ -162,14 +126,7 @@ func (c *Comm) Send(dst int, tag string, data *matrix.Dense) {
 	if dst < 0 || dst >= c.world.n {
 		panic(fmt.Sprintf("engine: send to rank %d of %d", dst, c.world.n))
 	}
-	if dst == c.rank {
-		c.world.boxes[c.rank][c.rank].put(tag, data.Clone())
-		return
-	}
-	r, cl := data.Dims()
-	c.world.messages.Add(1)
-	c.world.bytes.Add(int64(8 * r * cl))
-	c.world.boxes[c.rank][dst].put(tag, data.Clone())
+	c.world.meter.Send(c.rank, dst, tag, data.Clone())
 }
 
 // Recv blocks until a message with the tag arrives from src and returns
@@ -178,11 +135,36 @@ func (c *Comm) Recv(src int, tag string) *matrix.Dense {
 	if src < 0 || src >= c.world.n {
 		panic(fmt.Sprintf("engine: recv from rank %d of %d", src, c.world.n))
 	}
-	return c.world.boxes[src][c.rank].take(tag)
+	return c.world.meter.Recv(src, c.rank, tag)
+}
+
+// Compute runs f as a labeled compute span attributed to this rank in the
+// event trace (free when recording is off).
+func (c *Comm) Compute(label string, f func() error) error {
+	m := c.world.meter
+	if !m.record {
+		return f()
+	}
+	start := m.now()
+	err := f()
+	m.compute(c.rank, label, start, m.now())
+	return err
 }
 
 // Messages returns the total cross-rank messages sent so far.
-func (w *World) Messages() int { return int(w.messages.Load()) }
+func (w *World) Messages() int { return w.meter.Messages() }
 
 // Bytes returns the total cross-rank bytes sent so far.
-func (w *World) Bytes() int { return int(w.bytes.Load()) }
+func (w *World) Bytes() int { return w.meter.Bytes() }
+
+// RankStats returns per-rank traffic counters; their sent sums equal
+// Messages() and Bytes() exactly.
+func (w *World) RankStats() []RankStats { return w.meter.RankStats() }
+
+// PairStats returns per-(src,dst) traffic counters.
+func (w *World) PairStats() [][]PairStats { return w.meter.PairStats() }
+
+// Trace returns the recorded event trace (nil unless Options.Record). It
+// uses the simulator's trace format, so Gantt rendering and chrome-trace
+// export work unchanged on real executions.
+func (w *World) Trace() *sim.Trace { return w.meter.Trace() }

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/kernels"
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
+)
+
+// allBroadcastKinds enumerates every collective algorithm the engine
+// supports — the same set the simulator models.
+var allBroadcastKinds = []struct {
+	name string
+	kind sim.BroadcastKind
+}{
+	{"flat", sim.StarBroadcast},
+	{"ring", sim.RingBroadcast},
+	{"segring", sim.SegmentedRingBroadcast},
+	{"tree", sim.TreeBroadcast},
+}
+
+// The golden tests pin the engine kernels to the serial replay bit for bit:
+// the distributed execution reorders nothing, only relocates, so every
+// broadcast algorithm must reproduce the replay's floating-point results
+// exactly (Equal, not EqualApprox).
+
+func TestMMGoldenAllBroadcastKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	const nb, r = 6, 3
+	a := matrix.Random(nb*r, nb*r, rng)
+	b := matrix.Random(nb*r, nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		rep, err := kernels.ReplayMM(d, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bk := range allBroadcastKinds {
+			var got *matrix.Dense
+			_, err := RunOpts(4, Options{Broadcast: bk.kind}, func(c *Comm) error {
+				s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+				if err != nil {
+					return err
+				}
+				s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+				if err != nil {
+					return err
+				}
+				cs, err := MM(c, d, s1, s2)
+				if err != nil {
+					return err
+				}
+				full, err := Gather(c, d, cs)
+				if c.Rank() == 0 {
+					got = full
+				}
+				return err
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", d.Name(), bk.name, err)
+			}
+			if !got.Equal(rep.C) {
+				t.Fatalf("%s/%s: distributed MM not bit-identical to replay", d.Name(), bk.name)
+			}
+		}
+	}
+}
+
+func TestLUGoldenAllBroadcastKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	const nb, r = 6, 3
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		rep, err := kernels.ReplayLU(d, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bk := range allBroadcastKinds {
+			var got *matrix.Dense
+			_, err := RunOpts(4, Options{Broadcast: bk.kind}, func(c *Comm) error {
+				store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+				if err != nil {
+					return err
+				}
+				if err := LU(c, d, store); err != nil {
+					return err
+				}
+				full, err := Gather(c, d, store)
+				if c.Rank() == 0 {
+					got = full
+				}
+				return err
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", d.Name(), bk.name, err)
+			}
+			if !got.Equal(rep.C) {
+				t.Fatalf("%s/%s: distributed LU not bit-identical to replay", d.Name(), bk.name)
+			}
+		}
+	}
+}
+
+func TestCholeskyGoldenAllBroadcastKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	const nb, r = 6, 3
+	a := matrix.RandomSPD(nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		rep, err := kernels.ReplayCholesky(d, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bk := range allBroadcastKinds {
+			var got *matrix.Dense
+			_, err := RunOpts(4, Options{Broadcast: bk.kind}, func(c *Comm) error {
+				store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+				if err != nil {
+					return err
+				}
+				if err := Cholesky(c, d, store); err != nil {
+					return err
+				}
+				full, err := Gather(c, d, store)
+				if c.Rank() == 0 {
+					got = full
+				}
+				return err
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", d.Name(), bk.name, err)
+			}
+			if !got.Equal(rep.C) {
+				t.Fatalf("%s/%s: distributed Cholesky not bit-identical to replay", d.Name(), bk.name)
+			}
+		}
+	}
+}
+
+func TestQRGoldenAllBroadcastKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	const nb, r = 5, 3
+	a := matrix.Random(nb*r, nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		rep, err := kernels.ReplayQR(d, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bk := range allBroadcastKinds {
+			var got *matrix.Dense
+			var taus [][]float64
+			_, err := RunOpts(4, Options{Broadcast: bk.kind}, func(c *Comm) error {
+				store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+				if err != nil {
+					return err
+				}
+				ts, err := QR(c, d, store)
+				if err != nil {
+					return err
+				}
+				full, err := Gather(c, d, store)
+				if c.Rank() == 0 {
+					got = full
+					taus = ts
+				}
+				return err
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", d.Name(), bk.name, err)
+			}
+			if !got.Equal(rep.C) {
+				t.Fatalf("%s/%s: distributed QR not bit-identical to replay", d.Name(), bk.name)
+			}
+			if len(taus) != nb {
+				t.Fatalf("%s/%s: %d tau panels, want %d", d.Name(), bk.name, len(taus), nb)
+			}
+			for k := range taus {
+				for i, v := range taus[k] {
+					if v != rep.Taus[k][i] {
+						t.Fatalf("%s/%s: tau[%d][%d] = %v, replay %v", d.Name(), bk.name, k, i, v, rep.Taus[k][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQRReconstructsInput(t *testing.T) {
+	// End-to-end sanity independent of the replay: Q·R == A.
+	rng := rand.New(rand.NewSource(305))
+	const nb, r = 4, 3
+	a := matrix.Random(nb*r, nb*r, rng)
+	d := engineDistributions(t, nb)[1] // het-panel
+	var got *matrix.Dense
+	var taus [][]float64
+	_, err := Run(4, func(c *Comm) error {
+		store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+		if err != nil {
+			return err
+		}
+		ts, err := QR(c, d, store)
+		if err != nil {
+			return err
+		}
+		full, err := Gather(c, d, store)
+		if c.Rank() == 0 {
+			got = full
+			taus = ts
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &kernels.QRReplay{Replay: kernels.Replay{C: got}, Taus: taus}
+	qm := rep.Q(r)
+	if !matrix.Mul(qm, rep.R()).EqualApprox(a, 1e-9) {
+		t.Fatal("Q·R does not reconstruct the input")
+	}
+}
+
+func TestQRValidation(t *testing.T) {
+	rect, err := distribution.UniformBlockCyclic(2, 2, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := Run(4, func(c *Comm) error {
+		_, err := QR(c, rect, NewBlockStore(2))
+		return err
+	})
+	if runErr == nil {
+		t.Fatal("rectangular QR accepted")
+	}
+}

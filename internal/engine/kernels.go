@@ -102,232 +102,201 @@ func Gather(c *Comm, d distribution.Distribution, store *BlockStore) (*matrix.De
 	return full, nil
 }
 
-// receiverRows returns, per block row, the ranks owning any block of that
-// row with column ≥ jmin (the horizontal broadcast recipients).
-func receiverRows(d distribution.Distribution, jmin int) [][]int {
+// squareBlocks validates that the distribution tiles a square block matrix
+// and returns the block order.
+func squareBlocks(d distribution.Distribution, kernel string) (int, error) {
 	nbr, nbc := d.Blocks()
-	out := make([][]int, nbr)
-	for bi := 0; bi < nbr; bi++ {
-		seen := map[int]struct{}{}
-		for bj := jmin; bj < nbc; bj++ {
-			n := node(d, bi, bj)
-			if _, ok := seen[n]; !ok {
-				seen[n] = struct{}{}
-				out[bi] = append(out[bi], n)
-			}
-		}
+	if nbr != nbc {
+		return 0, fmt.Errorf("engine: %s needs a square block matrix, got %d×%d", kernel, nbr, nbc)
 	}
-	return out
-}
-
-// receiverCols is the vertical analogue.
-func receiverCols(d distribution.Distribution, imin int) [][]int {
-	nbr, nbc := d.Blocks()
-	out := make([][]int, nbc)
-	for bj := 0; bj < nbc; bj++ {
-		seen := map[int]struct{}{}
-		for bi := imin; bi < nbr; bi++ {
-			n := node(d, bi, bj)
-			if _, ok := seen[n]; !ok {
-				seen[n] = struct{}{}
-				out[bj] = append(out[bj], n)
-			}
-		}
-	}
-	return out
+	return nbr, nil
 }
 
 // MM executes the distributed outer-product multiplication C = A·B: at
-// step k the owners of A(·,k) broadcast along their block rows, the owners
-// of B(k,·) along their block columns, and every rank updates its resident
-// C blocks. Only message payloads cross rank boundaries.
+// step k the owners of A(·,k) broadcast along their block rows and the
+// owners of B(k,·) down their block columns — panel-aggregated, so blocks
+// sharing a source and receiver set travel as one stacked message — and
+// every rank updates its resident C blocks. The message count equals the
+// closed-form distribution.MMCommVolume exactly for the flat broadcast,
+// which tests assert; ring, segmented-ring and tree schedules reshape who
+// forwards to whom but deliver the same panels.
 func MM(c *Comm, d distribution.Distribution, a, b *BlockStore) (*BlockStore, error) {
-	nbr, nbc := d.Blocks()
-	if nbr != nbc {
-		return nil, fmt.Errorf("engine: MM needs a square block matrix, got %d×%d", nbr, nbc)
+	nb, err := squareBlocks(d, "MM")
+	if err != nil {
+		return nil, err
 	}
-	nb := nbr
 	r := a.R
-	rowRecv := receiverRows(d, 0)
-	colRecv := receiverCols(d, 0)
+	co := NewCollectives(c, d)
 	me := c.Rank()
 
 	// My C blocks, zero-initialized.
 	cStore := NewBlockStore(r)
-	var myRows, myCols []bool
-	myRows = make([]bool, nb)
-	myCols = make([]bool, nb)
 	for bi := 0; bi < nb; bi++ {
 		for bj := 0; bj < nb; bj++ {
-			if node(d, bi, bj) == me {
+			if co.Node(bi, bj) == me {
 				cStore.Put(bi, bj, matrix.New(r, r))
-				myRows[bi] = true
-				myCols[bj] = true
 			}
 		}
 	}
 
 	for k := 0; k < nb; k++ {
-		// Send my A(·,k) and B(k,·) blocks to their receivers.
-		for bi := 0; bi < nb; bi++ {
-			if node(d, bi, k) == me {
-				for _, dst := range rowRecv[bi] {
-					if dst != me {
-						c.Send(dst, fmt.Sprintf("A/%d/%d", k, bi), a.Get(bi, k))
-					}
-				}
+		aPanel := co.RowBcast(fmt.Sprintf("A/%d", k), k, 0, nb, 0,
+			func(bi int) *matrix.Dense { return a.Get(bi, k) }, r)
+		bPanel := co.ColBcast(fmt.Sprintf("B/%d", k), k, 0, nb, 0,
+			func(bj int) *matrix.Dense { return b.Get(k, bj) }, r)
+		if err := c.Compute(fmt.Sprintf("mm update k=%d", k), func() error {
+			for pos, blk := range cStore.Blocks {
+				blk.AddMul(1, aPanel[pos[0]], bPanel[pos[1]])
 			}
-		}
-		for bj := 0; bj < nb; bj++ {
-			if node(d, k, bj) == me {
-				for _, dst := range colRecv[bj] {
-					if dst != me {
-						c.Send(dst, fmt.Sprintf("B/%d/%d", k, bj), b.Get(k, bj))
-					}
-				}
-			}
-		}
-		// Receive the panels I need.
-		aPanel := make([]*matrix.Dense, nb)
-		bPanel := make([]*matrix.Dense, nb)
-		for bi := 0; bi < nb; bi++ {
-			if !myRows[bi] {
-				continue
-			}
-			if src := node(d, bi, k); src == me {
-				aPanel[bi] = a.Get(bi, k)
-			} else {
-				aPanel[bi] = c.Recv(src, fmt.Sprintf("A/%d/%d", k, bi))
-			}
-		}
-		for bj := 0; bj < nb; bj++ {
-			if !myCols[bj] {
-				continue
-			}
-			if src := node(d, k, bj); src == me {
-				bPanel[bj] = b.Get(k, bj)
-			} else {
-				bPanel[bj] = c.Recv(src, fmt.Sprintf("B/%d/%d", k, bj))
-			}
-		}
-		// Local rank-r updates.
-		for pos, blk := range cStore.Blocks {
-			blk.AddMul(1, aPanel[pos[0]], bPanel[pos[1]])
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 	return cStore, nil
 }
 
 // LU executes the distributed right-looking LU factorization without
-// pivoting, overwriting the store's blocks with the packed factors.
+// pivoting, overwriting the store's blocks with the packed factors. The
+// communication per step has the exact structure of the simulator's model
+// and the closed-form distribution.LUCommVolume:
+//
+//  1. the factored diagonal block goes once to each distinct owner of the
+//     sub-diagonal blocks of column k (for the L solves);
+//  2. the diagonal goes once to each member of block row k's trailing
+//     receiver set (for the U solves);
+//  3. L panel blocks sharing a source and receiver set travel as one
+//     stacked message, U panels likewise.
+//
+// Tests assert the kernel's message and byte counts equal LUCommVolume for
+// every distribution family under the flat broadcast — analytic model,
+// virtual-time simulator and real concurrent execution all agree.
 func LU(c *Comm, d distribution.Distribution, a *BlockStore) error {
-	nbr, nbc := d.Blocks()
-	if nbr != nbc {
-		return fmt.Errorf("engine: LU needs a square block matrix, got %d×%d", nbr, nbc)
+	nb, err := squareBlocks(d, "LU")
+	if err != nil {
+		return err
 	}
-	nb := nbr
+	r := a.R
+	co := NewCollectives(c, d)
 	me := c.Rank()
 
 	for k := 0; k < nb; k++ {
-		rowRecv := receiverRows(d, k)
-		colRecv := receiverCols(d, k)
-		diagOwner := node(d, k, k)
-		// 1. Diagonal factor + distribute to the column (for L solves) and
-		// the row (for U solves).
+		rowRecv := co.RowReceivers(k)
+		diagOwner := co.Node(k, k)
+
+		// Distinct owners of the sub-diagonal blocks of column k, in
+		// deterministic first-appearance order (the broadcast chain).
+		var colOwners []int
+		seen := map[int]struct{}{diagOwner: {}}
+		for bi := k + 1; bi < nb; bi++ {
+			if n := co.Node(bi, k); n != diagOwner {
+				if _, ok := seen[n]; !ok {
+					seen[n] = struct{}{}
+					colOwners = append(colOwners, n)
+				}
+			}
+		}
+
+		// 1+2. Diagonal factor and its two broadcasts.
 		var diag *matrix.Dense
 		if diagOwner == me {
 			diag = a.Get(k, k)
-			if err := matrix.FactorNoPivot(diag); err != nil {
+			if err := c.Compute(fmt.Sprintf("lu factor k=%d", k), func() error {
+				return matrix.FactorNoPivot(diag)
+			}); err != nil {
 				return fmt.Errorf("engine: step %d: %w", k, err)
 			}
-			sent := map[int]struct{}{me: {}}
-			for bi := k + 1; bi < nb; bi++ {
-				if dst := node(d, bi, k); dst != me {
-					if _, ok := sent[dst]; !ok {
-						sent[dst] = struct{}{}
-						c.Send(dst, fmt.Sprintf("diag/%d", k), diag)
-					}
-				}
-			}
-			for bj := k + 1; bj < nb; bj++ {
-				if dst := node(d, k, bj); dst != me {
-					if _, ok := sent[dst]; !ok {
-						sent[dst] = struct{}{}
-						c.Send(dst, fmt.Sprintf("diag/%d", k), diag)
-					}
-				}
-			}
-		} else if needsDiag(d, k, nb, me) {
-			diag = c.Recv(diagOwner, fmt.Sprintf("diag/%d", k))
+		}
+		if got := co.bcastIfMember(fmt.Sprintf("dC/%d", k), diagOwner, colOwners, diag, r); got != nil {
+			diag = got
+		}
+		if got := co.bcastIfMember(fmt.Sprintf("dR/%d", k), diagOwner, rowRecv[k], diag, r); got != nil {
+			diag = got
 		}
 
-		// 2. L panel: my sub-diagonal blocks of column k.
-		for bi := k + 1; bi < nb; bi++ {
-			if node(d, bi, k) != me {
-				continue
-			}
-			blk := a.Get(bi, k)
-			if err := blk.SolveUpperRight(diag); err != nil {
-				return fmt.Errorf("engine: step %d row %d: %w", k, bi, err)
-			}
-			for _, dst := range rowRecv[bi] {
-				if dst != me {
-					c.Send(dst, fmt.Sprintf("L/%d/%d", k, bi), blk)
-				}
-			}
-		}
-		// 3. U panel: my blocks of row k right of the diagonal.
-		for bj := k + 1; bj < nb; bj++ {
-			if node(d, k, bj) != me {
-				continue
-			}
-			blk := a.Get(k, bj)
-			diag.SolveLowerUnit(blk)
-			for _, dst := range colRecv[bj] {
-				if dst != me {
-					c.Send(dst, fmt.Sprintf("U/%d/%d", k, bj), blk)
-				}
-			}
-		}
-		// 4. Trailing update on my blocks.
-		lPanel := make([]*matrix.Dense, nb)
-		uPanel := make([]*matrix.Dense, nb)
-		for bi := k + 1; bi < nb; bi++ {
-			for bj := k + 1; bj < nb; bj++ {
-				if node(d, bi, bj) != me {
+		// 3a. L panel: my sub-diagonal blocks of column k, then grouped
+		// row broadcasts.
+		if err := c.Compute(fmt.Sprintf("lu lsolve k=%d", k), func() error {
+			for bi := k + 1; bi < nb; bi++ {
+				if co.Node(bi, k) != me {
 					continue
 				}
-				if lPanel[bi] == nil {
-					if src := node(d, bi, k); src == me {
-						lPanel[bi] = a.Get(bi, k)
-					} else {
-						lPanel[bi] = c.Recv(src, fmt.Sprintf("L/%d/%d", k, bi))
-					}
+				if err := a.Get(bi, k).SolveUpperRight(diag); err != nil {
+					return fmt.Errorf("engine: step %d row %d: %w", k, bi, err)
 				}
-				if uPanel[bj] == nil {
-					if src := node(d, k, bj); src == me {
-						uPanel[bj] = a.Get(k, bj)
-					} else {
-						uPanel[bj] = c.Recv(src, fmt.Sprintf("U/%d/%d", k, bj))
-					}
-				}
-				a.Get(bi, bj).AddMul(-1, lPanel[bi], uPanel[bj])
 			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		lPanel := co.RowBcast(fmt.Sprintf("L/%d", k), k, k+1, nb, k,
+			func(bi int) *matrix.Dense { return a.Get(bi, k) }, r)
+
+		// 3b. U panel: triangular solves then grouped column broadcasts.
+		if err := c.Compute(fmt.Sprintf("lu usolve k=%d", k), func() error {
+			for bj := k + 1; bj < nb; bj++ {
+				if co.Node(k, bj) != me {
+					continue
+				}
+				diag.SolveLowerUnit(a.Get(k, bj))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		uPanel := co.ColBcast(fmt.Sprintf("U/%d", k), k, k+1, nb, k,
+			func(bj int) *matrix.Dense { return a.Get(k, bj) }, r)
+
+		// 4. Trailing update on my blocks.
+		if err := c.Compute(fmt.Sprintf("lu update k=%d", k), func() error {
+			for bi := k + 1; bi < nb; bi++ {
+				for bj := k + 1; bj < nb; bj++ {
+					if co.Node(bi, bj) != me {
+						continue
+					}
+					a.Get(bi, bj).AddMul(-1, lPanel[bi], uPanel[bj])
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
+// bcastIfMember runs Bcast when this rank is the root or in the receiver
+// set and returns the payload there, nil otherwise — the glue that lets
+// SPMD kernel bodies issue conditional collectives in one line.
+func (co *Collectives) bcastIfMember(tag string, root int, receivers []int, data *matrix.Dense, rows int) *matrix.Dense {
+	me := co.c.Rank()
+	if me != root {
+		in := false
+		for _, n := range receivers {
+			if n == me {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return nil
+		}
+	}
+	return co.Bcast(tag, root, receivers, data, rows)
+}
+
 // Cholesky executes the distributed right-looking Cholesky factorization
 // A = L·Lᵀ (lower variant) on a symmetric positive definite matrix,
 // overwriting the store's lower-triangle blocks with L and zeroing the
-// strict upper triangle. Only lower-triangle blocks are read.
+// strict upper triangle. Only lower-triangle blocks are read. Panel blocks
+// sharing a source and needer set travel as one stacked message.
 func Cholesky(c *Comm, d distribution.Distribution, a *BlockStore) error {
-	nbr, nbc := d.Blocks()
-	if nbr != nbc {
-		return fmt.Errorf("engine: Cholesky needs a square block matrix, got %d×%d", nbr, nbc)
+	nb, err := squareBlocks(d, "Cholesky")
+	if err != nil {
+		return err
 	}
-	nb := nbr
+	r := a.R
+	co := NewCollectives(c, d)
 	me := c.Rank()
 
 	// needers(k, i): ranks using L(i,k) in the trailing update — owners of
@@ -342,76 +311,86 @@ func Cholesky(c *Comm, d distribution.Distribution, a *BlockStore) error {
 			}
 		}
 		for j := k + 1; j <= i; j++ {
-			add(node(d, i, j))
+			add(co.Node(i, j))
 		}
 		for m := i; m < nb; m++ {
-			add(node(d, m, i))
+			add(co.Node(m, i))
 		}
 		return out
 	}
 
 	for k := 0; k < nb; k++ {
-		diagOwner := node(d, k, k)
+		diagOwner := co.Node(k, k)
+
+		// Owners of the sub-diagonal panel, who need L(k,k)ᵀ for their
+		// solves, in deterministic order.
+		var panelOwners []int
+		seen := map[int]struct{}{diagOwner: {}}
+		for bi := k + 1; bi < nb; bi++ {
+			if n := co.Node(bi, k); n != diagOwner {
+				if _, ok := seen[n]; !ok {
+					seen[n] = struct{}{}
+					panelOwners = append(panelOwners, n)
+				}
+			}
+		}
+
 		var diagT *matrix.Dense // L(k,k)ᵀ, needed by the panel solvers
 		if diagOwner == me {
 			diag := a.Get(k, k)
-			f, err := matrix.FactorCholesky(diag)
-			if err != nil {
+			if err := c.Compute(fmt.Sprintf("chol factor k=%d", k), func() error {
+				f, err := matrix.FactorCholesky(diag)
+				if err != nil {
+					return err
+				}
+				diag.CopyFrom(f.L)
+				diagT = f.L.T()
+				return nil
+			}); err != nil {
 				return fmt.Errorf("engine: step %d: %w", k, err)
 			}
-			diag.CopyFrom(f.L)
-			diagT = f.L.T()
-			sent := map[int]struct{}{me: {}}
+		}
+		if got := co.bcastIfMember(fmt.Sprintf("cd/%d", k), diagOwner, panelOwners, diagT, r); got != nil {
+			diagT = got
+		}
+
+		// Panel: L(bi,k) = A(bi,k)·L(k,k)^{-T}, then grouped broadcasts to
+		// the needer sets.
+		if err := c.Compute(fmt.Sprintf("chol solve k=%d", k), func() error {
 			for bi := k + 1; bi < nb; bi++ {
-				if dst := node(d, bi, k); dst != me {
-					if _, ok := sent[dst]; !ok {
-						sent[dst] = struct{}{}
-						c.Send(dst, fmt.Sprintf("cdiag/%d", k), diagT)
-					}
-				}
-			}
-		} else {
-			for bi := k + 1; bi < nb; bi++ {
-				if node(d, bi, k) == me {
-					diagT = c.Recv(diagOwner, fmt.Sprintf("cdiag/%d", k))
-					break
-				}
-			}
-		}
-		// Panel: L(bi,k) = A(bi,k)·L(k,k)^{-T}, then send to needers.
-		for bi := k + 1; bi < nb; bi++ {
-			if node(d, bi, k) != me {
-				continue
-			}
-			blk := a.Get(bi, k)
-			if err := blk.SolveUpperRight(diagT); err != nil {
-				return fmt.Errorf("engine: step %d row %d: %w", k, bi, err)
-			}
-			for _, dst := range needers(k, bi) {
-				if dst != me {
-					c.Send(dst, fmt.Sprintf("cl/%d/%d", k, bi), blk)
-				}
-			}
-		}
-		// Trailing symmetric update on my lower-triangle blocks.
-		lPanel := make([]*matrix.Dense, nb)
-		fetch := func(bi int) *matrix.Dense {
-			if lPanel[bi] == nil {
-				if src := node(d, bi, k); src == me {
-					lPanel[bi] = a.Get(bi, k)
-				} else {
-					lPanel[bi] = c.Recv(src, fmt.Sprintf("cl/%d/%d", k, bi))
-				}
-			}
-			return lPanel[bi]
-		}
-		for bi := k + 1; bi < nb; bi++ {
-			for bj := k + 1; bj <= bi; bj++ {
-				if node(d, bi, bj) != me {
+				if co.Node(bi, k) != me {
 					continue
 				}
-				a.Get(bi, bj).AddMul(-1, fetch(bi), fetch(bj).T())
+				if err := a.Get(bi, k).SolveUpperRight(diagT); err != nil {
+					return fmt.Errorf("engine: step %d row %d: %w", k, bi, err)
+				}
 			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		indices := make([]int, 0, nb-k-1)
+		for bi := k + 1; bi < nb; bi++ {
+			indices = append(indices, bi)
+		}
+		lPanel := co.PanelBcast(fmt.Sprintf("cl/%d", k), indices,
+			func(bi int) int { return co.Node(bi, k) },
+			func(bi int) []int { return needers(k, bi) },
+			func(bi int) *matrix.Dense { return a.Get(bi, k) }, r)
+
+		// Trailing symmetric update on my lower-triangle blocks.
+		if err := c.Compute(fmt.Sprintf("chol update k=%d", k), func() error {
+			for bi := k + 1; bi < nb; bi++ {
+				for bj := k + 1; bj <= bi; bj++ {
+					if co.Node(bi, bj) != me {
+						continue
+					}
+					a.Get(bi, bj).AddMul(-1, lPanel[bi], lPanel[bj].T())
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	// Zero my strict-upper blocks and the upper parts of my diagonal
@@ -431,20 +410,4 @@ func Cholesky(c *Comm, d distribution.Distribution, a *BlockStore) error {
 		}
 	}
 	return nil
-}
-
-// needsDiag reports whether rank me owns any block of column k below the
-// diagonal or of row k right of it at step k.
-func needsDiag(d distribution.Distribution, k, nb, me int) bool {
-	for bi := k + 1; bi < nb; bi++ {
-		if node(d, bi, k) == me {
-			return true
-		}
-	}
-	for bj := k + 1; bj < nb; bj++ {
-		if node(d, k, bj) == me {
-			return true
-		}
-	}
-	return false
 }

@@ -122,82 +122,6 @@ func TestDistributedMMMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestDistributedMMMessageCount(t *testing.T) {
-	// Kernel traffic (excluding scatter/gather) matches the per-block
-	// expectation: per step, each A/B block goes once to every remote
-	// receiver of its row/column.
-	const nb, r = 6, 2
-	rng := rand.New(rand.NewSource(183))
-	a := matrix.Random(nb*r, nb*r, rng)
-	b := matrix.Random(nb*r, nb*r, rng)
-	for _, d := range engineDistributions(t, nb) {
-		// Count scatter/gather traffic separately via a no-kernel run.
-		base, err := Run(4, func(c *Comm) error {
-			s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
-			if err != nil {
-				return err
-			}
-			s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
-			if err != nil {
-				return err
-			}
-			_, err = Gather(c, d, s1)
-			if err != nil {
-				return err
-			}
-			_ = s2
-			return nil
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		full, err := Run(4, func(c *Comm) error {
-			s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
-			if err != nil {
-				return err
-			}
-			s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
-			if err != nil {
-				return err
-			}
-			cs, err := MM(c, d, s1, s2)
-			if err != nil {
-				return err
-			}
-			_, err = Gather(c, d, cs)
-			return err
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		kernelMsgs := full.Messages() - base.Messages()
-		want := 0
-		rowRecv := receiverRows(d, 0)
-		colRecv := receiverCols(d, 0)
-		for k := 0; k < nb; k++ {
-			for bi := 0; bi < nb; bi++ {
-				src := node(d, bi, k)
-				for _, dst := range rowRecv[bi] {
-					if dst != src {
-						want++
-					}
-				}
-			}
-			for bj := 0; bj < nb; bj++ {
-				src := node(d, k, bj)
-				for _, dst := range colRecv[bj] {
-					if dst != src {
-						want++
-					}
-				}
-			}
-		}
-		if kernelMsgs != want {
-			t.Fatalf("%s: kernel messages %d, want %d", d.Name(), kernelMsgs, want)
-		}
-	}
-}
-
 func TestDistributedLUMatchesReplay(t *testing.T) {
 	rng := rand.New(rand.NewSource(184))
 	const nb, r = 6, 3

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
+)
+
+func TestRecordedTraceWritesChromeFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(331))
+	const nb, r = 4, 2
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	d := engineDistributions(t, nb)[0]
+	w, err := RunOpts(4, Options{Record: true}, func(c *Comm) error {
+		store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+		if err != nil {
+			return err
+		}
+		return LU(c, d, store)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Trace()
+	if tr == nil || len(tr.Ops) == 0 {
+		t.Fatal("recording produced no events")
+	}
+	sends, computes := 0, 0
+	for i, op := range tr.Ops {
+		if op.End < op.Start {
+			t.Fatalf("op %d ends before it starts", i)
+		}
+		switch op.Kind {
+		case sim.OpSend:
+			sends++
+			if op.Bytes <= 0 {
+				t.Fatalf("send op %d has no bytes", i)
+			}
+		case sim.OpCompute:
+			computes++
+			if op.Label == "" {
+				t.Fatalf("compute op %d unlabeled", i)
+			}
+		}
+		if i > 0 && tr.Ops[i].Start < tr.Ops[i-1].Start {
+			t.Fatal("trace not sorted by start time")
+		}
+	}
+	if sends != w.Messages() {
+		t.Fatalf("%d send events for %d messages", sends, w.Messages())
+	}
+	if computes == 0 {
+		t.Fatal("no compute spans recorded")
+	}
+	// The trace must serialize through the simulator's chrome-trace writer
+	// into valid JSON with the fields chrome://tracing requires.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(events) != len(tr.Ops) {
+		t.Fatalf("%d JSON events for %d ops", len(events), len(tr.Ops))
+	}
+	for _, ev := range events {
+		for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("chrome event missing %q: %v", key, ev)
+			}
+		}
+	}
+}
+
+func TestTraceNilWithoutRecording(t *testing.T) {
+	w, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, "x", matrix.New(1, 1))
+		} else {
+			c.Recv(0, "x")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Trace() != nil {
+		t.Fatal("trace exists without recording")
+	}
+}

@@ -1,0 +1,330 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
+)
+
+// Transport is the bottom layer of the engine: a point-to-point message
+// fabric between n ranks. Send must never block (the SPMD kernels rely on
+// unbounded buffering to stay deadlock-free); Recv blocks until a message
+// with the tag arrives from src. Abort unblocks every pending Recv — the
+// blocked receivers panic with errAborted so a failing rank cannot leave
+// its peers deadlocked.
+//
+// The collectives and kernels above are written purely against this
+// interface, so swapping the in-process mailbox fabric for sockets, shared
+// memory segments, or a fault-injecting test double touches nothing else.
+type Transport interface {
+	// Send enqueues data from src to dst under tag without blocking. The
+	// payload is owned by the transport after the call.
+	Send(src, dst int, tag string, data *matrix.Dense)
+	// Recv blocks until a message from src for dst under tag arrives and
+	// returns its payload.
+	Recv(src, dst int, tag string) *matrix.Dense
+	// Abort unblocks all pending Recvs across the fabric.
+	Abort()
+}
+
+// message is one tagged payload in flight.
+type message struct {
+	tag  string
+	data *matrix.Dense
+}
+
+// mailbox is an unbounded queue of messages between one ordered pair of
+// ranks, with tag-selective receive.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(tag string, data *matrix.Dense) {
+	m.mu.Lock()
+	m.queue = append(m.queue, message{tag: tag, data: data})
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// abort unblocks any waiting take; blocked receivers panic with errAborted
+// so a failing rank cannot leave its peers deadlocked in Recv.
+func (m *mailbox) abort() {
+	m.mu.Lock()
+	m.aborted = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) take(tag string) *matrix.Dense {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg.data
+			}
+		}
+		if m.aborted {
+			panic(errAborted)
+		}
+		m.cond.Wait()
+	}
+}
+
+// errAborted is the panic payload delivered to ranks blocked in Recv when
+// another rank fails.
+var errAborted = fmt.Errorf("engine: run aborted by a failing rank")
+
+// MemTransport is the in-process Transport: one unbounded mailbox per
+// ordered rank pair.
+type MemTransport struct {
+	boxes [][]*mailbox // boxes[src][dst]
+}
+
+// NewMemTransport returns an in-process fabric for n ranks.
+func NewMemTransport(n int) *MemTransport {
+	t := &MemTransport{boxes: make([][]*mailbox, n)}
+	for i := range t.boxes {
+		t.boxes[i] = make([]*mailbox, n)
+		for j := range t.boxes[i] {
+			t.boxes[i][j] = newMailbox()
+		}
+	}
+	return t
+}
+
+// Send enqueues data without blocking.
+func (t *MemTransport) Send(src, dst int, tag string, data *matrix.Dense) {
+	t.boxes[src][dst].put(tag, data)
+}
+
+// Recv blocks until a matching message arrives.
+func (t *MemTransport) Recv(src, dst int, tag string) *matrix.Dense {
+	return t.boxes[src][dst].take(tag)
+}
+
+// Abort unblocks every pending Recv in the fabric.
+func (t *MemTransport) Abort() {
+	for _, row := range t.boxes {
+		for _, box := range row {
+			box.abort()
+		}
+	}
+}
+
+// RankStats aggregates one rank's cross-rank traffic. Sends are counted at
+// the sender when the message enters the fabric; receives at the receiver
+// when the message is taken out, so in an aborted run ΣRecv may lag ΣSent.
+type RankStats struct {
+	MsgsSent, MsgsRecv   int
+	BytesSent, BytesRecv int
+}
+
+// PairStats is the traffic of one ordered (src,dst) rank pair.
+type PairStats struct {
+	Messages, Bytes int
+}
+
+// rankCounters is the mutable per-rank tally behind RankStats.
+type rankCounters struct {
+	mu                   sync.Mutex
+	msgsSent, msgsRecv   int
+	bytesSent, bytesRecv int
+}
+
+// Meter wraps any Transport with per-rank and per-pair message/byte
+// counters and, when recording is enabled, timestamped send events in the
+// simulator's trace format — the observability layer that lets real
+// executions be cross-checked against the analytic communication volumes
+// and inspected in chrome://tracing exactly like simulated ones.
+//
+// Self-sends (src == dst) pass through uncounted: they are local data, not
+// network traffic, matching both the simulator and the analytic model.
+type Meter struct {
+	inner Transport
+	n     int
+
+	ranks []rankCounters
+
+	mu      sync.Mutex
+	pairs   [][]PairStats
+	events  []sim.Op
+	inQueue map[pairTag][]float64 // enqueue times of in-flight messages
+	record  bool
+	start   time.Time
+}
+
+// pairTag keys in-flight messages by their (src,dst,tag) delivery channel,
+// which the mailbox serves FIFO per tag.
+type pairTag struct {
+	src, dst int
+	tag      string
+}
+
+// NewMeter instruments inner for n ranks. When record is true every
+// cross-rank message becomes a timestamped sim.Op (enqueue → delivery) in
+// the trace returned by Trace.
+func NewMeter(inner Transport, n int, record bool) *Meter {
+	m := &Meter{inner: inner, n: n, ranks: make([]rankCounters, n), record: record, start: time.Now()}
+	m.pairs = make([][]PairStats, n)
+	for i := range m.pairs {
+		m.pairs[i] = make([]PairStats, n)
+	}
+	if record {
+		m.inQueue = make(map[pairTag][]float64)
+	}
+	return m
+}
+
+// now returns seconds since the meter was created; WriteChromeTrace maps
+// trace time units to microseconds, so real traces keep wall-clock scale.
+func (m *Meter) now() float64 { return time.Since(m.start).Seconds() }
+
+// Send counts the message at the sender and forwards it to the fabric.
+func (m *Meter) Send(src, dst int, tag string, data *matrix.Dense) {
+	if src != dst {
+		r, c := data.Dims()
+		bytes := 8 * r * c
+		rc := &m.ranks[src]
+		rc.mu.Lock()
+		rc.msgsSent++
+		rc.bytesSent += bytes
+		rc.mu.Unlock()
+		m.mu.Lock()
+		m.pairs[src][dst].Messages++
+		m.pairs[src][dst].Bytes += bytes
+		if m.record {
+			key := pairTag{src, dst, tag}
+			m.inQueue[key] = append(m.inQueue[key], m.now())
+		}
+		m.mu.Unlock()
+	}
+	m.inner.Send(src, dst, tag, data)
+}
+
+// Recv forwards to the fabric and counts the delivery at the receiver.
+func (m *Meter) Recv(src, dst int, tag string) *matrix.Dense {
+	data := m.inner.Recv(src, dst, tag)
+	if src != dst {
+		r, c := data.Dims()
+		bytes := 8 * r * c
+		rc := &m.ranks[dst]
+		rc.mu.Lock()
+		rc.msgsRecv++
+		rc.bytesRecv += bytes
+		rc.mu.Unlock()
+		if m.record {
+			end := m.now()
+			key := pairTag{src, dst, tag}
+			m.mu.Lock()
+			if ts := m.inQueue[key]; len(ts) > 0 {
+				m.events = append(m.events, sim.Op{
+					Kind: sim.OpSend, Node: src, Peer: dst,
+					Start: ts[0], End: end, Bytes: float64(bytes), Label: tag,
+				})
+				m.inQueue[key] = ts[1:]
+			}
+			m.mu.Unlock()
+		}
+	}
+	return data
+}
+
+// Abort forwards to the fabric.
+func (m *Meter) Abort() { m.inner.Abort() }
+
+// compute records a labeled compute span on a rank (no-op unless
+// recording).
+func (m *Meter) compute(rank int, label string, start, end float64) {
+	if !m.record {
+		return
+	}
+	m.mu.Lock()
+	m.events = append(m.events, sim.Op{Kind: sim.OpCompute, Node: rank, Peer: -1, Start: start, End: end, Label: label})
+	m.mu.Unlock()
+}
+
+// RankStats returns a snapshot of the per-rank counters.
+func (m *Meter) RankStats() []RankStats {
+	out := make([]RankStats, m.n)
+	for i := range m.ranks {
+		rc := &m.ranks[i]
+		rc.mu.Lock()
+		out[i] = RankStats{MsgsSent: rc.msgsSent, MsgsRecv: rc.msgsRecv, BytesSent: rc.bytesSent, BytesRecv: rc.bytesRecv}
+		rc.mu.Unlock()
+	}
+	return out
+}
+
+// PairStats returns a snapshot of the per-pair counters, indexed
+// [src][dst].
+func (m *Meter) PairStats() [][]PairStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][]PairStats, m.n)
+	for i := range m.pairs {
+		out[i] = append([]PairStats(nil), m.pairs[i]...)
+	}
+	return out
+}
+
+// Messages returns the total cross-rank message count.
+func (m *Meter) Messages() int {
+	total := 0
+	for i := range m.ranks {
+		rc := &m.ranks[i]
+		rc.mu.Lock()
+		total += rc.msgsSent
+		rc.mu.Unlock()
+	}
+	return total
+}
+
+// Bytes returns the total cross-rank bytes sent.
+func (m *Meter) Bytes() int {
+	total := 0
+	for i := range m.ranks {
+		rc := &m.ranks[i]
+		rc.mu.Lock()
+		total += rc.bytesSent
+		rc.mu.Unlock()
+	}
+	return total
+}
+
+// Trace returns the recorded events as a sim.Trace (events sorted by start
+// time), or nil when recording was off. The trace serializes through the
+// same Gantt / chrome-trace writers as simulated runs.
+func (m *Meter) Trace() *sim.Trace {
+	if !m.record {
+		return nil
+	}
+	m.mu.Lock()
+	ops := append([]sim.Op(nil), m.events...)
+	m.mu.Unlock()
+	sortOpsByStart(ops)
+	return &sim.Trace{Ops: ops}
+}
+
+func sortOpsByStart(ops []sim.Op) {
+	// Insertion sort keeps it dependency-free; traces are small and nearly
+	// sorted already (events are appended roughly in time order).
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].Start < ops[j-1].Start; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+}

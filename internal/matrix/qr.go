@@ -71,6 +71,18 @@ func FactorQR(a *Dense) *QR {
 	return &QR{qr: qr, tau: tau}
 }
 
+// QRFromPacked reconstitutes a factorization from its packed
+// representation and tau scalings, as produced by Packed and Tau — e.g. on
+// a remote rank that received them as messages. The inputs are adopted
+// without copying; applying the result (QTMul, Q, R) runs the identical
+// code path as the originating factorization, bit for bit.
+func QRFromPacked(packed *Dense, tau []float64) *QR {
+	if len(tau) != packed.cols {
+		panic(fmt.Sprintf("matrix: %d tau scalings for a %d-column packed QR", len(tau), packed.cols))
+	}
+	return &QR{qr: packed, tau: tau}
+}
+
 // Packed returns the internal packed representation: R in the upper
 // triangle and the Householder reflector columns (implicit unit leading
 // entry) below the diagonal. The returned matrix is shared with the
