@@ -1,0 +1,194 @@
+// Command benchkernels measures the dense compute layer — GEMM, TRSM, LU,
+// Cholesky, and QR — in its execution modes (scalar reference, packed
+// level-3 kernel, and for GEMM the row-band parallel path) across the block
+// sizes the distributed kernels actually run on, and emits ns/op plus
+// effective GFLOP/s as JSON. The committed BENCH_kernels.json baseline is
+// produced by this command; CI runs it with -smoke so the binary can never
+// rot.
+//
+// The factorizations report scalar vs packed only: their critical path is
+// sequential by nature, and intra-rank parallelism enters above this layer,
+// where the engine partitions whole blocks (engine.Options.Parallelism).
+//
+// Usage:
+//
+//	benchkernels                          # print JSON to stdout
+//	benchkernels -o BENCH_kernels.json -reps 3 -workers 4
+//	benchkernels -smoke                   # 1 rep, small sizes (CI)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"hetgrid/internal/matrix"
+)
+
+// Result is one (kernel, n, mode) measurement. NsPerOp is the best of -reps
+// runs (benchmark convention: least-noise estimate of the true cost), and
+// GFlops the corresponding effective rate for the kernel's standard flop
+// count.
+type Result struct {
+	Kernel          string  `json:"kernel"`
+	N               int     `json:"n"`
+	Mode            string  `json:"mode"`
+	Workers         int     `json:"workers,omitempty"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	GFlops          float64 `json:"gflops"`
+	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
+}
+
+type output struct {
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Reps       int      `json:"reps"`
+	Results    []Result `json:"results"`
+}
+
+// mode is one execution variant of a kernel: prepare clones the pristine
+// inputs (untimed), run does the measured work.
+type mode struct {
+	name    string
+	workers int
+	run     func(n int)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchkernels: ")
+	var (
+		outFlag     = flag.String("o", "", "write JSON to this file (default: stdout)")
+		repsFlag    = flag.Int("reps", 3, "repetitions per measurement (best is reported)")
+		workersFlag = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for the parallel mode")
+		seedFlag    = flag.Int64("seed", 17, "random seed for the operands")
+		smokeFlag   = flag.Bool("smoke", false, "1 rep on small sizes: exercises every mode cheaply (CI)")
+	)
+	flag.Parse()
+	if *repsFlag < 1 {
+		log.Fatalf("-reps must be at least 1, got %d", *repsFlag)
+	}
+	sizes := []int{64, 256, 512, 1024}
+	reps := *repsFlag
+	if *smokeFlag {
+		sizes = []int{32, 64}
+		reps = 1
+	}
+
+	rng := rand.New(rand.NewSource(*seedFlag))
+	out := output{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Reps: reps}
+	for _, n := range sizes {
+		// Shared operands per size; every mode works on clones.
+		a := matrix.Random(n, n, rng)
+		b := matrix.Random(n, n, rng)
+		c := matrix.Random(n, n, rng)
+		spd := matrix.RandomSPD(n, rng)
+		wc := matrix.RandomWellConditioned(n, rng)
+		lower := matrix.New(n, n)
+		for i := 0; i < n; i++ {
+			lower.Set(i, i, 1)
+			for j := 0; j < i; j++ {
+				lower.Set(i, j, 2*rng.Float64() - 1)
+			}
+		}
+
+		kernels := []struct {
+			name  string
+			flops float64
+			modes []mode
+		}{
+			{"gemm", 2 * fcube(n), []mode{
+				{name: "scalar", run: func(int) { c.Clone().AddMulScalar(1, a, b) }},
+				{name: "packed", run: func(int) { c.Clone().AddMul(1, a, b) }},
+				{name: "packed-parallel", workers: *workersFlag,
+					run: func(int) { c.Clone().AddMulParallel(1, a, b, *workersFlag) }},
+			}},
+			{"trsm", fcube(n), []mode{
+				{name: "scalar", run: func(int) { lower.SolveLowerUnitScalar(b.Clone()) }},
+				{name: "packed", run: func(int) { lower.SolveLowerUnit(b.Clone()) }},
+			}},
+			{"lu", 2.0 / 3 * fcube(n), []mode{
+				{name: "scalar", run: func(int) { mustLU(matrix.Factor(wc.Clone())) }},
+				{name: "packed", run: func(int) { mustLU(matrix.BlockedFactor(wc.Clone(), 0)) }},
+			}},
+			{"cholesky", 1.0 / 3 * fcube(n), []mode{
+				{name: "scalar", run: func(int) { mustChol(matrix.FactorCholesky(spd)) }},
+				{name: "packed", run: func(int) { mustChol(matrix.BlockedFactorCholesky(spd, 0)) }},
+			}},
+			{"qr", 4.0 / 3 * fcube(n), []mode{
+				{name: "scalar", run: func(int) { matrix.FactorQR(a) }},
+				{name: "packed", run: func(int) { matrix.FactorQRBlocked(a, 0) }},
+			}},
+		}
+
+		for _, k := range kernels {
+			var scalarNs int64
+			for _, m := range k.modes {
+				best := measure(m.run, n, reps)
+				if m.name == "scalar" {
+					scalarNs = best
+				}
+				out.Results = append(out.Results, Result{
+					Kernel:          k.name,
+					N:               n,
+					Mode:            m.name,
+					Workers:         m.workers,
+					NsPerOp:         best,
+					GFlops:          k.flops / float64(best),
+					SpeedupVsScalar: float64(scalarNs) / float64(best),
+				})
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *outFlag == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *outFlag)
+}
+
+// fcube returns n³ as a float64 (flop counts overflow int32 territory fast).
+func fcube(n int) float64 {
+	f := float64(n)
+	return f * f * f
+}
+
+// measure returns the best wall time of reps runs.
+func measure(run func(n int), n, reps int) int64 {
+	var best int64
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		run(n)
+		ns := time.Since(start).Nanoseconds()
+		if r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func mustLU(_ *matrix.LU, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustChol(_ *matrix.Cholesky, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -41,6 +41,7 @@ func main() {
 		traceFile  = flag.String("tracefile", "", "write a Chrome-tracing JSON of the last run to this file")
 		realFlag   = flag.Bool("real", false, "execute the kernel for real (goroutine ranks, measured traffic) instead of simulating")
 		rFlag      = flag.Int("r", 8, "element block size for -real runs (matrix side = nb*r)")
+		parallel   = flag.Int("parallel", 1, "goroutines per rank for -real block updates (bit-identical for any value)")
 		bcastFlag  = flag.String("bcast", "auto", "broadcast algorithm: auto, flat, ring, pipeline, tree")
 	)
 	flag.Parse()
@@ -81,7 +82,7 @@ func main() {
 	}
 
 	if *realFlag {
-		if err := runReal(kernel, dists, *nbFlag, *rFlag, bcast, *traceFile); err != nil {
+		if err := runReal(kernel, dists, *nbFlag, *rFlag, *parallel, bcast, *traceFile); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -136,7 +137,7 @@ func main() {
 // reports the measured traffic: world totals plus the per-rank breakdown
 // the engine's instrumented transport collects. With a trace file the last
 // run's timestamped events are written in Chrome-tracing format.
-func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r int, bcast hetgrid.BroadcastKind, traceFile string) error {
+func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast hetgrid.BroadcastKind, traceFile string) error {
 	if r <= 0 {
 		return fmt.Errorf("block size -r must be positive, got %d", r)
 	}
@@ -146,7 +147,7 @@ func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r int, bcast hetgrid.B
 
 	var lastStats *hetgrid.ExecStats
 	for _, dc := range dists {
-		opts := hetgrid.ExecOptions{Broadcast: bcast, Trace: traceFile != ""}
+		opts := hetgrid.ExecOptions{Broadcast: bcast, Trace: traceFile != "", Parallelism: parallel}
 		var stats *hetgrid.ExecStats
 		var err error
 		switch kernel {

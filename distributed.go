@@ -78,6 +78,12 @@ type ExecOptions struct {
 	// ExecStats.Trace then carries them in the simulator's trace format
 	// (Gantt, chrome://tracing).
 	Trace bool
+	// Parallelism is the number of goroutines each rank may use for its own
+	// block computations (intra-rank parallelism on multicore nodes). Work is
+	// partitioned by disjoint outputs — whole blocks in the engine kernels,
+	// output-row bands inside large GEMMs — so results are bit-identical to a
+	// serial run for any value. 0 or 1 means serial.
+	Parallelism int
 }
 
 // RankStats is one rank's message/byte traffic (engine counters).
@@ -135,7 +141,7 @@ func runDistributed(d Distribution, opts ExecOptions, blockSize int, inputs []*M
 	}
 	p, q := d.Dims()
 	var out *Matrix
-	world, err := engine.RunOpts(p*q, engine.Options{Broadcast: bk, Record: opts.Trace}, func(c *engine.Comm) error {
+	world, err := engine.RunOpts(p*q, engine.Options{Broadcast: bk, Record: opts.Trace, Parallelism: opts.Parallelism}, func(c *engine.Comm) error {
 		stores := make([]*engine.BlockStore, len(inputs))
 		for i, m := range inputs {
 			s, err := engine.Scatter(c, d, onRank0(c, m), blockSize)

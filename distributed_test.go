@@ -215,3 +215,41 @@ func TestDistributedMultiplyBadBlockSize(t *testing.T) {
 		t.Fatal("mismatched block size accepted")
 	}
 }
+
+func TestDistributedParallelismBitIdentical(t *testing.T) {
+	// ExecOptions.Parallelism only changes scheduling, never arithmetic:
+	// every worker count must reproduce the serial execution bit for bit.
+	rng := rand.New(rand.NewSource(404))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nb, r = 6, 4
+	a := matrix.Random(nb*r, nb*r, rng)
+	b := matrix.Random(nb*r, nb*r, rng)
+	serial, _, err := DistributedMultiplyOpts(d, a, b, r, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spd := matrix.RandomSPD(nb*r, rng)
+	serialChol, _, err := DistributedFactorCholeskyOpts(d, spd, r, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, _, err := DistributedMultiplyOpts(d, a, b, r, ExecOptions{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(serial) {
+			t.Fatalf("parallelism=%d: product not bit-identical to serial", workers)
+		}
+		gotChol, _, err := DistributedFactorCholeskyOpts(d, spd, r, ExecOptions{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gotChol.Equal(serialChol) {
+			t.Fatalf("parallelism=%d: Cholesky not bit-identical to serial", workers)
+		}
+	}
+}

@@ -42,6 +42,13 @@ type Options struct {
 	// delivery spans plus labeled compute sections), retrievable from
 	// World.Trace after the run.
 	Record bool
+	// Parallelism is the number of goroutines each rank may use for its own
+	// block computations (intra-rank parallelism on multicore nodes). The
+	// kernels partition work by whole output blocks — and the matrix layer
+	// partitions large GEMMs by output-row bands — so every output element
+	// is accumulated by exactly one goroutine in the same k order: results
+	// are bit-identical to a serial run for any value. 0 or 1 means serial.
+	Parallelism int
 	// Transport overrides the message fabric; nil uses the in-process
 	// mailbox transport.
 	Transport Transport
@@ -119,6 +126,61 @@ func (c *Comm) N() int { return c.world.n }
 
 // Broadcast returns the collective algorithm this world runs under.
 func (c *Comm) Broadcast() sim.BroadcastKind { return c.world.opts.Broadcast }
+
+// Parallelism returns the intra-rank worker count (at least 1).
+func (c *Comm) Parallelism() int {
+	if p := c.world.opts.Parallelism; p > 1 {
+		return p
+	}
+	return 1
+}
+
+// parallelDo runs fn(0), …, fn(n-1) across at most workers goroutines in
+// contiguous index chunks, blocking until all return. The split is only a
+// scheduling choice: callers use it for disjoint-output block updates, so
+// any worker count produces bit-identical results. workers ≤ 1 (or n ≤ 1)
+// runs inline.
+func parallelDo(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Re-raise worker panics on the rank goroutine, where the
+			// engine's abort recovery lives.
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = p
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
 
 // Send delivers a copy of data to dst under tag. Sending to yourself is
 // allowed and does not count as traffic (local data). Send never blocks.

@@ -145,9 +145,17 @@ func MM(c *Comm, d distribution.Distribution, a, b *BlockStore) (*BlockStore, er
 		bPanel := co.ColBcast(fmt.Sprintf("B/%d", k), k, 0, nb, 0,
 			func(bj int) *matrix.Dense { return b.Get(k, bj) }, r)
 		if err := c.Compute(fmt.Sprintf("mm update k=%d", k), func() error {
+			// Each resident C block is a disjoint output, so splitting them
+			// across workers is bit-identical to the serial loop.
+			mine := make([]*matrix.Dense, 0, len(cStore.Blocks))
+			panels := make([][2]*matrix.Dense, 0, len(cStore.Blocks))
 			for pos, blk := range cStore.Blocks {
-				blk.AddMul(1, aPanel[pos[0]], bPanel[pos[1]])
+				mine = append(mine, blk)
+				panels = append(panels, [2]*matrix.Dense{aPanel[pos[0]], bPanel[pos[1]]})
 			}
+			parallelDo(c.Parallelism(), len(mine), func(i int) {
+				mine[i].AddMul(1, panels[i][0], panels[i][1])
+			})
 			return nil
 		}); err != nil {
 			return nil, err
@@ -247,16 +255,21 @@ func LU(c *Comm, d distribution.Distribution, a *BlockStore) error {
 		uPanel := co.ColBcast(fmt.Sprintf("U/%d", k), k, k+1, nb, k,
 			func(bj int) *matrix.Dense { return a.Get(k, bj) }, r)
 
-		// 4. Trailing update on my blocks.
+		// 4. Trailing update on my blocks — disjoint outputs, so the split
+		// across workers is bit-identical to the serial loop.
 		if err := c.Compute(fmt.Sprintf("lu update k=%d", k), func() error {
+			var mine [][2]int
 			for bi := k + 1; bi < nb; bi++ {
 				for bj := k + 1; bj < nb; bj++ {
-					if co.Node(bi, bj) != me {
-						continue
+					if co.Node(bi, bj) == me {
+						mine = append(mine, [2]int{bi, bj})
 					}
-					a.Get(bi, bj).AddMul(-1, lPanel[bi], uPanel[bj])
 				}
 			}
+			parallelDo(c.Parallelism(), len(mine), func(i int) {
+				bi, bj := mine[i][0], mine[i][1]
+				a.Get(bi, bj).AddMul(-1, lPanel[bi], uPanel[bj])
+			})
 			return nil
 		}); err != nil {
 			return err
@@ -378,16 +391,21 @@ func Cholesky(c *Comm, d distribution.Distribution, a *BlockStore) error {
 			func(bi int) []int { return needers(k, bi) },
 			func(bi int) *matrix.Dense { return a.Get(bi, k) }, r)
 
-		// Trailing symmetric update on my lower-triangle blocks.
+		// Trailing symmetric update on my lower-triangle blocks — disjoint
+		// outputs, so the split across workers is bit-identical.
 		if err := c.Compute(fmt.Sprintf("chol update k=%d", k), func() error {
+			var mine [][2]int
 			for bi := k + 1; bi < nb; bi++ {
 				for bj := k + 1; bj <= bi; bj++ {
-					if co.Node(bi, bj) != me {
-						continue
+					if co.Node(bi, bj) == me {
+						mine = append(mine, [2]int{bi, bj})
 					}
-					a.Get(bi, bj).AddMul(-1, lPanel[bi], lPanel[bj].T())
 				}
 			}
+			parallelDo(c.Parallelism(), len(mine), func(i int) {
+				bi, bj := mine[i][0], mine[i][1]
+				a.Get(bi, bj).AddMul(-1, lPanel[bi], lPanel[bj].T())
+			})
 			return nil
 		}); err != nil {
 			return err

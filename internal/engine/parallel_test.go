@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"hetgrid/internal/kernels"
+	"hetgrid/internal/matrix"
+)
+
+// The intra-rank parallelism contract: any Options.Parallelism value must
+// produce results bit-identical to the serial replay, because work is only
+// ever split across disjoint output blocks (and disjoint row bands inside
+// the matrix layer). These tests mirror the golden tests with workers > 1.
+
+var parallelWorkerCounts = []int{2, 3, 8}
+
+func TestParallelDo(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 16, 33} {
+			hits := make([]int32, n)
+			parallelDo(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelDoRepanics(t *testing.T) {
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("worker panic not re-raised on the caller")
+		}
+	}()
+	parallelDo(4, 8, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
+
+func TestMMParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	const nb, r = 6, 3
+	a := matrix.Random(nb*r, nb*r, rng)
+	b := matrix.Random(nb*r, nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		rep, err := kernels.ReplayMM(d, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bk := range allBroadcastKinds {
+			for _, workers := range parallelWorkerCounts {
+				var got *matrix.Dense
+				_, err := RunOpts(4, Options{Broadcast: bk.kind, Parallelism: workers}, func(c *Comm) error {
+					s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+					if err != nil {
+						return err
+					}
+					s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+					if err != nil {
+						return err
+					}
+					cs, err := MM(c, d, s1, s2)
+					if err != nil {
+						return err
+					}
+					full, err := Gather(c, d, cs)
+					if c.Rank() == 0 {
+						got = full
+					}
+					return err
+				})
+				if err != nil {
+					t.Fatalf("%s/%s/p=%d: %v", d.Name(), bk.name, workers, err)
+				}
+				if !got.Equal(rep.C) {
+					t.Fatalf("%s/%s/p=%d: parallel MM not bit-identical to replay", d.Name(), bk.name, workers)
+				}
+			}
+		}
+	}
+}
+
+func TestLUParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(312))
+	const nb, r = 6, 3
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		rep, err := kernels.ReplayLU(d, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range parallelWorkerCounts {
+			var got *matrix.Dense
+			_, err := RunOpts(4, Options{Parallelism: workers}, func(c *Comm) error {
+				s, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+				if err != nil {
+					return err
+				}
+				if err := LU(c, d, s); err != nil {
+					return err
+				}
+				full, err := Gather(c, d, s)
+				if c.Rank() == 0 {
+					got = full
+				}
+				return err
+			})
+			if err != nil {
+				t.Fatalf("%s/p=%d: %v", d.Name(), workers, err)
+			}
+			if !got.Equal(rep.C) {
+				t.Fatalf("%s/p=%d: parallel LU not bit-identical to replay", d.Name(), workers)
+			}
+		}
+	}
+}
+
+func TestCholeskyParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	const nb, r = 6, 3
+	a := matrix.RandomSPD(nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		rep, err := kernels.ReplayCholesky(d, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range parallelWorkerCounts {
+			var got *matrix.Dense
+			_, err := RunOpts(4, Options{Parallelism: workers}, func(c *Comm) error {
+				s, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+				if err != nil {
+					return err
+				}
+				if err := Cholesky(c, d, s); err != nil {
+					return err
+				}
+				full, err := Gather(c, d, s)
+				if c.Rank() == 0 {
+					got = full
+				}
+				return err
+			})
+			if err != nil {
+				t.Fatalf("%s/p=%d: %v", d.Name(), workers, err)
+			}
+			if !got.Equal(rep.C) {
+				t.Fatalf("%s/p=%d: parallel Cholesky not bit-identical to replay", d.Name(), workers)
+			}
+		}
+	}
+}

@@ -31,6 +31,54 @@ func BenchmarkAddMul(b *testing.B) {
 	}
 }
 
+// BenchmarkGEMMModes compares the three GEMM execution paths; the tracked
+// baseline across the full size sweep lives in BENCH_kernels.json
+// (cmd/benchkernels).
+func BenchmarkGEMMModes(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		x, y := benchMatrices(n)
+		c := New(n, n)
+		b.Run("scalar/"+sizeLabel(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.AddMulScalar(1, x, y)
+			}
+		})
+		b.Run("packed/"+sizeLabel(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.AddMul(1, x, y)
+			}
+		})
+		b.Run("parallel/"+sizeLabel(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.AddMulParallel(1, x, y, 4)
+			}
+		})
+	}
+}
+
+func BenchmarkTRSMModes(b *testing.B) {
+	const n = 128
+	rng := rand.New(rand.NewSource(6))
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		l.Set(i, i, 1)
+		for j := 0; j < i; j++ {
+			l.Set(i, j, 2*rng.Float64()-1)
+		}
+	}
+	rhs := Random(n, n, rng)
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.SolveLowerUnitScalar(rhs.Clone())
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.SolveLowerUnit(rhs.Clone())
+		}
+	})
+}
+
 func BenchmarkLUFactor(b *testing.B) {
 	for _, n := range []int{16, 64, 128} {
 		b.Run(sizeLabel(n), func(b *testing.B) {

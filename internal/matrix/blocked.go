@@ -5,43 +5,16 @@ import (
 	"math"
 )
 
-// BlockedMul computes a·b with a tiled loop ordering: operands are
-// processed in blockSize×blockSize tiles so the working set stays cache
-// resident. Results are identical (up to floating-point association order)
-// to Mul; the benchmarks compare the two. blockSize ≤ 0 selects a default.
+// BlockedMul computes a·b through the packed, register-blocked GEMM kernel
+// (see gemm.go), which performs its own cache blocking; the blockSize
+// argument is retained for API compatibility and ignored. The result is
+// bit-identical to Mul.
 func BlockedMul(a, b *Dense, blockSize int) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("matrix: BlockedMul %d×%d by %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	if blockSize <= 0 {
-		blockSize = 64
-	}
-	out := New(a.rows, b.cols)
-	for i0 := 0; i0 < a.rows; i0 += blockSize {
-		i1 := min(i0+blockSize, a.rows)
-		for k0 := 0; k0 < a.cols; k0 += blockSize {
-			k1 := min(k0+blockSize, a.cols)
-			for j0 := 0; j0 < b.cols; j0 += blockSize {
-				j1 := min(j0+blockSize, b.cols)
-				// Tile update: out[i0:i1, j0:j1] += a[i0:i1, k0:k1]·b[k0:k1, j0:j1].
-				for i := i0; i < i1; i++ {
-					arow := a.data[i*a.stride : i*a.stride+a.cols]
-					orow := out.data[i*out.stride : i*out.stride+out.cols]
-					for k := k0; k < k1; k++ {
-						av := arow[k]
-						if av == 0 {
-							continue
-						}
-						brow := b.data[k*b.stride : k*b.stride+b.cols]
-						for j := j0; j < j1; j++ {
-							orow[j] += av * brow[j]
-						}
-					}
-				}
-			}
-		}
-	}
-	return out
+	_ = blockSize
+	return Mul(a, b)
 }
 
 // BlockedFactor computes the LU factorization with partial pivoting using
@@ -116,11 +89,4 @@ func BlockedFactor(a *Dense, blockSize int) (*LU, error) {
 		trailing.AddMul(-1, lPanel, uPanel)
 	}
 	return &LU{LU: lu, Pivots: piv, signDet: sign}, firstErr
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -90,6 +90,52 @@ func (f *Cholesky) Det() float64 {
 	return det
 }
 
+// BlockedFactorCholesky computes the lower Cholesky factor with the
+// right-looking blocked algorithm (LAPACK potrf structure): the diagonal
+// block is factored unblocked, the sub-diagonal panel is solved against
+// L(diag)ᵀ from the right, and the trailing submatrix receives a symmetric
+// rank-blockSize update through the packed GEMM kernel — so almost all
+// flops run at level-3 speed. The result agrees with FactorCholesky to
+// rounding (the update order differs); the input is not modified.
+// blockSize ≤ 0 selects a default.
+func BlockedFactorCholesky(a *Dense, blockSize int) (*Cholesky, error) {
+	n, c := a.Dims()
+	if n != c {
+		panic(fmt.Sprintf("matrix: Cholesky of non-square %d×%d", n, c))
+	}
+	if blockSize <= 0 {
+		blockSize = 64
+	}
+	l := a.Clone()
+	for k0 := 0; k0 < n; k0 += blockSize {
+		k1 := min(k0+blockSize, n)
+		diag := l.Slice(k0, k1, k0, k1)
+		f, err := FactorCholesky(diag)
+		if err != nil {
+			return nil, err
+		}
+		diag.CopyFrom(f.L)
+		if k1 == n {
+			break
+		}
+		// Panel: L(i,k) = A(i,k)·L(k,k)^{-T}.
+		panel := l.Slice(k1, n, k0, k1)
+		if err := panel.SolveUpperRight(f.L.T()); err != nil {
+			return nil, err
+		}
+		// Trailing: A(trailing) -= panel·panelᵀ. The update covers the full
+		// square — the trailing block stays symmetric, so the upper half is
+		// simply overwritten again by later steps and zeroed below.
+		l.Slice(k1, n, k1, n).AddMul(-1, panel, panel.T())
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			l.Set(i, j, 0)
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
 // RandomSPD returns a random symmetric positive definite matrix of order n:
 // M·Mᵀ + n·I for a random M.
 func RandomSPD(n int, rng interface{ Float64() float64 }) *Dense {

@@ -1,0 +1,317 @@
+package matrix
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the packed, register-blocked GEMM compute layer: the one hot
+// loop every kernel in the repository — serial replays, distributed engine
+// updates, blocked factorizations — bottoms out in.
+//
+// The structure is the classic three-level cache blocking (Goto/BLIS):
+//
+//	for jc over N in steps of gemmNC        C column slab
+//	  for pc over K in steps of gemmKC      pack B(pc:pc+kc, jc:jc+nc)
+//	    for ic over M in steps of gemmMC    pack alpha·A(ic:ic+mc, pc:pc+kc)
+//	      macro kernel: gemmMR×gemmNR register tiles over the packed panels
+//
+// A is packed into row panels of gemmMR rows (k-major, so the micro-kernel
+// streams it sequentially) with alpha folded in during packing; B is packed
+// into column panels of gemmNR columns. The packed A block (mc×kc) is sized
+// for L2, one packed B column panel (kc×nr) for L1.
+//
+// Determinism contract: for every output element C[i,j] the products
+// alpha·A[i,k]·B[k,j] are accumulated in strictly increasing k order, each as
+// a separate rounded multiply and a separate rounded add onto an accumulator
+// initialized from C[i,j] — exactly the operation sequence of the scalar
+// reference AddMulScalar. The packed path is therefore bit-identical to the
+// scalar path for all inputs (including ±0, ±Inf, and whether an output is
+// NaN), which is what lets the distributed engine stay bit-identical to the
+// serial replays while routing through this kernel. The sole caveat is NaN
+// payloads: when two distinct NaNs meet in an add, x86 keeps the first
+// source operand's payload, and operand order is compiler codegen — so
+// which quiet-NaN bit pattern appears in a NaN output may differ between
+// kernels, while NaN-ness itself never does. Property tests assert the
+// equivalence over randomized shapes; do not reassociate the accumulation
+// when tuning.
+
+// Cache / register blocking parameters. gemmMR×gemmNR is the register tile;
+// gemmKC×gemmNR (one packed B panel) should fit L1 and gemmMC×gemmKC (the
+// packed A block) L2. The defaults favour the common 256 KB–1 MB L2 parts;
+// see DESIGN.md §7 for how to re-derive them for other hardware.
+const (
+	gemmMR = 4
+	gemmNR = 4
+	gemmKC = 256
+	gemmMC = 128
+	gemmNC = 1024
+	// gemmNRAVX is the B panel width the AVX assembly micro-kernel consumes
+	// (see gemm_amd64.s); the driver packs for it when the CPU qualifies.
+	gemmNRAVX = 8
+)
+
+// gemmScalarFlops is the m·n·k product below which the packing overhead
+// outweighs the micro-kernel's gains and AddMul routes to the scalar
+// reference instead. Both paths are bit-identical, so the cutoff is purely a
+// performance knob.
+const gemmScalarFlops = 16 * 16 * 16
+
+// gemmBuffers holds one reusable pair of packing buffers. They are pooled so
+// steady-state block updates (the engine performs thousands per run) do not
+// allocate at all.
+type gemmBuffers struct {
+	a, b []float64
+}
+
+var gemmPool = sync.Pool{New: func() any { return new(gemmBuffers) }}
+
+// ensure grows s to at least n elements, reusing capacity when present.
+func ensure(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// addMulPacked is the packed GEMM driver behind AddMul. Callers have already
+// validated shapes and handled alpha == 0.
+func (m *Dense) addMulPacked(alpha float64, a, b *Dense) {
+	bufs := gemmPool.Get().(*gemmBuffers)
+	bufs.a = ensure(bufs.a, gemmMC*gemmKC)
+	bufs.b = ensure(bufs.b, gemmKC*gemmNC)
+	nr := gemmTileN()
+	bigM, bigK, bigN := a.rows, a.cols, b.cols
+	for jc := 0; jc < bigN; jc += gemmNC {
+		nc := min(gemmNC, bigN-jc)
+		for pc := 0; pc < bigK; pc += gemmKC {
+			kc := min(gemmKC, bigK-pc)
+			packB(bufs.b, b, pc, jc, kc, nc, nr)
+			for ic := 0; ic < bigM; ic += gemmMC {
+				mc := min(gemmMC, bigM-ic)
+				packA(bufs.a, a, alpha, ic, pc, mc, kc)
+				gemmMacro(m, bufs.a, bufs.b, ic, jc, mc, nc, kc, nr)
+			}
+		}
+	}
+	gemmPool.Put(bufs)
+}
+
+// packA packs the mc×kc block of a at (ic, pc) into row panels of gemmMR
+// rows, k-major within each panel, with alpha folded in:
+//
+//	dst[p·gemmMR·kc + k·mrEff + r] = alpha · a[ic+p·gemmMR+r, pc+k]
+//
+// The final panel may have mrEff < gemmMR rows and is packed tightly (stride
+// mrEff); no zero padding, so NaN/Inf in unrelated positions can never leak
+// into real outputs.
+func packA(dst []float64, a *Dense, alpha float64, ic, pc, mc, kc int) {
+	off := 0
+	for p := 0; p < mc; p += gemmMR {
+		mrEff := min(gemmMR, mc-p)
+		for r := 0; r < mrEff; r++ {
+			src := a.data[(ic+p+r)*a.stride+pc : (ic+p+r)*a.stride+pc+kc]
+			q := off + r
+			for k := 0; k < kc; k++ {
+				dst[q] = alpha * src[k]
+				q += mrEff
+			}
+		}
+		off += mrEff * kc
+	}
+}
+
+// packB packs the kc×nc block of b at (pc, jc) into column panels of nr
+// columns, k-major within each panel:
+//
+//	dst[p·nr·kc + k·nrEff + c] = b[pc+k, jc+p·nr+c]
+//
+// The final panel may have nrEff < nr columns and is packed tightly.
+func packB(dst []float64, b *Dense, pc, jc, kc, nc, nr int) {
+	off := 0
+	for p := 0; p < nc; p += nr {
+		nrEff := min(nr, nc-p)
+		for k := 0; k < kc; k++ {
+			src := b.data[(pc+k)*b.stride+jc+p : (pc+k)*b.stride+jc+p+nrEff]
+			copy(dst[off+k*nrEff:off+(k+1)*nrEff], src)
+		}
+		off += nrEff * kc
+	}
+}
+
+// gemmMacro sweeps the register tiles of one packed (mc×kc)·(kc×nc) block
+// product into c at (ic, jc). Panel offsets are ip·kc / jp·kc because every
+// panel before a full-size boundary is full-size. Full 4×8 tiles dispatch to
+// the AVX assembly micro-kernel when available; a tight-packed 4-wide rim
+// panel has exactly the generic tile's layout, so it reuses gemmMicro4x4,
+// and everything else takes the variable-size edge kernel. All three are
+// bit-identical.
+func gemmMacro(c *Dense, packedA, packedB []float64, ic, jc, mc, nc, kc, nr int) {
+	for jp := 0; jp < nc; jp += nr {
+		nrEff := min(nr, nc-jp)
+		pb := packedB[jp*kc:]
+		for ip := 0; ip < mc; ip += gemmMR {
+			mrEff := min(gemmMR, mc-ip)
+			pa := packedA[ip*kc:]
+			switch {
+			case gemmHaveAVX && mrEff == gemmMR && nrEff == gemmNRAVX:
+				gemmMicroAVX4x8(&c.data[(ic+ip)*c.stride+jc+jp], c.stride, &pa[0], &pb[0], kc)
+			case mrEff == gemmMR && nrEff == gemmNR:
+				gemmMicro4x4(c, ic+ip, jc+jp, pa, pb, kc)
+			default:
+				gemmMicroEdge(c, ic+ip, jc+jp, mrEff, nrEff, pa, pb, kc)
+			}
+		}
+	}
+}
+
+// gemmMicro4x4 is the full-size register tile: sixteen accumulators live
+// across the k loop, loaded from and stored to C exactly once. Per k
+// iteration it performs 16 multiply–adds against 8 contiguous loads.
+func gemmMicro4x4(c *Dense, i0, j0 int, pa, pb []float64, kc int) {
+	r0 := c.data[(i0+0)*c.stride+j0 : (i0+0)*c.stride+j0+4]
+	r1 := c.data[(i0+1)*c.stride+j0 : (i0+1)*c.stride+j0+4]
+	r2 := c.data[(i0+2)*c.stride+j0 : (i0+2)*c.stride+j0+4]
+	r3 := c.data[(i0+3)*c.stride+j0 : (i0+3)*c.stride+j0+4]
+	c00, c01, c02, c03 := r0[0], r0[1], r0[2], r0[3]
+	c10, c11, c12, c13 := r1[0], r1[1], r1[2], r1[3]
+	c20, c21, c22, c23 := r2[0], r2[1], r2[2], r2[3]
+	c30, c31, c32, c33 := r3[0], r3[1], r3[2], r3[3]
+	pa = pa[: 4*kc : 4*kc]
+	pb = pb[: 4*kc : 4*kc]
+	for k := 0; k < kc; k++ {
+		av := pa[4*k : 4*k+4 : 4*k+4]
+		bv := pb[4*k : 4*k+4 : 4*k+4]
+		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+		b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+	r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+	r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
+	r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
+}
+
+// gemmMicroEdge handles partial tiles at the right and bottom rims: same
+// accumulation order, variable tile size, accumulators initialized from C.
+func gemmMicroEdge(c *Dense, i0, j0, mrEff, nrEff int, pa, pb []float64, kc int) {
+	for r := 0; r < mrEff; r++ {
+		crow := c.data[(i0+r)*c.stride+j0 : (i0+r)*c.stride+j0+nrEff]
+		for cc := 0; cc < nrEff; cc++ {
+			acc := crow[cc]
+			q := r
+			w := cc
+			for k := 0; k < kc; k++ {
+				acc += pa[q] * pb[w]
+				q += mrEff
+				w += nrEff
+			}
+			crow[cc] = acc
+		}
+	}
+}
+
+// AddMulScalar is the reference GEMM: m += alpha·a·b as three nested loops
+// in ikj order, accumulating each output element in increasing k. It is the
+// semantics the packed kernel is tested against bit for bit, and stays
+// selectable for debugging and benchmarking. alpha == 0 is a no-op (BLAS
+// convention: the product is not formed, so NaN/Inf in a or b do not
+// propagate); for nonzero alpha every product participates — 0·NaN is NaN.
+func (m *Dense) AddMulScalar(alpha float64, a, b *Dense) {
+	m.checkAddMul(a, b)
+	if alpha == 0 {
+		return
+	}
+	m.addMulScalar(alpha, a, b)
+}
+
+func (m *Dense) addMulScalar(alpha float64, a, b *Dense) {
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.stride : i*a.stride+a.cols]
+		mrow := m.data[i*m.stride : i*m.stride+m.cols]
+		for k, av := range arow {
+			s := alpha * av
+			brow := b.data[k*b.stride : k*b.stride+b.cols]
+			for j, bv := range brow {
+				mrow[j] += s * bv
+			}
+		}
+	}
+}
+
+func (m *Dense) checkAddMul(a, b *Dense) {
+	if a.cols != b.rows || m.rows != a.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("matrix: AddMul %d×%d += %d×%d * %d×%d",
+			m.rows, m.cols, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// addMulDispatch routes a shape-checked, alpha≠0 update to the scalar or
+// packed path by problem size.
+func (m *Dense) addMulDispatch(alpha float64, a, b *Dense) {
+	if a.rows*a.cols*b.cols <= gemmScalarFlops || a.cols < gemmNR {
+		m.addMulScalar(alpha, a, b)
+		return
+	}
+	m.addMulPacked(alpha, a, b)
+}
+
+// AddMulParallel is AddMul computed by `workers` goroutines, the GEMM
+// partitioned into contiguous output-row bands: every output element is
+// accumulated by exactly one goroutine in the same increasing-k order, so the
+// result is bit-identical to the serial AddMul for any worker count. Workers
+// ≤ 1, tiny problems, or bands thinner than one register tile run serially.
+func (m *Dense) AddMulParallel(alpha float64, a, b *Dense, workers int) {
+	m.checkAddMul(a, b)
+	if alpha == 0 {
+		return
+	}
+	if workers > m.rows/gemmMR {
+		workers = m.rows / gemmMR
+	}
+	if workers <= 1 || a.rows*a.cols*b.cols <= gemmScalarFlops {
+		m.addMulDispatch(alpha, a, b)
+		return
+	}
+	// Band height: even split rounded up to a whole number of register
+	// tiles, so only the last band carries an edge.
+	band := ((m.rows+workers-1)/workers + gemmMR - 1) / gemmMR * gemmMR
+	var wg sync.WaitGroup
+	for i0 := 0; i0 < m.rows; i0 += band {
+		i1 := min(i0+band, m.rows)
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			mb := m.Slice(i0, i1, 0, m.cols)
+			ab := a.Slice(i0, i1, 0, a.cols)
+			mb.addMulDispatch(alpha, ab, b)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// MulParallel returns a·b computed with AddMulParallel's row-band
+// parallelism; bit-identical to Mul for any worker count.
+func MulParallel(a, b *Dense, workers int) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("matrix: MulParallel %d×%d by %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	out.AddMulParallel(1, a, b, workers)
+	return out
+}

@@ -1,0 +1,32 @@
+//go:build amd64
+
+package matrix
+
+// gemmHaveAVX reports whether the AVX micro-kernel is usable on this CPU
+// (and enabled by the OS). It is a variable, not a constant, so tests can
+// force the pure-Go tile and assert both paths are bit-identical.
+var gemmHaveAVX = cpuHasAVX()
+
+// gemmTileN is the packed-B panel width the driver packs for: 8 columns for
+// the AVX micro-kernel, gemmNR for the generic Go tile.
+func gemmTileN() int {
+	if gemmHaveAVX {
+		return gemmNRAVX
+	}
+	return gemmNR
+}
+
+// cpuHasAVX reports CPU and OS support for 256-bit AVX: CPUID.1:ECX must
+// advertise AVX and OSXSAVE, and XCR0 must have the XMM and YMM state bits
+// set (the OS saves the full registers across context switches).
+func cpuHasAVX() bool
+
+// gemmMicroAVX4x8 is the assembly micro-kernel: a 4×8 tile of C held in
+// eight YMM accumulators across the whole k loop. Updates are unfused
+// VMULPD/VADDPD pairs — each lane performs exactly the two IEEE roundings
+// (multiply, then add) of the scalar reference, in the same increasing-k
+// order, so the asm path stays bit-identical to AddMulScalar. stride is in
+// elements; pa advances 4 and pb 8 elements per k step. kc must be ≥ 1.
+//
+//go:noescape
+func gemmMicroAVX4x8(c *float64, stride int, pa, pb *float64, kc int)

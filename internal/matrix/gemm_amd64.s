@@ -1,0 +1,88 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// CPUID.1:ECX bit 27 (OSXSAVE) and bit 28 (AVX) must be set, then
+// XGETBV(0) must report XCR0 bits 1 and 2 (XMM and YMM state enabled by
+// the OS).
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVQ	$1, AX
+	CPUID
+	ANDL	$0x18000000, CX
+	CMPL	CX, $0x18000000
+	JNE	noavx
+	XORL	CX, CX
+	XGETBV
+	ANDL	$6, AX
+	CMPL	AX, $6
+	JNE	noavx
+	MOVB	$1, ret+0(FP)
+	RET
+noavx:
+	MOVB	$0, ret+0(FP)
+	RET
+
+// func gemmMicroAVX4x8(c *float64, stride int, pa, pb *float64, kc int)
+//
+// Register tile: Y0..Y7 hold the 4×8 block of C (two YMM per row) across
+// the whole k loop. Per k step: two 8-wide B loads, four A broadcasts, and
+// eight VMULPD/VADDPD pairs. No FMA — the separate multiply and add
+// roundings keep the kernel bit-identical to the scalar reference.
+TEXT ·gemmMicroAVX4x8(SB), NOSPLIT, $0-40
+	MOVQ	c+0(FP), DI
+	MOVQ	stride+8(FP), SI
+	MOVQ	pa+16(FP), R8
+	MOVQ	pb+24(FP), R9
+	MOVQ	kc+32(FP), CX
+	SHLQ	$3, SI              // stride in bytes
+	LEAQ	(DI)(SI*2), R10     // row 2
+
+	VMOVUPD	(DI), Y0            // C row 0
+	VMOVUPD	32(DI), Y1
+	VMOVUPD	(DI)(SI*1), Y2      // C row 1
+	VMOVUPD	32(DI)(SI*1), Y3
+	VMOVUPD	(R10), Y4           // C row 2
+	VMOVUPD	32(R10), Y5
+	VMOVUPD	(R10)(SI*1), Y6     // C row 3
+	VMOVUPD	32(R10)(SI*1), Y7
+
+kloop:
+	VMOVUPD	(R9), Y8            // B[k, 0:4]
+	VMOVUPD	32(R9), Y9          // B[k, 4:8]
+	VBROADCASTSD	(R8), Y10   // A[0, k]
+	VBROADCASTSD	8(R8), Y11  // A[1, k]
+	VMULPD	Y8, Y10, Y12
+	VADDPD	Y12, Y0, Y0
+	VMULPD	Y9, Y10, Y13
+	VADDPD	Y13, Y1, Y1
+	VMULPD	Y8, Y11, Y14
+	VADDPD	Y14, Y2, Y2
+	VMULPD	Y9, Y11, Y15
+	VADDPD	Y15, Y3, Y3
+	VBROADCASTSD	16(R8), Y10 // A[2, k]
+	VBROADCASTSD	24(R8), Y11 // A[3, k]
+	VMULPD	Y8, Y10, Y12
+	VADDPD	Y12, Y4, Y4
+	VMULPD	Y9, Y10, Y13
+	VADDPD	Y13, Y5, Y5
+	VMULPD	Y8, Y11, Y14
+	VADDPD	Y14, Y6, Y6
+	VMULPD	Y9, Y11, Y15
+	VADDPD	Y15, Y7, Y7
+	ADDQ	$32, R8
+	ADDQ	$64, R9
+	DECQ	CX
+	JNE	kloop
+
+	VMOVUPD	Y0, (DI)
+	VMOVUPD	Y1, 32(DI)
+	VMOVUPD	Y2, (DI)(SI*1)
+	VMOVUPD	Y3, 32(DI)(SI*1)
+	VMOVUPD	Y4, (R10)
+	VMOVUPD	Y5, 32(R10)
+	VMOVUPD	Y6, (R10)(SI*1)
+	VMOVUPD	Y7, 32(R10)(SI*1)
+	VZEROUPPER
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package matrix
+
+// gemmHaveAVX is constant false off amd64, letting the compiler drop the
+// assembly dispatch arm entirely.
+const gemmHaveAVX = false
+
+func gemmTileN() int { return gemmNR }
+
+// gemmMicroAVX4x8 is never reachable when gemmHaveAVX is false.
+func gemmMicroAVX4x8(c *float64, stride int, pa, pb *float64, kc int) {
+	panic("matrix: AVX micro-kernel unavailable on this architecture")
+}

@@ -1,0 +1,285 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bitIdentical compares two matrices by the exact bit patterns of their
+// elements — signed zeros and infinities count, strictly stronger than
+// Equal. The one exception is NaN: when two different NaNs meet in an add,
+// x86 returns the first source operand's payload, and which operand the
+// compiler emits first is codegen-dependent — so NaN-ness is deterministic
+// across kernels but the payload is not, and any NaN matches any NaN here
+// (the documented contract in gemm.go).
+func bitIdentical(a, b *Dense) bool {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		return false
+	}
+	for i := 0; i < ar; i++ {
+		for j := 0; j < ac; j++ {
+			x, y := a.At(i, j), b.At(i, j)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				if !(math.IsNaN(x) && math.IsNaN(y)) {
+					return false
+				}
+				continue
+			}
+			if math.Float64bits(x) != math.Float64bits(y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// gemmTestDims is the dimension distribution for the property tests: every
+// boundary the packed path cares about — degenerate 1, just under / at /
+// over the register tile (gemmMR/gemmNR/gemmNRAVX), and sizes crossing the
+// gemmMC row blocks and gemmKC depth panels.
+var gemmTestDims = []int{1, 2, 3, 4, 5, 7, 8, 9, 11, 16, 17, 23, 31, 33, 47, 63, 130, 260}
+
+func pickDim(rng *rand.Rand) int {
+	return gemmTestDims[rng.Intn(len(gemmTestDims))]
+}
+
+// randomOperand builds an m×n matrix, optionally as a strided interior view
+// of a larger allocation (stride > cols), optionally seeded with NaN/Inf/−0
+// specials. The packed kernel must treat all of these identically to the
+// scalar reference.
+func randomOperand(rng *rand.Rand, m, n int, strided, specials bool) *Dense {
+	var d *Dense
+	if strided {
+		big := New(m+2, n+3)
+		for i := 0; i < m+2; i++ {
+			for j := 0; j < n+3; j++ {
+				big.Set(i, j, rng.NormFloat64())
+			}
+		}
+		d = big.Slice(1, m+1, 2, n+2)
+	} else {
+		d = New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				d.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	if specials {
+		vals := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0}
+		for t := 0; t < 1+m*n/16; t++ {
+			d.Set(rng.Intn(m), rng.Intn(n), vals[rng.Intn(len(vals))])
+		}
+	}
+	return d
+}
+
+// TestGemmPackedMatchesScalarProperty is the core determinism contract:
+// across 220 randomized shapes — non-square, 1×n and n×1 edge blocks,
+// strided Slice views, NaN/Inf/−0 payloads, varying alpha — the packed
+// driver must be bit-identical to the scalar ikj reference. It calls
+// addMulPacked directly so even shapes below the dispatch cutoff exercise
+// the packed path.
+func TestGemmPackedMatchesScalarProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	alphas := []float64{1, -1, 0.5, -2.25, 1e-30, 3}
+	for it := 0; it < 220; it++ {
+		m, k, n := pickDim(rng), pickDim(rng), pickDim(rng)
+		// Keep the occasional triple-large case affordable.
+		if m*k*n > 1<<22 {
+			n = 8
+		}
+		strided := it%3 == 0
+		specials := it%7 == 0
+		a := randomOperand(rng, m, k, strided, specials)
+		b := randomOperand(rng, k, n, strided, specials)
+		c0 := randomOperand(rng, m, n, strided, false)
+		alpha := alphas[rng.Intn(len(alphas))]
+
+		want := c0.Clone()
+		want.addMulScalar(alpha, a, b)
+		got := c0.Clone()
+		got.addMulPacked(alpha, a, b)
+		if !bitIdentical(got, want) {
+			t.Fatalf("it=%d m=%d k=%d n=%d alpha=%v strided=%v specials=%v: packed differs from scalar",
+				it, m, k, n, alpha, strided, specials)
+		}
+	}
+}
+
+// TestAddMulDispatchMatchesScalar covers the public entry point (with its
+// size-based dispatch) on the same contract.
+func TestAddMulDispatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(702))
+	for it := 0; it < 60; it++ {
+		m, k, n := pickDim(rng), pickDim(rng), pickDim(rng)
+		if m*k*n > 1<<22 {
+			k = 8
+		}
+		a := randomOperand(rng, m, k, false, it%5 == 0)
+		b := randomOperand(rng, k, n, false, it%5 == 0)
+		c0 := randomOperand(rng, m, n, false, false)
+		want := c0.Clone()
+		want.AddMulScalar(1, a, b)
+		got := c0.Clone()
+		got.AddMul(1, a, b)
+		if !bitIdentical(got, want) {
+			t.Fatalf("it=%d m=%d k=%d n=%d: AddMul differs from AddMulScalar", it, m, k, n)
+		}
+	}
+}
+
+// TestAddMulParallelBitIdentical: any worker count must reproduce the
+// serial result bit for bit (row bands are disjoint outputs, same k order).
+// Run with -race to check the band partitioning for data races.
+func TestAddMulParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	shapes := [][3]int{{1, 5, 7}, {4, 16, 8}, {7, 33, 9}, {33, 17, 31}, {63, 64, 65}, {130, 40, 50}}
+	workers := []int{0, 1, 2, 3, 4, 7, 16, 100}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randomOperand(rng, m, k, false, false)
+		b := randomOperand(rng, k, n, false, false)
+		c0 := randomOperand(rng, m, n, false, false)
+		want := c0.Clone()
+		want.AddMul(1.5, a, b)
+		for _, w := range workers {
+			got := c0.Clone()
+			got.AddMulParallel(1.5, a, b, w)
+			if !bitIdentical(got, want) {
+				t.Fatalf("m=%d k=%d n=%d workers=%d: parallel differs from serial", m, k, n, w)
+			}
+		}
+	}
+}
+
+func TestMulParallelMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(704))
+	a := randomOperand(rng, 37, 29, false, false)
+	b := randomOperand(rng, 29, 41, false, false)
+	want := Mul(a, b)
+	for _, w := range []int{2, 5} {
+		if got := MulParallel(a, b, w); !bitIdentical(got, want) {
+			t.Fatalf("workers=%d: MulParallel differs from Mul", w)
+		}
+	}
+}
+
+// TestAddMulNaNInfPropagation is the regression test for the removed
+// `if av == 0 { continue }` fast path: with nonzero alpha, a zero in A must
+// not suppress NaN/Inf coming from B (0·NaN = NaN, 0·Inf = NaN).
+func TestAddMulNaNInfPropagation(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		a := NewFromSlice(1, 1, []float64{0})
+		b := NewFromSlice(1, 1, []float64{bad})
+		c := NewFromSlice(1, 1, []float64{1})
+		c.AddMul(1, a, b)
+		if !math.IsNaN(c.At(0, 0)) {
+			t.Fatalf("AddMul dropped 0·%v: got %v, want NaN", bad, c.At(0, 0))
+		}
+		c = NewFromSlice(1, 1, []float64{1})
+		c.AddMulScalar(1, a, b)
+		if !math.IsNaN(c.At(0, 0)) {
+			t.Fatalf("AddMulScalar dropped 0·%v: got %v, want NaN", bad, c.At(0, 0))
+		}
+	}
+	// alpha == 0 stays the BLAS no-op: the product is never formed, so NaN
+	// operands do not propagate and the output is untouched.
+	a := NewFromSlice(1, 1, []float64{math.NaN()})
+	b := NewFromSlice(1, 1, []float64{math.Inf(1)})
+	c := NewFromSlice(1, 1, []float64{3})
+	c.AddMul(0, a, b)
+	if c.At(0, 0) != 3 {
+		t.Fatalf("AddMul with alpha=0 modified its output: %v", c.At(0, 0))
+	}
+}
+
+// TestSolveLowerUnitNaNPropagation is the regression test for the removed
+// `if l == 0 { continue }` fast path in forward substitution: a zero
+// multiplier must not block NaN propagation from an earlier row.
+func TestSolveLowerUnitNaNPropagation(t *testing.T) {
+	l := NewFromSlice(2, 2, []float64{1, 0, 0, 1}) // L = I, l21 = 0
+	b := NewFromSlice(2, 1, []float64{math.NaN(), 1})
+	l.SolveLowerUnit(b)
+	// Row 1: b1 − l21·b0 = 1 − 0·NaN = NaN.
+	if !math.IsNaN(b.At(1, 0)) {
+		t.Fatalf("SolveLowerUnit dropped 0·NaN: got %v, want NaN", b.At(1, 0))
+	}
+	ls := NewFromSlice(2, 2, []float64{1, 0, 0, 1})
+	bs := NewFromSlice(2, 1, []float64{math.NaN(), 1})
+	ls.SolveLowerUnitScalar(bs)
+	if !math.IsNaN(bs.At(1, 0)) {
+		t.Fatalf("SolveLowerUnitScalar dropped 0·NaN: got %v, want NaN", bs.At(1, 0))
+	}
+}
+
+// TestSolveLowerUnitBlockedMatchesScalar pins the blocked forward TRSM to
+// the scalar reference bit for bit (the blocked loop preserves the exact
+// per-element accumulation order).
+func TestSolveLowerUnitBlockedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(705))
+	for _, n := range []int{1, 3, 17, 64, 65, 100, 150} {
+		for _, cols := range []int{1, 5, 33} {
+			l := randomOperand(rng, n, n, false, false)
+			for i := 0; i < n; i++ {
+				l.Set(i, i, 1)
+				for j := i + 1; j < n; j++ {
+					l.Set(i, j, 0)
+				}
+			}
+			b0 := randomOperand(rng, n, cols, false, false)
+			want := b0.Clone()
+			l.SolveLowerUnitScalar(want)
+			got := b0.Clone()
+			l.SolveLowerUnit(got)
+			if !bitIdentical(got, want) {
+				t.Fatalf("n=%d cols=%d: blocked forward TRSM differs from scalar", n, cols)
+			}
+		}
+	}
+}
+
+// TestSolveUpperBlockedMatchesScalarApprox: the blocked backward TRSM
+// reorders the update sums (documented in DESIGN.md §7), so it agrees with
+// the scalar reference to rounding rather than bitwise.
+func TestSolveUpperBlockedMatchesScalarApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(706))
+	for _, n := range []int{1, 3, 17, 64, 65, 100} {
+		u := randomOperand(rng, n, n, false, false)
+		for i := 0; i < n; i++ {
+			u.Set(i, i, 2+rng.Float64())
+			for j := 0; j < i; j++ {
+				u.Set(i, j, 0)
+			}
+		}
+		b0 := randomOperand(rng, n, 7, false, false)
+		want := b0.Clone()
+		if err := u.SolveUpperScalar(want); err != nil {
+			t.Fatal(err)
+		}
+		got := b0.Clone()
+		if err := u.SolveUpper(got); err != nil {
+			t.Fatal(err)
+		}
+		if !got.EqualApprox(want, 1e-9) {
+			t.Fatalf("n=%d: blocked backward TRSM diverges from scalar", n)
+		}
+	}
+}
+
+// TestSolveUpperSingularLeavesRHSUntouched: the blocked SolveUpper checks
+// the whole diagonal up front, so on a singular factor the right-hand side
+// must come back unmodified.
+func TestSolveUpperSingularLeavesRHSUntouched(t *testing.T) {
+	u := NewFromSlice(2, 2, []float64{1, 2, 0, 0})
+	b := NewFromSlice(2, 1, []float64{3, 4})
+	if err := u.SolveUpper(b); err == nil {
+		t.Fatal("singular factor accepted")
+	}
+	if b.At(0, 0) != 3 || b.At(1, 0) != 4 {
+		t.Fatalf("rhs modified on singular factor: %v, %v", b.At(0, 0), b.At(1, 0))
+	}
+}

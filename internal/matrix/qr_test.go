@@ -136,3 +136,49 @@ func TestQRDetConsistency(t *testing.T) {
 		t.Fatalf("|det| via LU %v vs via QR %v", luDet, qrDet)
 	}
 }
+
+func TestBlockedQRMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for _, dims := range [][2]int{{1, 1}, {5, 3}, {16, 16}, {33, 20}, {64, 64}, {80, 50}} {
+		m, n := dims[0], dims[1]
+		a := Random(m, n, rng)
+		want := FactorQR(a)
+		for _, bs := range []int{0, 4, 8, n + 3} {
+			got := FactorQRBlocked(a, bs)
+			if !got.R().EqualApprox(want.R(), 1e-9) {
+				t.Fatalf("%d×%d bs=%d: blocked R differs from unblocked", m, n, bs)
+			}
+			if !Mul(got.Q(), got.R()).EqualApprox(a, 1e-9) {
+				t.Fatalf("%d×%d bs=%d: Q·R != A", m, n, bs)
+			}
+			q := got.Q()
+			if !Mul(q.T(), q).EqualApprox(Identity(m), 1e-9) {
+				t.Fatalf("%d×%d bs=%d: Q not orthogonal", m, n, bs)
+			}
+		}
+	}
+}
+
+func TestBlockedQRInputUnmodified(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	a := Random(24, 17, rng)
+	orig := a.Clone()
+	FactorQRBlocked(a, 8)
+	if !a.Equal(orig) {
+		t.Fatal("FactorQRBlocked modified its input")
+	}
+}
+
+func TestBlockedQRZeroColumn(t *testing.T) {
+	// A zero column yields tau = 0 mid-panel; the WY update must still be
+	// consistent.
+	rng := rand.New(rand.NewSource(97))
+	a := Random(12, 9, rng)
+	for i := 0; i < 12; i++ {
+		a.Set(i, 3, 0)
+	}
+	f := FactorQRBlocked(a, 4)
+	if !Mul(f.Q(), f.R()).EqualApprox(a, 1e-9) {
+		t.Fatal("Q·R != A with a zero column")
+	}
+}
