@@ -18,6 +18,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"time"
 )
 
 func main() {
@@ -43,6 +44,15 @@ func main() {
 		rFlag      = flag.Int("r", 8, "element block size for -real runs (matrix side = nb*r)")
 		parallel   = flag.Int("parallel", 1, "goroutines per rank for -real block updates (bit-identical for any value)")
 		bcastFlag  = flag.String("bcast", "auto", "broadcast algorithm: auto, flat, ring, pipeline, tree")
+
+		faultFlag    = flag.Bool("fault", false, "inject deterministic faults into -real runs")
+		faultSeed    = flag.Int64("faultseed", 1, "seed for the drop/delay fault lottery")
+		faultDrop    = flag.Float64("faultdrop", 0, "per-message drop probability (first delivery swallowed, repaired by retransmission)")
+		faultDelay   = flag.Float64("faultdelay", 0, "per-message delay probability")
+		faultDelayD  = flag.Duration("faultdelaydur", 5*time.Millisecond, "how long a delayed message waits")
+		faultCrash   = flag.String("faultcrash", "", "crash schedule rank@step[s],... — trailing s means a silent crash (failure detector exercised)")
+		faultRecover = flag.Bool("faultrecover", false, "recover from rank failures: replan the survivors and resume from the last checkpoint")
+		ckptEvery    = flag.Int("ckpt", 1, "checkpoint the working matrix every so many kernel steps (with -faultrecover)")
 	)
 	flag.Parse()
 
@@ -81,11 +91,32 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var faults *hetgrid.FaultOptions
+	if *faultFlag {
+		crashes, err := cliutil.ParseCrashSchedule(*faultCrash)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults = &hetgrid.FaultOptions{
+			Seed:            *faultSeed,
+			DropProb:        *faultDrop,
+			DelayProb:       *faultDelay,
+			Delay:           *faultDelayD,
+			Crashes:         crashes,
+			Recover:         *faultRecover,
+			CheckpointEvery: *ckptEvery,
+			Times:           times,
+		}
+	}
+
 	if *realFlag {
-		if err := runReal(kernel, dists, *nbFlag, *rFlag, *parallel, bcast, *traceFile); err != nil {
+		if err := runReal(kernel, dists, *nbFlag, *rFlag, *parallel, bcast, faults, *traceFile); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if faults != nil {
+		log.Fatal("-fault requires -real (faults are injected into the real execution, not the simulator)")
 	}
 
 	fmt.Printf("%-20s %12s %12s %8s %9s %12s\n", "distribution", "makespan", "comp bound", "eff", "msgs", "bytes")
@@ -137,7 +168,7 @@ func main() {
 // reports the measured traffic: world totals plus the per-rank breakdown
 // the engine's instrumented transport collects. With a trace file the last
 // run's timestamped events are written in Chrome-tracing format.
-func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast hetgrid.BroadcastKind, traceFile string) error {
+func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast hetgrid.BroadcastKind, faults *hetgrid.FaultOptions, traceFile string) error {
 	if r <= 0 {
 		return fmt.Errorf("block size -r must be positive, got %d", r)
 	}
@@ -147,19 +178,25 @@ func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast
 
 	var lastStats *hetgrid.ExecStats
 	for _, dc := range dists {
-		opts := hetgrid.ExecOptions{Broadcast: bcast, Trace: traceFile != "", Parallelism: parallel}
+		opts := []hetgrid.Option{hetgrid.WithBroadcast(bcast), hetgrid.WithParallelism(parallel)}
+		if traceFile != "" {
+			opts = append(opts, hetgrid.WithTrace())
+		}
+		if faults != nil {
+			opts = append(opts, hetgrid.WithFaults(*faults))
+		}
 		var stats *hetgrid.ExecStats
 		var err error
 		switch kernel {
 		case hetgrid.MatMul:
 			a, b := matrix.Random(n, n, rng), matrix.Random(n, n, rng)
-			_, stats, err = hetgrid.DistributedMultiplyOpts(dc.d, a, b, r, opts)
+			_, stats, err = hetgrid.DistributedMultiply(dc.d, a, b, r, opts...)
 		case hetgrid.LU:
-			_, stats, err = hetgrid.DistributedFactorLUOpts(dc.d, matrix.RandomWellConditioned(n, rng), r, opts)
+			_, stats, err = hetgrid.DistributedFactor(kernel, dc.d, matrix.RandomWellConditioned(n, rng), r, opts...)
 		case hetgrid.QR:
-			_, stats, err = hetgrid.DistributedFactorQROpts(dc.d, matrix.Random(n, n, rng), r, opts)
+			_, stats, err = hetgrid.DistributedFactor(kernel, dc.d, matrix.Random(n, n, rng), r, opts...)
 		case hetgrid.Cholesky:
-			_, stats, err = hetgrid.DistributedFactorCholeskyOpts(dc.d, matrix.RandomSPD(n, rng), r, opts)
+			_, stats, err = hetgrid.DistributedFactor(kernel, dc.d, matrix.RandomSPD(n, rng), r, opts...)
 		default:
 			return fmt.Errorf("kernel %v has no real execution path", kernel)
 		}
@@ -170,6 +207,10 @@ func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast
 		fmt.Printf("  %6s %22s %22s\n", "rank", "sent (msgs / bytes)", "recv (msgs / bytes)")
 		for i, rs := range stats.Ranks {
 			fmt.Printf("  %6d %10d / %9d %10d / %9d\n", i, rs.MsgsSent, rs.BytesSent, rs.MsgsRecv, rs.BytesRecv)
+		}
+		if fs := stats.Faults; fs != nil {
+			fmt.Printf("  faults: %d attempt(s), %d recovery(ies), %d crash(es), %d dropped, %d delayed, %d retransmitted, %d timeouts, %d retries, %d checkpoint(s), %d step(s) resumed\n",
+				fs.Attempts, fs.Recoveries, fs.Crashes, fs.Dropped, fs.Delayed, fs.Retransmitted, fs.Timeouts, fs.Retries, fs.Checkpoints, fs.ResumedSteps)
 		}
 		fmt.Println()
 		lastStats = stats

@@ -1,6 +1,7 @@
 package hetgrid
 
 import (
+	"errors"
 	"fmt"
 
 	"hetgrid/internal/engine"
@@ -70,6 +71,11 @@ func (b BroadcastKind) kind(def sim.BroadcastKind) (sim.BroadcastKind, error) {
 }
 
 // ExecOptions configures a real distributed execution.
+//
+// Prefer passing functional options (WithBroadcast, WithTrace,
+// WithParallelism, WithFaults) to the Distributed* entry points; this
+// struct remains for the deprecated *Opts wrappers and for building
+// options programmatically.
 type ExecOptions struct {
 	// Broadcast selects the collective algorithm; BroadcastAuto is the flat
 	// broadcast, whose message counts match the analytic volumes.
@@ -84,6 +90,9 @@ type ExecOptions struct {
 	// output-row bands inside large GEMMs — so results are bit-identical to a
 	// serial run for any value. 0 or 1 means serial.
 	Parallelism int
+	// Faults enables deterministic fault injection and (optionally)
+	// checkpoint-based recovery; see FaultOptions.
+	Faults *FaultOptions
 }
 
 // RankStats is one rank's message/byte traffic (engine counters).
@@ -99,16 +108,21 @@ type Trace = sim.Trace
 // ExecStats reports the real traffic of a distributed execution (kernel
 // plus scatter/gather): world totals, per-rank and per-pair breakdowns,
 // and optionally a timestamped trace. The per-rank sent counters sum
-// exactly to Messages and Bytes.
+// exactly to Messages and Bytes. When the execution recovered from rank
+// failures, the traffic counters describe the final (successful) attempt
+// only; Faults aggregates the fault activity across all attempts.
 type ExecStats struct {
 	Messages, Bytes int
 	// Ranks holds per-rank counters, indexed by flat rank pi·q+pj.
 	Ranks []RankStats
 	// Pairs[src][dst] counts the messages and bytes src sent to dst.
 	Pairs [][]PairStats
-	// Trace is the recorded event log (nil unless ExecOptions.Trace); write
-	// it with Trace.WriteChromeTrace for chrome://tracing.
+	// Trace is the recorded event log (nil unless tracing was requested);
+	// write it with Trace.WriteChromeTrace for chrome://tracing.
 	Trace *Trace
+	// Faults reports fault injection and recovery activity (nil when no
+	// faults were configured).
+	Faults *FaultStats
 }
 
 // validateTiling checks up front that the matrix tiles into the
@@ -123,50 +137,247 @@ func validateTiling(d Distribution, m *Matrix, blockSize int) error {
 	return nil
 }
 
-// runDistributed is the shared execution path of every Distributed* entry
-// point: validate the tilings, spawn one goroutine per grid processor,
-// scatter the inputs, run the kernel, gather the result at rank 0 and
-// collect the traffic statistics.
-func runDistributed(d Distribution, opts ExecOptions, blockSize int, inputs []*Matrix,
-	kernel func(c *engine.Comm, stores []*engine.BlockStore) (*engine.BlockStore, error)) (*Matrix, *ExecStats, error) {
+// checkpoint is a committed recovery point: the working matrix gathered at
+// rank 0 with the first `step` kernel steps applied (plus, for QR, the tau
+// scalings those steps produced).
+type checkpoint struct {
+	step  int
+	work  *Matrix
+	taus  [][]float64
+	count int // checkpoints committed during the attempt
+}
 
-	for _, m := range inputs {
-		if err := validateTiling(d, m, blockSize); err != nil {
-			return nil, nil, err
+// attemptResult is what one world execution hands back to the driver.
+type attemptResult struct {
+	out   *Matrix
+	taus  [][]float64
+	world *engine.World
+	ck    *checkpoint
+	err   error
+}
+
+// runAttempt spawns one world over dist and executes the kernel from
+// startK, restoring the working matrix from resume when non-nil. With
+// recovery enabled it installs a step hook that gathers the working matrix
+// to rank 0 every checkpointEvery steps.
+func runAttempt(dist Distribution, kern Kernel, blockSize int, inputs []*Matrix,
+	opts ExecOptions, bk sim.BroadcastKind, crashes []CrashPoint, startK int, resume *checkpoint) attemptResult {
+
+	fo := opts.Faults
+	eopts := engine.Options{Broadcast: bk, Record: opts.Trace, Parallelism: opts.Parallelism}
+	if fo != nil {
+		eopts.RecvTimeout = fo.recvTimeout()
+		eopts.MaxRetries = fo.MaxRetries
+		eopts.Faults = &engine.FaultConfig{
+			Seed:      fo.Seed,
+			DropProb:  fo.DropProb,
+			DelayProb: fo.DelayProb,
+			Delay:     fo.Delay,
+			Crashes:   crashes,
 		}
 	}
-	bk, err := opts.Broadcast.kind(sim.StarBroadcast)
-	if err != nil {
-		return nil, nil, err
-	}
-	p, q := d.Dims()
-	var out *Matrix
-	world, err := engine.RunOpts(p*q, engine.Options{Broadcast: bk, Record: opts.Trace, Parallelism: opts.Parallelism}, func(c *engine.Comm) error {
-		stores := make([]*engine.BlockStore, len(inputs))
-		for i, m := range inputs {
-			s, err := engine.Scatter(c, d, onRank0(c, m), blockSize)
-			if err != nil {
-				return err
+
+	p, q := dist.Dims()
+	nb, _ := dist.Blocks()
+	res := attemptResult{ck: &checkpoint{}}
+	world, err := engine.RunOpts(p*q, eopts, func(c *engine.Comm) error {
+		// Read-only inputs (the multiplication's A and B); the
+		// factorizations work in place on their single input.
+		var ro []*engine.BlockStore
+		if kern == MatMul {
+			for _, m := range inputs {
+				s, err := engine.Scatter(c, dist, onRank0(c, m), blockSize)
+				if err != nil {
+					return err
+				}
+				ro = append(ro, s)
 			}
-			stores[i] = s
 		}
-		result, err := kernel(c, stores)
+
+		// The working store: restored from the checkpoint on resume,
+		// otherwise the zero accumulator (MM) or the input itself.
+		var work *engine.BlockStore
+		var err error
+		switch {
+		case resume != nil:
+			work, err = engine.Scatter(c, dist, onRank0(c, resume.work), blockSize)
+		case kern == MatMul:
+			work = engine.ZeroStore(c, dist, blockSize)
+		default:
+			work, err = engine.Scatter(c, dist, onRank0(c, inputs[0]), blockSize)
+		}
 		if err != nil {
 			return err
 		}
-		full, err := engine.Gather(c, d, result)
+
+		// QR's tau scalings accumulate at rank 0, prefilled from the
+		// checkpoint on resume.
+		var taus [][]float64
+		if kern == QR && c.Rank() == 0 {
+			taus = make([][]float64, nb)
+			if resume != nil {
+				copy(taus, resume.taus)
+			}
+		}
+
+		if fo != nil && fo.Recover {
+			every := fo.checkpointEvery()
+			c.SetStepHook(func(k int) error {
+				if k <= startK || k%every != 0 {
+					return nil
+				}
+				// Every rank snapshots its blocks at its own step-k entry
+				// (all updates of steps < k applied, none of step k), so the
+				// gathered matrix is the exact global state after step k-1.
+				full, err := engine.GatherTag(c, dist, work, fmt.Sprintf("ckpt/%d", k))
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					res.ck.step, res.ck.work = k, full
+					if kern == QR {
+						res.ck.taus = append([][]float64(nil), taus[:k]...)
+					}
+					res.ck.count++
+				}
+				return nil
+			})
+		}
+
+		switch kern {
+		case MatMul:
+			err = engine.MMResume(c, dist, ro[0], ro[1], work, startK)
+		case LU:
+			err = engine.LUResume(c, dist, work, startK)
+		case Cholesky:
+			err = engine.CholeskyResume(c, dist, work, startK)
+		case QR:
+			err = engine.QRResume(c, dist, work, startK, func(k int, tau []float64) {
+				taus[k] = tau
+			})
+		default:
+			err = fmt.Errorf("hetgrid: unknown kernel %v", kern)
+		}
+		if err != nil {
+			return err
+		}
+		full, err := engine.Gather(c, dist, work)
 		if err != nil {
 			return err
 		}
 		if c.Rank() == 0 {
-			out = full
+			res.out = full
+			res.taus = taus
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, nil, err
+	res.world = world
+	res.err = err
+	if res.ck.work == nil {
+		res.ck = nil
 	}
-	return out, execStats(world), nil
+	return res
+}
+
+// runDistributed is the shared execution path of every Distributed* entry
+// point: validate the tilings, spawn one goroutine per grid processor,
+// scatter the inputs, run the kernel, gather the result at rank 0 and
+// collect the traffic statistics. With fault recovery enabled it is an
+// attempt loop: a rank failure replans the surviving processors
+// (PlanSurvivors) and resumes from the last committed checkpoint — the
+// arithmetic is distribution-independent, so the recovered result is
+// bit-identical to a fault-free run.
+func runDistributed(d Distribution, kern Kernel, blockSize int, inputs []*Matrix,
+	opts ExecOptions) (*Matrix, [][]float64, *ExecStats, error) {
+
+	for _, m := range inputs {
+		if err := validateTiling(d, m, blockSize); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	bk, err := opts.Broadcast.kind(sim.StarBroadcast)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	fo := opts.Faults
+	var fstats *FaultStats
+	var crashes []CrashPoint
+	var curTimes []float64
+	if fo != nil {
+		p, q := d.Dims()
+		if fo.Times != nil && len(fo.Times) != p*q {
+			return nil, nil, nil, fmt.Errorf("hetgrid: %d fault cycle-times for a %d×%d grid", len(fo.Times), p, q)
+		}
+		fstats = &FaultStats{}
+		crashes = fo.Crashes
+		curTimes = fo.Times
+	}
+	dist := d
+	startK := 0
+	var resume *checkpoint
+
+	for {
+		res := runAttempt(dist, kern, blockSize, inputs, opts, bk, crashes, startK, resume)
+		if fstats != nil && res.world != nil {
+			fstats.Attempts++
+			fstats.Timeouts += res.world.Timeouts()
+			fstats.Retries += res.world.Retries()
+			if fc := res.world.FaultCounters(); fc != nil {
+				fstats.Dropped += fc.Dropped
+				fstats.Delayed += fc.Delayed
+				fstats.Retransmitted += fc.Retransmitted
+				fstats.Crashes += len(fc.Crashed)
+			}
+			if res.ck != nil {
+				fstats.Checkpoints += res.ck.count
+			}
+		}
+		if res.err == nil {
+			stats := execStats(res.world)
+			stats.Faults = fstats
+			return res.out, res.taus, stats, nil
+		}
+
+		var rf *RankFailure
+		if fo == nil || !fo.Recover || !errors.As(res.err, &rf) {
+			return nil, nil, nil, res.err
+		}
+		if fstats.Recoveries >= fo.maxRecoveries() {
+			return nil, nil, nil, fmt.Errorf("hetgrid: recovery budget exhausted after %d attempts: %w", fstats.Attempts, res.err)
+		}
+
+		// Replan the survivors onto a fresh grid and resume from the last
+		// committed checkpoint (from scratch when none was taken).
+		p, q := dist.Dims()
+		st, err := survivorTimes(curTimes, p*q, rf.Rank)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(st) == 0 {
+			return nil, nil, nil, res.err
+		}
+		nbr, nbc := dist.Blocks()
+		newDist, choice, err := PlanSurvivors(st, nbr, nbc, kern)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("hetgrid: replanning after %v: %w", res.err, err)
+		}
+		newTimes := make([]float64, len(choice.Selected))
+		for i, idx := range choice.Selected {
+			newTimes[i] = st[idx]
+		}
+		dist, curTimes = newDist, newTimes
+		if res.world != nil {
+			crashes = res.world.RemainingCrashes()
+		}
+		if res.ck != nil {
+			startK, resume = res.ck.step, res.ck
+			fstats.ResumedSteps += res.ck.step
+		} else {
+			startK, resume = 0, nil
+		}
+		fstats.Recoveries++
+	}
 }
 
 // execStats snapshots a finished world's counters.
@@ -184,73 +395,79 @@ func execStats(w *engine.World) *ExecStats {
 // goroutine per grid processor, each holding only its own blocks, all data
 // moving through messages. blockSize r must tile the matrices into the
 // distribution's block grid. The caller sees a serial API; the concurrency
-// is internal.
-func DistributedMultiply(d Distribution, a, b *Matrix, blockSize int) (*Matrix, *ExecStats, error) {
-	return DistributedMultiplyOpts(d, a, b, blockSize, ExecOptions{})
+// is internal. Behavior is configured with functional options
+// (WithBroadcast, WithTrace, WithParallelism, WithFaults).
+func DistributedMultiply(d Distribution, a, b *Matrix, blockSize int, opts ...Option) (*Matrix, *ExecStats, error) {
+	out, _, stats, err := runDistributed(d, MatMul, blockSize, []*Matrix{a, b}, applyOptions(opts).exec)
+	return out, stats, err
 }
 
-// DistributedMultiplyOpts is DistributedMultiply with explicit options.
+// DistributedMultiplyOpts is DistributedMultiply with an explicit options
+// struct.
+//
+// Deprecated: pass functional options to DistributedMultiply instead.
 func DistributedMultiplyOpts(d Distribution, a, b *Matrix, blockSize int, opts ExecOptions) (*Matrix, *ExecStats, error) {
-	return runDistributed(d, opts, blockSize, []*Matrix{a, b},
-		func(c *engine.Comm, stores []*engine.BlockStore) (*engine.BlockStore, error) {
-			return engine.MM(c, d, stores[0], stores[1])
-		})
+	out, _, stats, err := runDistributed(d, MatMul, blockSize, []*Matrix{a, b}, opts)
+	return out, stats, err
 }
 
 // DistributedFactorLU executes the unpivoted right-looking LU on the
 // distribution with one goroutine per processor, returning the packed
 // factors (see SplitLU). Supply matrices that are safely factorable without
-// pivoting (e.g. diagonally dominant).
-func DistributedFactorLU(d Distribution, a *Matrix, blockSize int) (*Matrix, *ExecStats, error) {
-	return DistributedFactorLUOpts(d, a, blockSize, ExecOptions{})
+// pivoting (e.g. diagonally dominant). Behavior is configured with
+// functional options (WithBroadcast, WithTrace, WithParallelism,
+// WithFaults).
+func DistributedFactorLU(d Distribution, a *Matrix, blockSize int, opts ...Option) (*Matrix, *ExecStats, error) {
+	out, _, stats, err := runDistributed(d, LU, blockSize, []*Matrix{a}, applyOptions(opts).exec)
+	return out, stats, err
 }
 
-// DistributedFactorLUOpts is DistributedFactorLU with explicit options.
+// DistributedFactorLUOpts is DistributedFactorLU with an explicit options
+// struct.
+//
+// Deprecated: pass functional options to DistributedFactorLU instead.
 func DistributedFactorLUOpts(d Distribution, a *Matrix, blockSize int, opts ExecOptions) (*Matrix, *ExecStats, error) {
-	return runDistributed(d, opts, blockSize, []*Matrix{a},
-		func(c *engine.Comm, stores []*engine.BlockStore) (*engine.BlockStore, error) {
-			return stores[0], engine.LU(c, d, stores[0])
-		})
+	out, _, stats, err := runDistributed(d, LU, blockSize, []*Matrix{a}, opts)
+	return out, stats, err
 }
 
 // DistributedFactorCholesky executes the distributed Cholesky
 // factorization A = L·Lᵀ with one goroutine per processor, returning the
-// lower factor. The input must be symmetric positive definite.
-func DistributedFactorCholesky(d Distribution, a *Matrix, blockSize int) (*Matrix, *ExecStats, error) {
-	return DistributedFactorCholeskyOpts(d, a, blockSize, ExecOptions{})
+// lower factor. The input must be symmetric positive definite. Behavior is
+// configured with functional options.
+func DistributedFactorCholesky(d Distribution, a *Matrix, blockSize int, opts ...Option) (*Matrix, *ExecStats, error) {
+	out, _, stats, err := runDistributed(d, Cholesky, blockSize, []*Matrix{a}, applyOptions(opts).exec)
+	return out, stats, err
 }
 
-// DistributedFactorCholeskyOpts is DistributedFactorCholesky with explicit
-// options.
+// DistributedFactorCholeskyOpts is DistributedFactorCholesky with an
+// explicit options struct.
+//
+// Deprecated: pass functional options to DistributedFactorCholesky instead.
 func DistributedFactorCholeskyOpts(d Distribution, a *Matrix, blockSize int, opts ExecOptions) (*Matrix, *ExecStats, error) {
-	return runDistributed(d, opts, blockSize, []*Matrix{a},
-		func(c *engine.Comm, stores []*engine.BlockStore) (*engine.BlockStore, error) {
-			return stores[0], engine.Cholesky(c, d, stores[0])
-		})
+	out, _, stats, err := runDistributed(d, Cholesky, blockSize, []*Matrix{a}, opts)
+	return out, stats, err
 }
 
 // DistributedFactorQR executes the distributed blocked Householder QR with
 // one goroutine per processor. The returned factorization exposes R and a
 // reconstructor for Q, like FactorQR, but is produced by real
-// message-passing execution (bit-identical to the replay).
-func DistributedFactorQR(d Distribution, a *Matrix, blockSize int) (*QRFactorization, *ExecStats, error) {
-	return DistributedFactorQROpts(d, a, blockSize, ExecOptions{})
+// message-passing execution (bit-identical to the replay). Behavior is
+// configured with functional options.
+func DistributedFactorQR(d Distribution, a *Matrix, blockSize int, opts ...Option) (*QRFactorization, *ExecStats, error) {
+	return distributedFactorQR(d, a, blockSize, applyOptions(opts).exec)
 }
 
-// DistributedFactorQROpts is DistributedFactorQR with explicit options.
+// DistributedFactorQROpts is DistributedFactorQR with an explicit options
+// struct.
+//
+// Deprecated: pass functional options to DistributedFactorQR instead.
 func DistributedFactorQROpts(d Distribution, a *Matrix, blockSize int, opts ExecOptions) (*QRFactorization, *ExecStats, error) {
-	var taus [][]float64
-	packed, stats, err := runDistributed(d, opts, blockSize, []*Matrix{a},
-		func(c *engine.Comm, stores []*engine.BlockStore) (*engine.BlockStore, error) {
-			ts, err := engine.QR(c, d, stores[0])
-			if err != nil {
-				return nil, err
-			}
-			if c.Rank() == 0 {
-				taus = ts
-			}
-			return stores[0], nil
-		})
+	return distributedFactorQR(d, a, blockSize, opts)
+}
+
+func distributedFactorQR(d Distribution, a *Matrix, blockSize int, opts ExecOptions) (*QRFactorization, *ExecStats, error) {
+	packed, taus, stats, err := runDistributed(d, QR, blockSize, []*Matrix{a}, opts)
 	if err != nil {
 		return nil, nil, err
 	}

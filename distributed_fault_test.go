@@ -1,0 +1,349 @@
+package hetgrid
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"hetgrid/internal/matrix"
+)
+
+var allBroadcastKinds = []BroadcastKind{FlatBroadcast, RingBroadcast, PipelinedRingBroadcast, TreeBroadcast}
+
+// TestRecoveredLUBitIdentical is the tentpole acceptance check: a seeded
+// fault schedule crashes one rank mid-LU, recovery replans the survivors
+// and resumes from the last checkpoint, and the result is bit-identical to
+// the fault-free serial replay.
+func TestRecoveredLUBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	d, err := Uniform(2, 2, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 3
+	a := matrix.RandomWellConditioned(24, rng)
+	serial, _, err := FactorLU(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bk := range allBroadcastKinds {
+		t.Run(bk.String(), func(t *testing.T) {
+			packed, stats, err := DistributedFactorLU(d, a, r,
+				WithBroadcast(bk),
+				WithFaults(FaultOptions{
+					Seed:    bk.hashSeed(),
+					Crashes: []CrashPoint{{Rank: 1, Step: 4}},
+					Recover: true,
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !packed.Equal(serial) {
+				t.Fatal("recovered LU differs from the fault-free serial replay")
+			}
+			fs := stats.Faults
+			if fs == nil || fs.Recoveries != 1 || fs.Crashes != 1 || fs.Attempts != 2 {
+				t.Fatalf("unexpected fault stats: %+v", fs)
+			}
+			if fs.Checkpoints == 0 || fs.ResumedSteps == 0 {
+				t.Fatalf("recovery did not resume from a checkpoint: %+v", fs)
+			}
+		})
+	}
+}
+
+// hashSeed derives a distinct fault seed per broadcast kind so the
+// sub-tests do not share drop/delay lotteries.
+func (b BroadcastKind) hashSeed() int64 { return int64(b)*1000 + 17 }
+
+// TestRecoveredKernelsBitIdentical runs the recovery path through every
+// kernel, including a mid-run crash, and checks bit-identity against the
+// fault-free execution.
+func TestRecoveredKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nb, r = 6, 3
+	faults := func(step int) Option {
+		return WithFaults(FaultOptions{
+			Seed:    11,
+			Crashes: []CrashPoint{{Rank: 2, Step: step}},
+			Recover: true,
+		})
+	}
+
+	t.Run("matmul", func(t *testing.T) {
+		a, b := matrix.Random(nb*r, nb*r, rng), matrix.Random(nb*r, nb*r, rng)
+		clean, _, err := DistributedMultiply(d, a, b, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := DistributedMultiply(d, a, b, r, faults(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(clean) {
+			t.Fatal("recovered product differs from the fault-free run")
+		}
+		if stats.Faults.Recoveries != 1 {
+			t.Fatalf("expected one recovery: %+v", stats.Faults)
+		}
+	})
+	t.Run("cholesky", func(t *testing.T) {
+		spd := matrix.RandomSPD(nb*r, rng)
+		clean, _, err := DistributedFactorCholesky(d, spd, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := DistributedFactorCholesky(d, spd, r, faults(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(clean) {
+			t.Fatal("recovered Cholesky differs from the fault-free run")
+		}
+	})
+	t.Run("qr", func(t *testing.T) {
+		a := matrix.Random(nb*r, nb*r, rng)
+		clean, _, err := DistributedFactorQR(d, a, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := DistributedFactorQR(d, a, r, faults(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.R().Equal(clean.R()) {
+			t.Fatal("recovered R differs from the fault-free run")
+		}
+		if !got.Q(r).Equal(clean.Q(r)) {
+			t.Fatal("recovered Q differs from the fault-free run")
+		}
+	})
+}
+
+// TestDeadRankAbortsCleanly is the no-recovery acceptance check: with a
+// silently dead rank, every broadcast kind aborts with a clean
+// *RankFailure instead of hanging, and no rank goroutines leak.
+func TestDeadRankAbortsCleanly(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 2
+	a := matrix.RandomWellConditioned(12, rng)
+	before := runtime.NumGoroutine()
+	for _, bk := range allBroadcastKinds {
+		t.Run(bk.String(), func(t *testing.T) {
+			_, _, err := DistributedFactorLU(d, a, r,
+				WithBroadcast(bk),
+				WithFaults(FaultOptions{
+					Crashes:     []CrashPoint{{Rank: 3, Step: 2, Silent: true}},
+					RecvTimeout: 20 * time.Millisecond,
+					MaxRetries:  2,
+				}))
+			var rf *RankFailure
+			if !errors.As(err, &rf) {
+				t.Fatalf("want *RankFailure, got %v", err)
+			}
+			if rf.Rank != 3 {
+				t.Fatalf("failure names rank %d, want 3", rf.Rank)
+			}
+		})
+	}
+	// All rank goroutines must have exited; allow the runtime a moment to
+	// reap them.
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCrashWithoutRecoverSurfacesError: a fail-stop crash without Recover
+// is an error, not a hang, and RemainingCrashes-style state never leaks
+// into a fresh call.
+func TestCrashWithoutRecoverSurfacesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(504))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.RandomWellConditioned(12, rng)
+	_, _, err = DistributedFactorLU(d, a, 2,
+		WithFaults(FaultOptions{Crashes: []CrashPoint{{Rank: 0, Step: 1}}}))
+	var rf *RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("want *RankFailure, got %v", err)
+	}
+	if rf.Rank != 0 || rf.Step != 1 {
+		t.Fatalf("wrong failure: %+v", rf)
+	}
+	// The same call without faults still works.
+	if _, _, err := DistributedFactorLU(d, a, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDropsAndDelaysBitIdenticalWithStats: seeded message faults never
+// change the numbers, and the stats expose the repair work.
+func TestDropsAndDelaysBitIdenticalWithStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nb, r = 6, 3
+	a, b := matrix.Random(nb*r, nb*r, rng), matrix.Random(nb*r, nb*r, rng)
+	clean, _, err := DistributedMultiply(d, a, b, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := DistributedMultiply(d, a, b, r, WithFaults(FaultOptions{
+		Seed:        9,
+		DropProb:    0.1,
+		DelayProb:   0.1,
+		Delay:       time.Millisecond,
+		RecvTimeout: 30 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(clean) {
+		t.Fatal("product under drops and delays differs from the clean run")
+	}
+	fs := stats.Faults
+	if fs == nil || fs.Dropped == 0 || fs.Delayed == 0 {
+		t.Fatalf("seeded faults injected nothing: %+v", fs)
+	}
+	if fs.Retransmitted != fs.Dropped {
+		t.Fatalf("%d drops repaired by %d retransmissions", fs.Dropped, fs.Retransmitted)
+	}
+	if fs.Timeouts == 0 || fs.Retries == 0 {
+		t.Fatalf("drops repaired without any timeouts/retries: %+v", fs)
+	}
+	if fs.Attempts != 1 || fs.Recoveries != 0 || fs.Crashes != 0 {
+		t.Fatalf("message faults should not need recovery: %+v", fs)
+	}
+}
+
+// TestFaultDeterminism: the same seed injects the same faults — counters
+// and results are reproducible run to run.
+func TestFaultDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(506))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 2
+	a := matrix.RandomWellConditioned(12, rng)
+	run := func() (int, *Matrix) {
+		got, stats, err := DistributedFactorLU(d, a, r, WithFaults(FaultOptions{
+			Seed:        42,
+			DropProb:    0.1,
+			RecvTimeout: 30 * time.Millisecond,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Faults.Dropped, got
+	}
+	d1, m1 := run()
+	d2, m2 := run()
+	if d1 != d2 {
+		t.Fatalf("same seed dropped %d then %d messages", d1, d2)
+	}
+	if d1 == 0 {
+		t.Fatal("seed 42 dropped nothing; pick a different seed for the test")
+	}
+	if !m1.Equal(m2) {
+		t.Fatal("same seed produced different factors")
+	}
+}
+
+// TestCheckpointEvery: coarser checkpoints mean fewer commits and an
+// earlier resume point, but identical results.
+func TestCheckpointEvery(t *testing.T) {
+	rng := rand.New(rand.NewSource(507))
+	d, err := Uniform(2, 2, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 2
+	a := matrix.RandomWellConditioned(16, rng)
+	clean, _, err := DistributedFactorLU(d, a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := DistributedFactorLU(d, a, r, WithFaults(FaultOptions{
+		Crashes:         []CrashPoint{{Rank: 1, Step: 5}},
+		Recover:         true,
+		CheckpointEvery: 3,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(clean) {
+		t.Fatal("recovered LU (sparse checkpoints) differs from the clean run")
+	}
+	fs := stats.Faults
+	// Crash at step 5 with checkpoints at 3 and 6: the resume point is 3.
+	if fs.ResumedSteps != 3 {
+		t.Fatalf("resumed %d steps, want 3: %+v", fs.ResumedSteps, fs)
+	}
+}
+
+// TestRecoveryBudgetExhausted: more crashes than MaxRecoveries allows
+// surfaces the budget error instead of looping.
+func TestRecoveryBudgetExhausted(t *testing.T) {
+	rng := rand.New(rand.NewSource(508))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.RandomWellConditioned(12, rng)
+	_, _, err = DistributedFactorLU(d, a, 2, WithFaults(FaultOptions{
+		Crashes: []CrashPoint{
+			{Rank: 0, Step: 1}, {Rank: 0, Step: 1}, {Rank: 0, Step: 1},
+		},
+		Recover:       true,
+		MaxRecoveries: 2,
+	}))
+	if err == nil {
+		t.Fatal("recovery budget violation went unnoticed")
+	}
+	var rf *RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("budget error should wrap the final *RankFailure, got %v", err)
+	}
+}
+
+// TestPlanSurvivors: replanning three survivors of a 2×2 grid yields a
+// usable distribution over the unchanged block matrix.
+func TestPlanSurvivors(t *testing.T) {
+	dist, choice, err := PlanSurvivors([]float64{1, 1, 1}, 8, 8, LU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbr, nbc := dist.Blocks(); nbr != 8 || nbc != 8 {
+		t.Fatalf("block grid changed: %d×%d", nbr, nbc)
+	}
+	if choice.P*choice.Q > 3 || choice.P*choice.Q < 1 {
+		t.Fatalf("implausible survivor grid %d×%d", choice.P, choice.Q)
+	}
+	if err := ValidateDistribution(dist); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := PlanSurvivors(nil, 8, 8, LU); err == nil {
+		t.Fatal("empty survivor set accepted")
+	}
+}

@@ -47,17 +47,23 @@ func ChooseGrid(times []float64, allowSubset bool, minAspect float64) (*Plan, *G
 // under d, returning the lower factor and per-processor operation counts.
 // The input must be symmetric positive definite and divide evenly into the
 // distribution's block grid.
+//
+// Deprecated: use Factor(Cholesky, d, a), whose Factorization result
+// carries the same lower factor and operation counts.
 func FactorCholesky(d Distribution, a *Matrix) (l *Matrix, ops []int, err error) {
-	rep, err := kernels.ReplayCholesky(d, a)
+	f, err := Factor(Cholesky, d, a)
 	if err != nil {
 		return nil, nil, err
 	}
-	return rep.C, rep.Ops, nil
+	return f.packed, f.ops, nil
 }
 
 // FactorQR executes the blocked Householder QR factorization numerically
 // under d. The returned replay exposes R, a reconstructor for Q, and the
 // per-processor operation counts.
+//
+// Deprecated: use Factor(QR, d, a), whose Factorization result exposes the
+// same R, Q and operation counts.
 func FactorQR(d Distribution, a *Matrix) (*QRFactorization, error) {
 	rep, err := kernels.ReplayQR(d, a)
 	if err != nil {
@@ -67,6 +73,9 @@ func FactorQR(d Distribution, a *Matrix) (*QRFactorization, error) {
 }
 
 // QRFactorization wraps a distributed QR replay.
+//
+// Deprecated: Factor and DistributedFactor return the uniform
+// Factorization type instead.
 type QRFactorization struct {
 	rep *kernels.QRReplay
 }

@@ -35,6 +35,58 @@ func TestChooseGrid(t *testing.T) {
 	}
 }
 
+func TestChooseGridEdgeCases(t *testing.T) {
+	// Prime processor count: without an aspect bound the only full-set
+	// shapes are 1×7 and 7×1, and both must be admissible.
+	_, choice, err := ChooseGrid([]float64{1, 1, 2, 2, 3, 3, 5}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.P*choice.Q != 7 || (choice.P != 1 && choice.Q != 1) {
+		t.Fatalf("prime count chose %d×%d", choice.P, choice.Q)
+	}
+
+	// allowSubset trimming drops the slowest machines: with 6 processors
+	// under a square-ish bound, the two slowest must be the ones left out,
+	// and Selected lists the survivors fastest first.
+	times := []float64{5, 1, 9, 2, 9, 1}
+	_, choice, err = ChooseGrid(times, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.P != choice.Q {
+		t.Fatalf("minAspect 1 allowed a %d×%d grid", choice.P, choice.Q)
+	}
+	for _, idx := range choice.Selected {
+		if times[idx] == 9 {
+			t.Fatalf("a slowest machine (index %d) was selected: %+v", idx, choice)
+		}
+	}
+	for i := 1; i < len(choice.Selected); i++ {
+		if times[choice.Selected[i-1]] > times[choice.Selected[i]] {
+			t.Fatalf("Selected not fastest-first: %+v", choice.Selected)
+		}
+	}
+
+	// Degenerate aspect bounds: min(p,q)/max(p,q) never exceeds 1, so a
+	// bound above 1 admits no shape at all.
+	if _, _, err := ChooseGrid([]float64{1, 1, 1, 1}, true, 1.5); err == nil {
+		t.Fatal("minAspect above 1 accepted")
+	}
+	// minAspect exactly 1 forces a square grid when one exists.
+	_, choice, err = ChooseGrid([]float64{1, 2, 3, 5}, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.P != 2 || choice.Q != 2 {
+		t.Fatalf("minAspect 1 with 4 processors chose %d×%d", choice.P, choice.Q)
+	}
+	// ...and fails for a prime count when subsets are off.
+	if _, _, err := ChooseGrid([]float64{1, 1, 1}, false, 1); err == nil {
+		t.Fatal("square bound on 3 processors without subsets accepted")
+	}
+}
+
 func TestSimulateCholeskyKernel(t *testing.T) {
 	plan, err := Balance([]float64{1, 2, 3, 5}, 2, 2, StrategyExact)
 	if err != nil {

@@ -1,0 +1,160 @@
+package hetgrid
+
+import (
+	"fmt"
+	"time"
+
+	"hetgrid/internal/adapt"
+	"hetgrid/internal/engine"
+)
+
+// CrashPoint schedules the death of one rank at the start of a kernel
+// step. Silent crashes die without aborting the world, exercising the
+// failure detector; the default fail-stop crash aborts immediately.
+type CrashPoint = engine.CrashPoint
+
+// FaultOptions enables deterministic, seed-driven fault injection on a
+// distributed execution, and optionally the recovery path that replans the
+// surviving processors and resumes from the last checkpoint.
+//
+// Determinism contract: whether a given message is dropped or delayed is a
+// pure function of (Seed, sender, receiver, tag, per-channel sequence
+// number), and crashes fire when their rank enters the scheduled kernel
+// step — so the injected fault set does not depend on goroutine
+// scheduling. Faults never perturb the arithmetic: a run that completes
+// (directly or through recovery) returns results bit-identical to the
+// fault-free execution.
+type FaultOptions struct {
+	// Seed drives every drop and delay decision.
+	Seed int64
+	// DropProb is the per-message probability that a message's first
+	// delivery is swallowed; the receiver's timeout then requests a
+	// retransmission. Drops are survivable because RecvTimeout is always
+	// set when faults are enabled.
+	DropProb float64
+	// DelayProb and Delay defer a message's delivery. Keep Delay well under
+	// RecvTimeout or the failure detector will misread lateness as death.
+	DelayProb float64
+	Delay     time.Duration
+	// Crashes schedules rank deaths at kernel steps.
+	Crashes []CrashPoint
+	// RecvTimeout bounds every receive; expiry triggers retransmission
+	// requests with doubled (bounded) backoff, and exhausting MaxRetries
+	// declares the peer dead. 0 selects the 100ms default.
+	RecvTimeout time.Duration
+	// MaxRetries is the number of retransmission attempts before a peer is
+	// declared dead; 0 selects the default (3).
+	MaxRetries int
+	// Recover enables the recovery path: on a rank failure the surviving
+	// processors are replanned (see PlanSurvivors) and the kernel resumes
+	// from the last checkpoint, still returning bit-identical results.
+	// Without it a rank failure surfaces as the *RankFailure error.
+	Recover bool
+	// CheckpointEvery takes a checkpoint (a gather of the working matrix to
+	// rank 0) every so many kernel steps; 0 selects every step. Larger
+	// values checkpoint less traffic but replay more steps after a failure.
+	CheckpointEvery int
+	// MaxRecoveries bounds the recovery attempts; 0 selects the default (3).
+	MaxRecoveries int
+	// Times optionally gives the per-rank cycle-times (flat rank order) the
+	// replanner should balance the survivors by; nil assumes equal speeds.
+	Times []float64
+}
+
+// RankFailure is the error a distributed execution returns when a rank
+// dies and recovery is disabled (or exhausted): either the scheduled crash
+// itself, or — for silent crashes — the peer's failure detector verdict.
+type RankFailure = engine.RankFailure
+
+const (
+	defaultRecvTimeout   = 100 * time.Millisecond
+	defaultMaxRecoveries = 3
+)
+
+func (f *FaultOptions) recvTimeout() time.Duration {
+	if f.RecvTimeout > 0 {
+		return f.RecvTimeout
+	}
+	return defaultRecvTimeout
+}
+
+func (f *FaultOptions) checkpointEvery() int {
+	if f.CheckpointEvery > 0 {
+		return f.CheckpointEvery
+	}
+	return 1
+}
+
+func (f *FaultOptions) maxRecoveries() int {
+	if f.MaxRecoveries > 0 {
+		return f.MaxRecoveries
+	}
+	return defaultMaxRecoveries
+}
+
+// FaultStats reports what the fault layer did during a distributed
+// execution. The surrounding ExecStats' traffic counters cover only the
+// final (successful) attempt; FaultStats aggregates across all attempts.
+type FaultStats struct {
+	// Attempts is the number of worlds spawned (1 plus Recoveries).
+	Attempts int
+	// Recoveries is how many rank failures were recovered from.
+	Recoveries int
+	// Crashes is how many scheduled crash points fired.
+	Crashes int
+	// Dropped, Delayed and Retransmitted count the injected message faults
+	// and the retransmissions that repaired the drops.
+	Dropped, Delayed, Retransmitted int
+	// Timeouts and Retries count receive-deadline expiries and the
+	// retransmission requests they triggered.
+	Timeouts, Retries int
+	// Checkpoints is how many checkpoints were committed at rank 0.
+	Checkpoints int
+	// ResumedSteps is the total number of kernel steps skipped by resuming
+	// from checkpoints instead of restarting from scratch.
+	ResumedSteps int
+}
+
+// PlanSurvivors replans a kernel's block distribution onto the processors
+// that outlived a rank failure: it picks a fresh grid shape for the
+// survivors' cycle-times (subset grids allowed, so any survivor count
+// works), balances the shares, and builds a distribution of the unchanged
+// nbr×nbc block matrix under the kernel's panel orderings. The recovery
+// path uses it internally; it is exported so applications driving their
+// own worlds can recover the same way.
+func PlanSurvivors(times []float64, nbr, nbc int, k Kernel) (Distribution, *GridChoice, error) {
+	rowOrd, colOrd, err := orderings(k)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := adapt.ReplanSurvivors(times, nbr, nbc, rowOrd, colOrd)
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan.Dist, &GridChoice{
+		P:          plan.P,
+		Q:          plan.Q,
+		Selected:   plan.Selected,
+		Candidates: plan.Shape.Candidates,
+	}, nil
+}
+
+// survivorTimes drops the dead rank from the per-rank cycle-times (equal
+// speeds when the caller supplied none).
+func survivorTimes(times []float64, n, dead int) ([]float64, error) {
+	if dead < 0 || dead >= n {
+		return nil, fmt.Errorf("hetgrid: dead rank %d outside world of %d", dead, n)
+	}
+	out := make([]float64, 0, n-1)
+	for r := 0; r < n; r++ {
+		if r == dead {
+			continue
+		}
+		if times != nil {
+			out = append(out, times[r])
+		} else {
+			out = append(out, 1)
+		}
+	}
+	return out, nil
+}

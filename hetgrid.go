@@ -118,13 +118,20 @@ type BalanceOptions struct {
 
 // Balance arranges the given cycle-times on a p×q grid and computes the
 // load-balancing shares with the chosen strategy. len(times) must equal
-// p·q and every cycle-time must be positive.
-func Balance(times []float64, p, q int, strategy Strategy) (*Plan, error) {
-	return BalanceOpts(times, p, q, strategy, BalanceOptions{})
+// p·q and every cycle-time must be positive. Options that apply:
+// WithWorkers (exact strategy's search parallelism).
+func Balance(times []float64, p, q int, strategy Strategy, opts ...Option) (*Plan, error) {
+	return balanceWith(times, p, q, strategy, applyOptions(opts).balance)
 }
 
-// BalanceOpts is Balance with explicit options.
+// BalanceOpts is Balance with an explicit options struct.
+//
+// Deprecated: pass functional options to Balance instead.
 func BalanceOpts(times []float64, p, q int, strategy Strategy, opts BalanceOptions) (*Plan, error) {
+	return balanceWith(times, p, q, strategy, opts)
+}
+
+func balanceWith(times []float64, p, q int, strategy Strategy, opts BalanceOptions) (*Plan, error) {
 	switch strategy {
 	case StrategyAuto:
 		if arr, err := grid.RowMajor(times, p, q); err == nil {
@@ -132,7 +139,7 @@ func BalanceOpts(times []float64, p, q int, strategy Strategy, opts BalanceOptio
 				return &Plan{sol: sol, Iterations: 1, Converged: true}, nil
 			}
 		}
-		return BalanceOpts(times, p, q, StrategyHeuristic, opts)
+		return balanceWith(times, p, q, StrategyHeuristic, opts)
 	case StrategyHeuristic:
 		res, err := core.SolveHeuristic(times, p, q, core.HeuristicOptions{})
 		if err != nil {
@@ -156,13 +163,20 @@ func BalanceOpts(times []float64, p, q int, strategy Strategy, opts BalanceOptio
 // the §4.3 sub-problem. rows is the cycle-time matrix, row-major.
 // StrategyExact runs the spanning-tree solver; StrategyHeuristic and
 // StrategyAuto run one rank-1 approximation step (no re-sorting, which
-// would move the machines).
-func BalanceArrangement(rows [][]float64, strategy Strategy) (*Plan, error) {
-	return BalanceArrangementOpts(rows, strategy, BalanceOptions{})
+// would move the machines). Options that apply: WithWorkers.
+func BalanceArrangement(rows [][]float64, strategy Strategy, opts ...Option) (*Plan, error) {
+	return balanceArrangementWith(rows, strategy, applyOptions(opts).balance)
 }
 
-// BalanceArrangementOpts is BalanceArrangement with explicit options.
+// BalanceArrangementOpts is BalanceArrangement with an explicit options
+// struct.
+//
+// Deprecated: pass functional options to BalanceArrangement instead.
 func BalanceArrangementOpts(rows [][]float64, strategy Strategy, opts BalanceOptions) (*Plan, error) {
+	return balanceArrangementWith(rows, strategy, opts)
+}
+
+func balanceArrangementWith(rows [][]float64, strategy Strategy, opts BalanceOptions) (*Plan, error) {
 	arr, err := grid.New(rows)
 	if err != nil {
 		return nil, err
@@ -376,12 +390,15 @@ func Multiply(d Distribution, a, b *Matrix) (*Matrix, error) {
 // pivoting; supply diagonally dominant or otherwise safely factorable
 // matrices) under d, returning the packed factors and the per-processor
 // block-operation counts.
+//
+// Deprecated: use Factor(LU, d, a), whose Factorization result carries the
+// same packed matrix and operation counts for every factorization kernel.
 func FactorLU(d Distribution, a *Matrix) (packed *Matrix, ops []int, err error) {
-	rep, err := kernels.ReplayLU(d, a)
+	f, err := Factor(LU, d, a)
 	if err != nil {
 		return nil, nil, err
 	}
-	return rep.C, rep.Ops, nil
+	return f.packed, f.ops, nil
 }
 
 // SplitLU unpacks the factors produced by FactorLU.

@@ -125,6 +125,63 @@ func EvaluateMM(cur distribution.Distribution, newTimes *grid.Arrangement, remai
 	return dec, nil
 }
 
+// SurvivorPlan is a replacement layout for the processors that outlived a
+// rank failure: a freshly chosen grid shape over the survivors' cycle-times
+// and a block distribution for the same block matrix.
+type SurvivorPlan struct {
+	// P and Q are the new grid dimensions (P·Q ≤ number of survivors).
+	P, Q int
+	// Selected indexes into the survivor cycle-times: which survivors are
+	// placed on the new grid, fastest first (row-major grid order).
+	Selected []int
+	// Dist is the new distribution of the unchanged block matrix.
+	Dist distribution.Distribution
+	// Shape is the underlying shape-search result (shares, objective).
+	Shape *core.ShapeResult
+}
+
+// ReplanSurvivors picks a fresh grid shape and block distribution for the
+// survivors of a rank failure. times are the survivors' cycle-times (any
+// positive units — only ratios matter); the block matrix keeps its nbr×nbc
+// tiling, redistributed under the given orderings (Contiguous for
+// multiplication, Interleaved for the factorizations). Subset grids are
+// allowed so a prime survivor count still yields a plan.
+func ReplanSurvivors(times []float64, nbr, nbc int, rowOrd, colOrd distribution.Ordering) (*SurvivorPlan, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("adapt: no survivors to replan onto")
+	}
+	shape, err := core.ChooseShape(times, core.ShapeOptions{AllowSubset: true})
+	if err != nil {
+		return nil, err
+	}
+	maxPanel := 4 * shape.P
+	if 4*shape.Q > maxPanel {
+		maxPanel = 4 * shape.Q
+	}
+	maxBp, maxBq := maxPanel, maxPanel
+	if maxBp > nbr {
+		maxBp = nbr
+	}
+	if maxBq > nbc {
+		maxBq = nbc
+	}
+	pan, err := distribution.BestPanel(shape.Solution, maxBp, maxBq, rowOrd, colOrd)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := pan.Distribution(nbr, nbc)
+	if err != nil {
+		return nil, err
+	}
+	return &SurvivorPlan{
+		P:        shape.P,
+		Q:        shape.Q,
+		Selected: shape.Selected,
+		Dist:     dist,
+		Shape:    shape,
+	}, nil
+}
+
 // perStepBound is the compute bound of one outer-product step: the busiest
 // processor's owned-block count times its cycle-time.
 func perStepBound(d distribution.Distribution, arr *grid.Arrangement) float64 {

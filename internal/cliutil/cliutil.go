@@ -24,54 +24,55 @@ func ParseTimes(s string) ([]float64, error) {
 	return out, nil
 }
 
-// ParseKernel maps a kernel name to its constant. Accepted: matmul (or
-// mm), lu, qr, cholesky (or chol).
-func ParseKernel(s string) (hetgrid.Kernel, error) {
-	switch strings.ToLower(s) {
-	case "matmul", "mm":
-		return hetgrid.MatMul, nil
-	case "lu":
-		return hetgrid.LU, nil
-	case "qr":
-		return hetgrid.QR, nil
-	case "cholesky", "chol":
-		return hetgrid.Cholesky, nil
-	default:
-		return 0, fmt.Errorf("unknown kernel %q (want matmul, lu, qr or cholesky)", s)
-	}
-}
+// ParseKernel maps a kernel name to its constant.
+//
+// Deprecated: use hetgrid.ParseKernel, the exported home of this parser.
+func ParseKernel(s string) (hetgrid.Kernel, error) { return hetgrid.ParseKernel(s) }
 
 // ParseBroadcast maps a broadcast-algorithm name to its constant.
-// Accepted: auto, flat (or star), ring, pipeline (or segring), tree.
-func ParseBroadcast(s string) (hetgrid.BroadcastKind, error) {
-	switch strings.ToLower(s) {
-	case "auto":
-		return hetgrid.BroadcastAuto, nil
-	case "flat", "star":
-		return hetgrid.FlatBroadcast, nil
-	case "ring":
-		return hetgrid.RingBroadcast, nil
-	case "pipeline", "segring":
-		return hetgrid.PipelinedRingBroadcast, nil
-	case "tree":
-		return hetgrid.TreeBroadcast, nil
-	default:
-		return 0, fmt.Errorf("unknown broadcast %q (want auto, flat, ring, pipeline or tree)", s)
-	}
-}
+//
+// Deprecated: use hetgrid.ParseBroadcast, the exported home of this parser.
+func ParseBroadcast(s string) (hetgrid.BroadcastKind, error) { return hetgrid.ParseBroadcast(s) }
 
 // ParseStrategy maps a strategy name to its constant.
-func ParseStrategy(s string) (hetgrid.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "auto":
-		return hetgrid.StrategyAuto, nil
-	case "heuristic":
-		return hetgrid.StrategyHeuristic, nil
-	case "exact":
-		return hetgrid.StrategyExact, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q (want auto, heuristic or exact)", s)
+//
+// Deprecated: use hetgrid.ParseStrategy, the exported home of this parser.
+func ParseStrategy(s string) (hetgrid.Strategy, error) { return hetgrid.ParseStrategy(s) }
+
+// ParseCrashSchedule parses a comma-separated crash schedule such as
+// "2@1,0@3s": each entry is rank@step, with a trailing "s" marking a
+// silent crash (the rank dies without aborting, exercising the failure
+// detector).
+func ParseCrashSchedule(s string) ([]hetgrid.CrashPoint, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
 	}
+	var out []hetgrid.CrashPoint
+	for _, part := range strings.Split(s, ",") {
+		entry := strings.TrimSpace(part)
+		silent := false
+		if strings.HasSuffix(entry, "s") {
+			silent = true
+			entry = strings.TrimSuffix(entry, "s")
+		}
+		rankStr, stepStr, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("crash entry %q must look like rank@step (e.g. 2@1 or 0@3s)", part)
+		}
+		rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
+		if err != nil {
+			return nil, fmt.Errorf("bad crash rank in %q: %v", part, err)
+		}
+		step, err := strconv.Atoi(strings.TrimSpace(stepStr))
+		if err != nil {
+			return nil, fmt.Errorf("bad crash step in %q: %v", part, err)
+		}
+		if rank < 0 || step < 0 {
+			return nil, fmt.Errorf("crash entry %q needs a non-negative rank and step", part)
+		}
+		out = append(out, hetgrid.CrashPoint{Rank: rank, Step: step, Silent: silent})
+	}
+	return out, nil
 }
 
 // ParseArrangement parses a cycle-time matrix written as semicolon-

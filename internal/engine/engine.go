@@ -25,8 +25,11 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hetgrid/internal/matrix"
 	"hetgrid/internal/sim"
@@ -52,19 +55,42 @@ type Options struct {
 	// Transport overrides the message fabric; nil uses the in-process
 	// mailbox transport.
 	Transport Transport
+	// RecvTimeout bounds every Recv: after it expires the receiver asks the
+	// fabric to retransmit and waits again with doubled (bounded) backoff;
+	// once MaxRetries attempts are exhausted the peer is declared dead and
+	// the world aborts — the failure detector that turns a silent rank
+	// death into a clean error instead of a hang. 0 disables deadlines
+	// (Recv blocks forever, the historical behavior).
+	RecvTimeout time.Duration
+	// MaxRetries is the number of timeout-triggered retransmission attempts
+	// before a peer is declared dead; 0 selects the default (3).
+	MaxRetries int
+	// Faults enables deterministic seed-driven fault injection: the fabric
+	// is wrapped in a FaultTransport applying the configured drop/delay
+	// lottery and scheduled rank crashes. Message drops are only survivable
+	// with RecvTimeout set.
+	Faults *FaultConfig
 }
+
+// defaultMaxRetries bounds the failure detector's retransmission attempts
+// when Options.MaxRetries is zero.
+const defaultMaxRetries = 3
 
 // World is the communication context shared by all ranks of one Run.
 type World struct {
 	n     int
 	opts  Options
 	meter *Meter
+	fault *FaultTransport // nil unless Options.Faults
+
+	timeouts, retries atomic.Int64
 }
 
 // Comm is one rank's endpoint.
 type Comm struct {
-	world *World
-	rank  int
+	world    *World
+	rank     int
+	stepHook func(k int) error
 }
 
 // Run spawns n ranks with default options; see RunOpts.
@@ -75,7 +101,9 @@ func Run(n int, body func(c *Comm) error) (*World, error) {
 // RunOpts spawns n ranks, each executing body with its own Comm, and waits
 // for all of them. The first non-nil error is returned (all ranks still run
 // to completion; SPMD bodies are expected to fail collectively or not at
-// all).
+// all). A rank killed by a scheduled crash fault or declared dead by the
+// failure detector surfaces as a *RankFailure, which recovery drivers
+// unwrap with errors.As.
 func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("engine: invalid rank count %d", n)
@@ -84,7 +112,12 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 	if inner == nil {
 		inner = NewMemTransport(n)
 	}
-	w := &World{n: n, opts: opts, meter: NewMeter(inner, n, opts.Record)}
+	var fault *FaultTransport
+	if opts.Faults != nil {
+		fault = NewFaultTransport(inner, *opts.Faults)
+		inner = fault
+	}
+	w := &World{n: n, opts: opts, meter: NewMeter(inner, n, opts.Record), fault: fault}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
@@ -92,7 +125,21 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
-				if p := recover(); p != nil {
+				p := recover()
+				if p == nil {
+					return
+				}
+				switch v := p.(type) {
+				case *rankCrash:
+					errs[rank] = &RankFailure{Rank: rank, Step: v.point.Step}
+					if v.point.Silent {
+						// The rank dies without telling anyone: peers stay
+						// blocked until the failure detector times out.
+						return
+					}
+				case *peerDead:
+					errs[rank] = &RankFailure{Rank: v.rank, Step: -1, Detected: true}
+				default:
 					if p == errAborted {
 						// Secondary failure: this rank was unblocked by a
 						// peer's abort; keep the primary error primary.
@@ -100,8 +147,8 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 					} else {
 						errs[rank] = fmt.Errorf("engine: rank %d panicked: %v", rank, p)
 					}
-					w.meter.Abort()
 				}
+				w.meter.Abort()
 			}()
 			if err := body(&Comm{world: w, rank: rank}); err != nil {
 				errs[rank] = err
@@ -110,12 +157,26 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 		}(r)
 	}
 	wg.Wait()
+	if fault != nil {
+		fault.quiesce()
+	}
+	// A crashed rank's own report names the definitive victim; detector
+	// reports are secondary (several peers may all point at the same dead
+	// rank), and any other error beats silence.
+	var firstErr error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		var rf *RankFailure
+		if errors.As(err, &rf) && !rf.Detected {
 			return w, err
 		}
+		if firstErr == nil {
+			firstErr = err
+		}
 	}
-	return w, nil
+	return w, firstErr
 }
 
 // Rank returns this endpoint's rank.
@@ -192,12 +253,61 @@ func (c *Comm) Send(dst int, tag string, data *matrix.Dense) {
 }
 
 // Recv blocks until a message with the tag arrives from src and returns
-// its payload.
+// its payload. With Options.RecvTimeout set it becomes the reliability
+// layer: each expiry asks the fabric to retransmit and waits again with
+// doubled (bounded) backoff, and once MaxRetries attempts are exhausted
+// the peer is declared dead — the failure detector that converts a silent
+// rank death into a clean world abort.
 func (c *Comm) Recv(src int, tag string) *matrix.Dense {
 	if src < 0 || src >= c.world.n {
 		panic(fmt.Sprintf("engine: recv from rank %d of %d", src, c.world.n))
 	}
-	return c.world.meter.Recv(src, c.rank, tag)
+	w := c.world
+	timeout := w.opts.RecvTimeout
+	if timeout <= 0 {
+		return w.meter.Recv(src, c.rank, tag)
+	}
+	maxRetries := w.opts.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = defaultMaxRetries
+	}
+	wait := timeout
+	for attempt := 0; ; attempt++ {
+		data, ok := w.meter.RecvTimeout(src, c.rank, tag, wait)
+		if ok {
+			return data
+		}
+		w.timeouts.Add(1)
+		if attempt >= maxRetries {
+			panic(&peerDead{rank: src})
+		}
+		w.retries.Add(1)
+		w.meter.Retransmit(src, c.rank, tag)
+		// Bounded exponential backoff: a slow-but-alive peer gets
+		// progressively longer grace periods before being declared dead.
+		if wait < 8*timeout {
+			wait *= 2
+		}
+	}
+}
+
+// SetStepHook registers fn to run on this rank at the start of every kernel
+// step, after scheduled crash faults fire. Drivers use it to take
+// checkpoints (the hook may issue collectives — every rank's hook runs with
+// the same step sequence). Call it before starting a kernel.
+func (c *Comm) SetStepHook(fn func(k int) error) { c.stepHook = fn }
+
+// Step marks this rank's entry into kernel step k: scheduled crash faults
+// fire here, then the rank's step hook (if any) runs. The kernels call it
+// at the top of every panel iteration.
+func (c *Comm) Step(k int) error {
+	if ft := c.world.fault; ft != nil {
+		ft.StepEntered(c.rank, k)
+	}
+	if c.stepHook != nil {
+		return c.stepHook(k)
+	}
+	return nil
 }
 
 // Compute runs f as a labeled compute span attributed to this rank in the
@@ -230,3 +340,30 @@ func (w *World) PairStats() [][]PairStats { return w.meter.PairStats() }
 // uses the simulator's trace format, so Gantt rendering and chrome-trace
 // export work unchanged on real executions.
 func (w *World) Trace() *sim.Trace { return w.meter.Trace() }
+
+// Timeouts returns how many Recv deadlines expired across all ranks.
+func (w *World) Timeouts() int { return int(w.timeouts.Load()) }
+
+// Retries returns how many timeout-triggered retransmission requests the
+// ranks issued.
+func (w *World) Retries() int { return int(w.retries.Load()) }
+
+// FaultCounters snapshots the fault transport's activity, or nil when no
+// faults were configured.
+func (w *World) FaultCounters() *FaultCounters {
+	if w.fault == nil {
+		return nil
+	}
+	fc := w.fault.Counters()
+	return &fc
+}
+
+// RemainingCrashes returns the scheduled crash points that did not fire
+// (nil without fault injection) — what a recovery driver carries into the
+// next attempt.
+func (w *World) RemainingCrashes() []CrashPoint {
+	if w.fault == nil {
+		return nil
+	}
+	return w.fault.RemainingCrashes()
+}

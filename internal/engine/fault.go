@@ -1,0 +1,319 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"hetgrid/internal/matrix"
+)
+
+// This file is the engine's fault layer: a deterministic, seed-driven
+// Transport wrapper that injects message drops, message delays and
+// scheduled rank crashes, plus the error type the run loop reports when a
+// rank dies. Together with the Recv deadline/retry loop in engine.go it
+// turns a dead rank into a clean Abort instead of a hang, and gives the
+// driver layer enough information to replan the surviving work.
+//
+// Determinism contract: whether a given message is dropped or delayed is a
+// pure function of (Seed, src, dst, tag, per-channel sequence number) —
+// sends on one channel are ordered by the sender's program order, so the
+// decision set does not depend on goroutine interleaving. Crash points fire
+// when their rank enters the scheduled kernel step. Wall-clock effects
+// (how many timeouts and retries the receivers needed) do depend on
+// scheduling, but the delivered payloads, and therefore the numerical
+// results, do not.
+
+// CrashPoint schedules the death of one rank at the start of a kernel step.
+type CrashPoint struct {
+	// Rank is the flat rank that dies (numbered within the world it fires
+	// in — after a recovery the surviving world is renumbered).
+	Rank int
+	// Step is the kernel panel index at whose start the rank dies.
+	Step int
+	// Silent makes the rank die without aborting the world: its peers stay
+	// blocked in Recv until the failure detector (Recv deadlines plus
+	// bounded retries) declares the rank dead and aborts. The default
+	// fail-stop crash aborts the world immediately.
+	Silent bool
+}
+
+// FaultConfig configures deterministic fault injection for one Run.
+type FaultConfig struct {
+	// Seed drives every drop and delay decision.
+	Seed int64
+	// DropProb is the per-message probability that a cross-rank message's
+	// first delivery is swallowed. Dropped messages are stashed and
+	// redelivered when the receiver's timeout asks for a retransmission, so
+	// drops are only survivable with Options.RecvTimeout set.
+	DropProb float64
+	// DelayProb is the per-message probability that delivery is deferred by
+	// Delay. Keep Delay well under RecvTimeout·retries or the failure
+	// detector will misread lateness as death.
+	DelayProb float64
+	// Delay is how long a delayed message waits before entering the fabric.
+	Delay time.Duration
+	// Crashes schedules rank deaths at kernel steps.
+	Crashes []CrashPoint
+}
+
+// FaultCounters is a snapshot of a FaultTransport's activity.
+type FaultCounters struct {
+	Dropped, Delayed, Retransmitted int
+	// Crashed lists the crash points that fired, in firing order.
+	Crashed []CrashPoint
+}
+
+// RankFailure is the error RunOpts reports when a rank dies — either a
+// scheduled crash fault, or a peer the failure detector timed out on.
+type RankFailure struct {
+	// Rank is the dead rank.
+	Rank int
+	// Step is the kernel step the crash was scheduled at, or -1 when the
+	// failure was inferred by a peer's Recv timeout.
+	Step int
+	// Detected is true when a peer's failure detector reported the death
+	// (as opposed to the dying rank reporting it itself).
+	Detected bool
+}
+
+func (e *RankFailure) Error() string {
+	if e.Detected {
+		return fmt.Sprintf("engine: rank %d declared dead by the failure detector (receive timeout)", e.Rank)
+	}
+	return fmt.Sprintf("engine: rank %d crashed at step %d", e.Rank, e.Step)
+}
+
+// rankCrash is the panic payload a scheduled crash kills its rank with.
+type rankCrash struct{ point CrashPoint }
+
+// peerDead is the panic payload a receiver raises when its retries on a
+// peer are exhausted.
+type peerDead struct{ rank int }
+
+// outState is the delivery state of one message in a channel outbox.
+type outState int
+
+const (
+	outReady   outState = iota // deliverable as soon as it reaches the head
+	outDelayed                 // waiting for its delay timer
+	outDropped                 // waiting for a timeout-triggered retransmission
+)
+
+// outMsg is one message in a tagged channel's ordered outbox.
+type outMsg struct {
+	data  *matrix.Dense
+	state outState
+}
+
+// FaultTransport wraps a Transport with deterministic fault injection. It
+// forwards RecvTimeout to the inner fabric (which must be a
+// DeadlineTransport for drops to be survivable) and implements
+// Retransmitter by redelivering stashed drops.
+//
+// Each (src,dst,tag) channel keeps an ordered outbox: a dropped or delayed
+// message blocks everything sent after it on the same channel until it is
+// released, so faults never reorder a tagged channel — the per-tag FIFO the
+// fault-free mailbox guarantees and the kernels rely on (two scatters of
+// different matrices reuse the same block tags, for example) survives any
+// fault schedule.
+type FaultTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu      sync.Mutex
+	seq     map[pairTag]uint64
+	outbox  map[pairTag][]*outMsg
+	timers  []*time.Timer
+	fired   map[int]bool // indices into cfg.Crashes
+	crashed []CrashPoint
+	aborted bool
+
+	dropped, delayed, retransmitted int
+}
+
+// NewFaultTransport wraps inner with the configured faults.
+func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{
+		inner:  inner,
+		cfg:    cfg,
+		seq:    make(map[pairTag]uint64),
+		outbox: make(map[pairTag][]*outMsg),
+		fired:  make(map[int]bool),
+	}
+}
+
+// faultRoll maps a message identity to a uniform value in [0,1); salt
+// separates the independent drop and delay decisions.
+func faultRoll(seed int64, src, dst int, tag string, seq, salt uint64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d/%d/%s/%d/%d", seed, src, dst, tag, seq, salt)
+	x := h.Sum64()
+	// One splitmix64 finalization round scrubs FNV's low-entropy tail.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// Send applies the drop/delay lottery to cross-rank messages; self-sends
+// pass straight through (they are local data, never network faults). A
+// faulted message enters its channel's outbox and blocks later sends on
+// the same channel until it is released, preserving per-tag FIFO order.
+func (t *FaultTransport) Send(src, dst int, tag string, data *matrix.Dense) {
+	if src == dst {
+		t.inner.Send(src, dst, tag, data)
+		return
+	}
+	key := pairTag{src, dst, tag}
+	t.mu.Lock()
+	n := t.seq[key]
+	t.seq[key] = n + 1
+	msg := &outMsg{data: data, state: outReady}
+	switch {
+	case t.cfg.DropProb > 0 && faultRoll(t.cfg.Seed, src, dst, tag, n, 1) < t.cfg.DropProb:
+		msg.state = outDropped
+		t.dropped++
+	case t.cfg.DelayProb > 0 && t.cfg.Delay > 0 && faultRoll(t.cfg.Seed, src, dst, tag, n, 2) < t.cfg.DelayProb:
+		t.delayed++
+		if !t.aborted {
+			msg.state = outDelayed
+			timer := time.AfterFunc(t.cfg.Delay, func() {
+				t.mu.Lock()
+				msg.state = outReady
+				t.flushLocked(key)
+				t.mu.Unlock()
+			})
+			t.timers = append(t.timers, timer)
+		}
+	}
+	if msg.state == outReady && len(t.outbox[key]) == 0 {
+		// Fast path: nothing ahead of an undisturbed message.
+		t.mu.Unlock()
+		t.inner.Send(src, dst, tag, data)
+		return
+	}
+	t.outbox[key] = append(t.outbox[key], msg)
+	t.flushLocked(key)
+	t.mu.Unlock()
+}
+
+// flushLocked delivers the channel's deliverable prefix — every message up
+// to the first one still held back by a fault — in channel order. Called
+// with t.mu held; the inner fabric's Send never blocks, so delivering under
+// the lock is safe and keeps concurrent flushes of one channel from
+// interleaving.
+func (t *FaultTransport) flushLocked(key pairTag) {
+	q := t.outbox[key]
+	n := 0
+	for n < len(q) && q[n].state == outReady {
+		t.inner.Send(key.src, key.dst, key.tag, q[n].data)
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	if n == len(q) {
+		delete(t.outbox, key)
+	} else {
+		t.outbox[key] = q[n:]
+	}
+}
+
+// Recv forwards to the fabric.
+func (t *FaultTransport) Recv(src, dst int, tag string) *matrix.Dense {
+	return t.inner.Recv(src, dst, tag)
+}
+
+// RecvTimeout forwards a deadline receive (blocking when the inner fabric
+// has no deadline support).
+func (t *FaultTransport) RecvTimeout(src, dst int, tag string, d time.Duration) (*matrix.Dense, bool) {
+	if dt, ok := t.inner.(DeadlineTransport); ok {
+		return dt.RecvTimeout(src, dst, tag, d)
+	}
+	return t.inner.Recv(src, dst, tag), true
+}
+
+// Retransmit releases every dropped message on the channel, reporting
+// whether there were any — the sender-side retransmission a receiver's
+// timeout requests. Released messages still deliver in channel order (one
+// may stay queued behind a delayed predecessor until its timer fires).
+func (t *FaultTransport) Retransmit(src, dst int, tag string) bool {
+	key := pairTag{src, dst, tag}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, m := range t.outbox[key] {
+		if m.state == outDropped {
+			m.state = outReady
+			n++
+		}
+	}
+	t.retransmitted += n
+	t.flushLocked(key)
+	return n > 0
+}
+
+// Abort stops pending delay timers and forwards the abort.
+func (t *FaultTransport) Abort() {
+	t.quiesce()
+	t.inner.Abort()
+}
+
+// quiesce stops outstanding delay timers; messages still pending are
+// unneeded (any receiver that wanted one would still be blocking the run).
+func (t *FaultTransport) quiesce() {
+	t.mu.Lock()
+	t.aborted = true
+	timers := t.timers
+	t.timers = nil
+	t.mu.Unlock()
+	for _, tm := range timers {
+		tm.Stop()
+	}
+}
+
+// StepEntered fires any crash scheduled for this rank at this step by
+// panicking on the rank's goroutine; the run loop converts the panic into a
+// RankFailure.
+func (t *FaultTransport) StepEntered(rank, step int) {
+	t.mu.Lock()
+	for i, cp := range t.cfg.Crashes {
+		if cp.Rank == rank && cp.Step == step && !t.fired[i] {
+			t.fired[i] = true
+			t.crashed = append(t.crashed, cp)
+			t.mu.Unlock()
+			panic(&rankCrash{point: cp})
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Counters snapshots the transport's fault activity.
+func (t *FaultTransport) Counters() FaultCounters {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return FaultCounters{
+		Dropped:       t.dropped,
+		Delayed:       t.delayed,
+		Retransmitted: t.retransmitted,
+		Crashed:       append([]CrashPoint(nil), t.crashed...),
+	}
+}
+
+// RemainingCrashes returns the scheduled crash points that have not fired —
+// what a recovery driver should carry into the next attempt.
+func (t *FaultTransport) RemainingCrashes() []CrashPoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []CrashPoint
+	for i, cp := range t.cfg.Crashes {
+		if !t.fired[i] {
+			out = append(out, cp)
+		}
+	}
+	return out
+}

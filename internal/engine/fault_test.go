@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
+)
+
+var faultBroadcastKinds = []struct {
+	name string
+	kind sim.BroadcastKind
+}{
+	{"flat", sim.StarBroadcast},
+	{"ring", sim.RingBroadcast},
+	{"segring", sim.SegmentedRingBroadcast},
+	{"tree", sim.TreeBroadcast},
+}
+
+func faultTestDist(t *testing.T, nb int) distribution.Distribution {
+	t.Helper()
+	d, err := distribution.UniformBlockCyclic(2, 2, nb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// runLU scatters a, runs LU and gathers the packed factors at rank 0.
+func runLU(t *testing.T, d distribution.Distribution, a *matrix.Dense, r int, opts Options) (*matrix.Dense, *World, error) {
+	t.Helper()
+	var out *matrix.Dense
+	w, err := RunOpts(4, opts, func(c *Comm) error {
+		full := a
+		if c.Rank() != 0 {
+			full = nil
+		}
+		s, err := Scatter(c, d, full, r)
+		if err != nil {
+			return err
+		}
+		if err := LU(c, d, s); err != nil {
+			return err
+		}
+		g, err := Gather(c, d, s)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = g
+		}
+		return nil
+	})
+	return out, w, err
+}
+
+func TestFaultRollDeterministicAndUniform(t *testing.T) {
+	// Same identity, same roll — regardless of how often or when it is asked.
+	a := faultRoll(7, 1, 2, "L/3", 9, 1)
+	for i := 0; i < 10; i++ {
+		if got := faultRoll(7, 1, 2, "L/3", 9, 1); got != a {
+			t.Fatalf("roll not deterministic: %v vs %v", got, a)
+		}
+	}
+	// Distinct salts decorrelate drop and delay decisions.
+	if faultRoll(7, 1, 2, "L/3", 9, 1) == faultRoll(7, 1, 2, "L/3", 9, 2) {
+		t.Fatal("salts 1 and 2 produced the same roll")
+	}
+	// The rolls are roughly uniform: over many identities, the fraction
+	// below 0.3 should be near 0.3 (loose bounds — this is a smoke test of
+	// the finalizer, not a statistical suite).
+	n, below := 0, 0
+	for src := 0; src < 8; src++ {
+		for seq := uint64(0); seq < 200; seq++ {
+			n++
+			if faultRoll(1, src, (src+1)%8, fmt.Sprintf("t/%d", seq%7), seq, 1) < 0.3 {
+				below++
+			}
+		}
+	}
+	frac := float64(below) / float64(n)
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("fraction below 0.3 is %.3f; rolls look non-uniform", frac)
+	}
+}
+
+func TestScheduledCrashAbortsCleanly(t *testing.T) {
+	// A fail-stop crash mid-LU must surface as *RankFailure naming the
+	// scheduled victim and step — under every broadcast kind.
+	d := faultTestDist(t, 6)
+	a := matrix.RandomWellConditioned(12, rand.New(rand.NewSource(1)))
+	for _, bc := range faultBroadcastKinds {
+		t.Run(bc.name, func(t *testing.T) {
+			_, _, err := runLU(t, d, a, 2, Options{
+				Broadcast: bc.kind,
+				Faults:    &FaultConfig{Crashes: []CrashPoint{{Rank: 2, Step: 3}}},
+			})
+			var rf *RankFailure
+			if !errors.As(err, &rf) {
+				t.Fatalf("want *RankFailure, got %v", err)
+			}
+			if rf.Rank != 2 || rf.Step != 3 || rf.Detected {
+				t.Fatalf("wrong failure report: %+v", rf)
+			}
+		})
+	}
+}
+
+func TestSilentCrashDetectedByTimeout(t *testing.T) {
+	// A silent crash tells nobody; the Recv deadline/retry failure detector
+	// must declare the rank dead and abort instead of hanging — under every
+	// broadcast kind.
+	d := faultTestDist(t, 6)
+	a := matrix.RandomWellConditioned(12, rand.New(rand.NewSource(2)))
+	for _, bc := range faultBroadcastKinds {
+		t.Run(bc.name, func(t *testing.T) {
+			_, w, err := runLU(t, d, a, 2, Options{
+				Broadcast:   bc.kind,
+				RecvTimeout: 20 * time.Millisecond,
+				MaxRetries:  2,
+				Faults:      &FaultConfig{Crashes: []CrashPoint{{Rank: 2, Step: 2, Silent: true}}},
+			})
+			var rf *RankFailure
+			if !errors.As(err, &rf) {
+				t.Fatalf("want *RankFailure, got %v", err)
+			}
+			if rf.Rank != 2 {
+				t.Fatalf("failure names rank %d, want 2", rf.Rank)
+			}
+			if w.Timeouts() == 0 {
+				t.Fatal("failure detector fired without any recorded timeouts")
+			}
+		})
+	}
+}
+
+func TestDropsRepairedBitIdentical(t *testing.T) {
+	// Dropped first deliveries are repaired by timeout-triggered
+	// retransmissions; the factors must be bit-identical to a fault-free
+	// run, and the counters must show the repair happened.
+	d := faultTestDist(t, 6)
+	a := matrix.RandomWellConditioned(12, rand.New(rand.NewSource(3)))
+	clean, _, err := runLU(t, d, a, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, w, err := runLU(t, d, a, 2, Options{
+		RecvTimeout: 20 * time.Millisecond,
+		Faults:      &FaultConfig{Seed: 5, DropProb: 0.15},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.Equal(clean) {
+		t.Fatal("factors under message drops differ from the fault-free run")
+	}
+	fc := w.FaultCounters()
+	if fc.Dropped == 0 {
+		t.Fatal("DropProb 0.15 dropped nothing; seed too lucky for the test")
+	}
+	if fc.Retransmitted != fc.Dropped {
+		t.Fatalf("%d drops but %d retransmissions", fc.Dropped, fc.Retransmitted)
+	}
+	if w.Timeouts() == 0 || w.Retries() == 0 {
+		t.Fatalf("drops repaired without timeouts/retries (%d/%d)", w.Timeouts(), w.Retries())
+	}
+}
+
+func TestDelaysBitIdentical(t *testing.T) {
+	// Delays reorder wall-clock delivery but never payloads: results are
+	// bit-identical and no retransmissions are needed.
+	d := faultTestDist(t, 6)
+	a := matrix.RandomWellConditioned(12, rand.New(rand.NewSource(4)))
+	clean, _, err := runLU(t, d, a, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, w, err := runLU(t, d, a, 2, Options{
+		RecvTimeout: 100 * time.Millisecond,
+		Faults:      &FaultConfig{Seed: 6, DelayProb: 0.2, Delay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.Equal(clean) {
+		t.Fatal("factors under message delays differ from the fault-free run")
+	}
+	if w.FaultCounters().Delayed == 0 {
+		t.Fatal("DelayProb 0.2 delayed nothing; seed too lucky for the test")
+	}
+}
+
+func TestRemainingCrashes(t *testing.T) {
+	d := faultTestDist(t, 6)
+	a := matrix.RandomWellConditioned(12, rand.New(rand.NewSource(5)))
+	sched := []CrashPoint{{Rank: 1, Step: 2}, {Rank: 0, Step: 99}}
+	_, w, err := runLU(t, d, a, 2, Options{Faults: &FaultConfig{Crashes: sched}})
+	var rf *RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("want *RankFailure, got %v", err)
+	}
+	rem := w.RemainingCrashes()
+	if len(rem) != 1 || rem[0] != sched[1] {
+		t.Fatalf("remaining crashes %+v, want just %+v", rem, sched[1])
+	}
+	if fc := w.FaultCounters(); len(fc.Crashed) != 1 || fc.Crashed[0] != sched[0] {
+		t.Fatalf("fired crashes %+v, want just %+v", fc.Crashed, sched[0])
+	}
+}
+
+func TestResumeKernelsBitIdentical(t *testing.T) {
+	// Running a kernel to completion, gathering a mid-run checkpoint and
+	// resuming from it on the SAME world layout must reproduce the
+	// uninterrupted factors bit for bit — the property the recovery driver
+	// builds on.
+	d := faultTestDist(t, 6)
+	const r = 2
+	a := matrix.RandomWellConditioned(12, rand.New(rand.NewSource(6)))
+
+	clean, _, err := runLU(t, d, a, r, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First half: run LU but checkpoint at step 3 via the step hook, then
+	// abandon the world at the end (completing normally is fine — we only
+	// need the checkpoint).
+	var ckpt *matrix.Dense
+	_, err = RunOpts(4, Options{}, func(c *Comm) error {
+		full := a
+		if c.Rank() != 0 {
+			full = nil
+		}
+		s, err := Scatter(c, d, full, r)
+		if err != nil {
+			return err
+		}
+		c.SetStepHook(func(k int) error {
+			if k != 3 {
+				return nil
+			}
+			g, err := GatherTag(c, d, s, fmt.Sprintf("ckpt/%d", k))
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				ckpt = g
+			}
+			return nil
+		})
+		return LU(c, d, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt == nil {
+		t.Fatal("no checkpoint committed")
+	}
+
+	// Second half: scatter the checkpoint and resume from step 3.
+	var resumed *matrix.Dense
+	_, err = RunOpts(4, Options{}, func(c *Comm) error {
+		full := ckpt
+		if c.Rank() != 0 {
+			full = nil
+		}
+		s, err := Scatter(c, d, full, r)
+		if err != nil {
+			return err
+		}
+		if err := LUResume(c, d, s, 3); err != nil {
+			return err
+		}
+		g, err := Gather(c, d, s)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			resumed = g
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Equal(clean) {
+		t.Fatal("checkpoint-resumed LU differs from the uninterrupted run")
+	}
+}

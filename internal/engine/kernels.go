@@ -79,6 +79,13 @@ func Scatter(c *Comm, d distribution.Distribution, full *matrix.Dense, r int) (*
 // Gather collects every block back to rank 0, returning the assembled
 // matrix there and nil elsewhere.
 func Gather(c *Comm, d distribution.Distribution, store *BlockStore) (*matrix.Dense, error) {
+	return GatherTag(c, d, store, "gather")
+}
+
+// GatherTag is Gather under a caller-chosen tag prefix, so repeated
+// collections in one run (checkpoints plus the final gather) travel on
+// disjoint channels.
+func GatherTag(c *Comm, d distribution.Distribution, store *BlockStore, prefix string) (*matrix.Dense, error) {
 	nbr, nbc := d.Blocks()
 	r := store.R
 	var full *matrix.Dense
@@ -88,7 +95,7 @@ func Gather(c *Comm, d distribution.Distribution, store *BlockStore) (*matrix.De
 	for bi := 0; bi < nbr; bi++ {
 		for bj := 0; bj < nbc; bj++ {
 			owner := node(d, bi, bj)
-			tag := fmt.Sprintf("gather/%d/%d", bi, bj)
+			tag := fmt.Sprintf("%s/%d/%d", prefix, bi, bj)
 			switch {
 			case owner == c.Rank() && c.Rank() == 0:
 				full.Slice(bi*r, (bi+1)*r, bj*r, (bj+1)*r).CopyFrom(store.Get(bi, bj))
@@ -100,6 +107,23 @@ func Gather(c *Comm, d distribution.Distribution, store *BlockStore) (*matrix.De
 		}
 	}
 	return full, nil
+}
+
+// ZeroStore returns a store holding a zero r×r block for every position
+// this rank owns — the initial accumulator of MMResume. It is purely local
+// (no communication).
+func ZeroStore(c *Comm, d distribution.Distribution, r int) *BlockStore {
+	nbr, nbc := d.Blocks()
+	s := NewBlockStore(r)
+	me := c.Rank()
+	for bi := 0; bi < nbr; bi++ {
+		for bj := 0; bj < nbc; bj++ {
+			if node(d, bi, bj) == me {
+				s.Put(bi, bj, matrix.New(r, r))
+			}
+		}
+	}
+	return s
 }
 
 // squareBlocks validates that the distribution tiles a square block matrix
@@ -121,25 +145,30 @@ func squareBlocks(d distribution.Distribution, kernel string) (int, error) {
 // which tests assert; ring, segmented-ring and tree schedules reshape who
 // forwards to whom but deliver the same panels.
 func MM(c *Comm, d distribution.Distribution, a, b *BlockStore) (*BlockStore, error) {
+	cStore := ZeroStore(c, d, a.R)
+	if err := MMResume(c, d, a, b, cStore, 0); err != nil {
+		return nil, err
+	}
+	return cStore, nil
+}
+
+// MMResume continues the outer-product multiplication from step startK,
+// accumulating into cStore (this rank's resident C blocks, usually from
+// ZeroStore or a scattered checkpoint). Steps run in the same k order as a
+// fresh run, so resuming from a checkpoint of the first startK steps is
+// bit-identical to never having stopped.
+func MMResume(c *Comm, d distribution.Distribution, a, b *BlockStore, cStore *BlockStore, startK int) error {
 	nb, err := squareBlocks(d, "MM")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	r := a.R
 	co := NewCollectives(c, d)
-	me := c.Rank()
 
-	// My C blocks, zero-initialized.
-	cStore := NewBlockStore(r)
-	for bi := 0; bi < nb; bi++ {
-		for bj := 0; bj < nb; bj++ {
-			if co.Node(bi, bj) == me {
-				cStore.Put(bi, bj, matrix.New(r, r))
-			}
+	for k := startK; k < nb; k++ {
+		if err := c.Step(k); err != nil {
+			return err
 		}
-	}
-
-	for k := 0; k < nb; k++ {
 		aPanel := co.RowBcast(fmt.Sprintf("A/%d", k), k, 0, nb, 0,
 			func(bi int) *matrix.Dense { return a.Get(bi, k) }, r)
 		bPanel := co.ColBcast(fmt.Sprintf("B/%d", k), k, 0, nb, 0,
@@ -158,10 +187,10 @@ func MM(c *Comm, d distribution.Distribution, a, b *BlockStore) (*BlockStore, er
 			})
 			return nil
 		}); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return cStore, nil
+	return nil
 }
 
 // LU executes the distributed right-looking LU factorization without
@@ -180,6 +209,14 @@ func MM(c *Comm, d distribution.Distribution, a, b *BlockStore) (*BlockStore, er
 // every distribution family under the flat broadcast — analytic model,
 // virtual-time simulator and real concurrent execution all agree.
 func LU(c *Comm, d distribution.Distribution, a *BlockStore) error {
+	return LUResume(c, d, a, 0)
+}
+
+// LUResume continues the LU factorization from panel startK, assuming the
+// store already holds the result of steps 0..startK-1 (a checkpoint). The
+// step order and arithmetic match a fresh run exactly, so resumption is
+// bit-identical to never having stopped.
+func LUResume(c *Comm, d distribution.Distribution, a *BlockStore, startK int) error {
 	nb, err := squareBlocks(d, "LU")
 	if err != nil {
 		return err
@@ -188,7 +225,10 @@ func LU(c *Comm, d distribution.Distribution, a *BlockStore) error {
 	co := NewCollectives(c, d)
 	me := c.Rank()
 
-	for k := 0; k < nb; k++ {
+	for k := startK; k < nb; k++ {
+		if err := c.Step(k); err != nil {
+			return err
+		}
 		rowRecv := co.RowReceivers(k)
 		diagOwner := co.Node(k, k)
 
@@ -304,6 +344,13 @@ func (co *Collectives) bcastIfMember(tag string, root int, receivers []int, data
 // strict upper triangle. Only lower-triangle blocks are read. Panel blocks
 // sharing a source and needer set travel as one stacked message.
 func Cholesky(c *Comm, d distribution.Distribution, a *BlockStore) error {
+	return CholeskyResume(c, d, a, 0)
+}
+
+// CholeskyResume continues the Cholesky factorization from panel startK,
+// assuming the store holds the result of steps 0..startK-1. The final
+// upper-triangle zeroing still runs, so a resumed run gathers exactly L.
+func CholeskyResume(c *Comm, d distribution.Distribution, a *BlockStore, startK int) error {
 	nb, err := squareBlocks(d, "Cholesky")
 	if err != nil {
 		return err
@@ -332,7 +379,10 @@ func Cholesky(c *Comm, d distribution.Distribution, a *BlockStore) error {
 		return out
 	}
 
-	for k := 0; k < nb; k++ {
+	for k := startK; k < nb; k++ {
+		if err := c.Step(k); err != nil {
+			return err
+		}
 		diagOwner := co.Node(k, k)
 
 		// Owners of the sub-diagonal panel, who need L(k,k)ᵀ for their

@@ -29,11 +29,37 @@ func QR(c *Comm, d distribution.Distribution, a *BlockStore) ([][]float64, error
 	if err != nil {
 		return nil, err
 	}
+	var taus [][]float64
+	if c.Rank() == 0 {
+		taus = make([][]float64, nb)
+	}
+	if err := QRResume(c, d, a, 0, func(k int, tau []float64) {
+		taus[k] = tau
+	}); err != nil {
+		return nil, err
+	}
+	return taus, nil
+}
+
+// QRResume continues the QR factorization from panel startK, assuming the
+// store holds the packed result of steps 0..startK-1. Rank 0 invokes onTau
+// with each panel's tau scalings at the end of that panel's step (so a
+// checkpoint taken between steps has every tau produced so far); other
+// ranks never call it. The step order and arithmetic match a fresh run
+// exactly, so resumption is bit-identical to never having stopped.
+func QRResume(c *Comm, d distribution.Distribution, a *BlockStore, startK int, onTau func(k int, tau []float64)) error {
+	nb, err := squareBlocks(d, "QR")
+	if err != nil {
+		return err
+	}
 	r := a.R
 	co := NewCollectives(c, d)
 	me := c.Rank()
 
-	for k := 0; k < nb; k++ {
+	for k := startK; k < nb; k++ {
+		if err := c.Step(k); err != nil {
+			return err
+		}
 		master := co.Node(k, k)
 		rows := (nb - k) * r
 
@@ -65,12 +91,13 @@ func QR(c *Comm, d distribution.Distribution, a *BlockStore) ([][]float64, error
 				}
 				return nil
 			}); err != nil {
-				return nil, err
+				return err
 			}
 			// The tau scalings stream to rank 0 as they are produced (a
 			// self-send when rank 0 is the master — buffered, uncounted);
-			// rank 0 drains them after the last step, so its own panel
-			// contributions always run ahead of this blocking receive.
+			// rank 0 receives them at the end of each step, after all of
+			// its own step-k sends, so the receive can never block a send
+			// the master is waiting on.
 			c.Send(0, fmt.Sprintf("qtau/%d", k), tauMat)
 			// 2. Scatter the packed blocks back to their owners.
 			for bi := k; bi < nb; bi++ {
@@ -123,7 +150,7 @@ func QR(c *Comm, d distribution.Distribution, a *BlockStore) ([][]float64, error
 					matrix.QRFromPacked(packedAll, tau).QTMul(slab)
 					return nil
 				}); err != nil {
-					return nil, err
+					return err
 				}
 				for bi := k; bi < nb; bi++ {
 					seg := slab.Slice((bi-k)*r, (bi-k+1)*r, 0, r)
@@ -141,20 +168,19 @@ func QR(c *Comm, d distribution.Distribution, a *BlockStore) ([][]float64, error
 				}
 			}
 		}
-	}
 
-	// Collect the per-panel tau scalings at rank 0; every master already
-	// sent its column during the factorization.
-	if me != 0 {
-		return nil, nil
-	}
-	taus := make([][]float64, nb)
-	for k := 0; k < nb; k++ {
-		tm := c.Recv(co.Node(k, k), fmt.Sprintf("qtau/%d", k))
-		taus[k] = make([]float64, r)
-		for i := range taus[k] {
-			taus[k][i] = tm.At(i, 0)
+		// Rank 0 collects this panel's tau scalings before leaving the
+		// step, so a checkpoint between steps captures them all.
+		if me == 0 {
+			tm := c.Recv(master, fmt.Sprintf("qtau/%d", k))
+			tau := make([]float64, r)
+			for i := range tau {
+				tau[i] = tm.At(i, 0)
+			}
+			if onTau != nil {
+				onTau(k, tau)
+			}
 		}
 	}
-	return taus, nil
+	return nil
 }

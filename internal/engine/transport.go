@@ -84,9 +84,58 @@ func (m *mailbox) take(tag string) *matrix.Dense {
 	}
 }
 
+// takeTimeout is take with a deadline: it returns (nil, false) when no
+// matching message arrived within d. An abort still panics with errAborted,
+// exactly like take.
+func (m *mailbox) takeTimeout(tag string, d time.Duration) (*matrix.Dense, bool) {
+	deadline := time.Now().Add(d)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg.data, true
+			}
+		}
+		if m.aborted {
+			panic(errAborted)
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, false
+		}
+		// sync.Cond has no timed wait; an AfterFunc broadcast wakes every
+		// waiter on this mailbox, and each re-checks its own deadline.
+		t := time.AfterFunc(remain, m.cond.Broadcast)
+		m.cond.Wait()
+		t.Stop()
+	}
+}
+
 // errAborted is the panic payload delivered to ranks blocked in Recv when
 // another rank fails.
 var errAborted = fmt.Errorf("engine: run aborted by a failing rank")
+
+// DeadlineTransport is implemented by fabrics whose receives can carry a
+// deadline. The engine's Recv retry loop (Options.RecvTimeout) requires it;
+// MemTransport and FaultTransport both implement it.
+type DeadlineTransport interface {
+	Transport
+	// RecvTimeout waits at most d for a matching message, returning
+	// (nil, false) on expiry instead of blocking forever.
+	RecvTimeout(src, dst int, tag string, d time.Duration) (*matrix.Dense, bool)
+}
+
+// Retransmitter is implemented by fabrics that buffer undelivered messages
+// and can redeliver them on request — the timeout-triggered retransmission
+// half of the engine's reliability layer. FaultTransport implements it for
+// messages its drop fault swallowed.
+type Retransmitter interface {
+	// Retransmit redelivers any stashed messages for the (src,dst,tag)
+	// channel, reporting whether there were any.
+	Retransmit(src, dst int, tag string) bool
+}
 
 // MemTransport is the in-process Transport: one unbounded mailbox per
 // ordered rank pair.
@@ -114,6 +163,11 @@ func (t *MemTransport) Send(src, dst int, tag string, data *matrix.Dense) {
 // Recv blocks until a matching message arrives.
 func (t *MemTransport) Recv(src, dst int, tag string) *matrix.Dense {
 	return t.boxes[src][dst].take(tag)
+}
+
+// RecvTimeout waits at most d for a matching message.
+func (t *MemTransport) RecvTimeout(src, dst int, tag string, d time.Duration) (*matrix.Dense, bool) {
+	return t.boxes[src][dst].takeTimeout(tag, d)
 }
 
 // Abort unblocks every pending Recv in the fabric.
@@ -218,29 +272,58 @@ func (m *Meter) Send(src, dst int, tag string, data *matrix.Dense) {
 // Recv forwards to the fabric and counts the delivery at the receiver.
 func (m *Meter) Recv(src, dst int, tag string) *matrix.Dense {
 	data := m.inner.Recv(src, dst, tag)
-	if src != dst {
-		r, c := data.Dims()
-		bytes := 8 * r * c
-		rc := &m.ranks[dst]
-		rc.mu.Lock()
-		rc.msgsRecv++
-		rc.bytesRecv += bytes
-		rc.mu.Unlock()
-		if m.record {
-			end := m.now()
-			key := pairTag{src, dst, tag}
-			m.mu.Lock()
-			if ts := m.inQueue[key]; len(ts) > 0 {
-				m.events = append(m.events, sim.Op{
-					Kind: sim.OpSend, Node: src, Peer: dst,
-					Start: ts[0], End: end, Bytes: float64(bytes), Label: tag,
-				})
-				m.inQueue[key] = ts[1:]
-			}
-			m.mu.Unlock()
-		}
-	}
+	m.countRecv(src, dst, tag, data)
 	return data
+}
+
+// RecvTimeout forwards a deadline receive when the fabric supports one
+// (falling back to a blocking Recv otherwise) and counts the delivery.
+func (m *Meter) RecvTimeout(src, dst int, tag string, d time.Duration) (*matrix.Dense, bool) {
+	dt, ok := m.inner.(DeadlineTransport)
+	if !ok {
+		return m.Recv(src, dst, tag), true
+	}
+	data, got := dt.RecvTimeout(src, dst, tag, d)
+	if !got {
+		return nil, false
+	}
+	m.countRecv(src, dst, tag, data)
+	return data, true
+}
+
+// Retransmit forwards a redelivery request when the fabric buffers drops.
+func (m *Meter) Retransmit(src, dst int, tag string) bool {
+	if rt, ok := m.inner.(Retransmitter); ok {
+		return rt.Retransmit(src, dst, tag)
+	}
+	return false
+}
+
+// countRecv tallies one delivered cross-rank message at the receiver.
+func (m *Meter) countRecv(src, dst int, tag string, data *matrix.Dense) {
+	if src == dst {
+		return
+	}
+	r, c := data.Dims()
+	bytes := 8 * r * c
+	rc := &m.ranks[dst]
+	rc.mu.Lock()
+	rc.msgsRecv++
+	rc.bytesRecv += bytes
+	rc.mu.Unlock()
+	if m.record {
+		end := m.now()
+		key := pairTag{src, dst, tag}
+		m.mu.Lock()
+		if ts := m.inQueue[key]; len(ts) > 0 {
+			m.events = append(m.events, sim.Op{
+				Kind: sim.OpSend, Node: src, Peer: dst,
+				Start: ts[0], End: end, Bytes: float64(bytes), Label: tag,
+			})
+			m.inQueue[key] = ts[1:]
+		}
+		m.mu.Unlock()
+	}
 }
 
 // Abort forwards to the fabric.

@@ -1,0 +1,56 @@
+package hetgrid
+
+// Option configures a call to one of the package's variadic entry points
+// (Balance, BalanceArrangement, the Distributed* executions, Factor). One
+// option vocabulary covers both planning and execution; options that do
+// not apply to a given call are ignored, so a slice of options can be
+// built once and passed everywhere.
+type Option func(*callOptions)
+
+// callOptions is the union of everything the variadic entry points accept.
+type callOptions struct {
+	exec    ExecOptions
+	balance BalanceOptions
+}
+
+// applyOptions folds a slice of options over defaults.
+func applyOptions(opts []Option) callOptions {
+	var co callOptions
+	for _, o := range opts {
+		if o != nil {
+			o(&co)
+		}
+	}
+	return co
+}
+
+// WithBroadcast selects the collective algorithm of a distributed
+// execution (flat/star, ring, pipelined ring, binomial tree).
+func WithBroadcast(b BroadcastKind) Option {
+	return func(co *callOptions) { co.exec.Broadcast = b }
+}
+
+// WithTrace records timestamped per-message and per-compute events;
+// ExecStats.Trace then carries them in the simulator's trace format.
+func WithTrace() Option {
+	return func(co *callOptions) { co.exec.Trace = true }
+}
+
+// WithParallelism lets every rank use up to n goroutines for its own block
+// computations. Results stay bit-identical to a serial run for any value.
+func WithParallelism(n int) Option {
+	return func(co *callOptions) { co.exec.Parallelism = n }
+}
+
+// WithFaults enables deterministic fault injection (and, when
+// f.Recover is set, checkpoint-based recovery) on a distributed execution.
+func WithFaults(f FaultOptions) Option {
+	return func(co *callOptions) { co.exec.Faults = &f }
+}
+
+// WithWorkers sets the worker-goroutine count of the exact strategy's
+// branch-and-bound search (0 selects GOMAXPROCS). The solution is
+// bit-identical for every worker count.
+func WithWorkers(n int) Option {
+	return func(co *callOptions) { co.balance.Workers = n }
+}

@@ -1,0 +1,75 @@
+package hetgrid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file gives the package's enums a parse side, so BroadcastKind,
+// Strategy and Kernel all round-trip through String()/Parse*: for every
+// valid value v, Parse*(v.String()) == v. The CLI tools build their flag
+// handling on these.
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyHeuristic:
+		return "heuristic"
+	case StrategyExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ParseBroadcast maps a broadcast-algorithm name to its constant.
+// Accepted: auto, flat (or star), ring, pipeline (or segring), tree.
+func ParseBroadcast(s string) (BroadcastKind, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return BroadcastAuto, nil
+	case "flat", "star":
+		return FlatBroadcast, nil
+	case "ring":
+		return RingBroadcast, nil
+	case "pipeline", "segring":
+		return PipelinedRingBroadcast, nil
+	case "tree":
+		return TreeBroadcast, nil
+	default:
+		return 0, fmt.Errorf("hetgrid: unknown broadcast %q (want auto, flat, ring, pipeline or tree)", s)
+	}
+}
+
+// ParseKernel maps a kernel name to its constant. Accepted: matmul (or
+// mm), lu, qr, cholesky (or chol).
+func ParseKernel(s string) (Kernel, error) {
+	switch strings.ToLower(s) {
+	case "matmul", "mm":
+		return MatMul, nil
+	case "lu":
+		return LU, nil
+	case "qr":
+		return QR, nil
+	case "cholesky", "chol":
+		return Cholesky, nil
+	default:
+		return 0, fmt.Errorf("hetgrid: unknown kernel %q (want matmul, lu, qr or cholesky)", s)
+	}
+}
+
+// ParseStrategy maps a strategy name to its constant. Accepted: auto,
+// heuristic, exact.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "auto":
+		return StrategyAuto, nil
+	case "heuristic":
+		return StrategyHeuristic, nil
+	case "exact":
+		return StrategyExact, nil
+	default:
+		return 0, fmt.Errorf("hetgrid: unknown strategy %q (want auto, heuristic or exact)", s)
+	}
+}
