@@ -25,25 +25,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gridsim: ")
 	var (
-		timesFlag  = flag.String("times", "1,2,3,5", "comma-separated processor cycle-times (p*q values)")
-		pFlag      = flag.Int("p", 2, "grid rows")
-		qFlag      = flag.Int("q", 2, "grid columns")
-		nbFlag     = flag.Int("nb", 24, "block matrix side (in blocks)")
-		kernelFlag = flag.String("kernel", "matmul", "kernel: matmul, lu, qr")
-		distFlag   = flag.String("dist", "panel", "distribution: uniform, kl, panel, all")
-		netFlag    = flag.String("net", "switched", "network: switched, bus")
-		latency    = flag.Float64("latency", 0.05, "per-message latency (block-update time units)")
-		byteTime   = flag.Float64("bytetime", 1e-5, "per-byte transfer time")
-		blockBytes = flag.Float64("blockbytes", 8*32*32, "bytes per block message")
-		syncSteps  = flag.Bool("sync", false, "barrier between outer-product steps")
-		pivoting   = flag.Bool("pivot", false, "charge LU/QR for partial pivoting (search + worst-case row swap)")
-		fullDuplex = flag.Bool("fullduplex", false, "independent send/receive channels per node")
-		gantt      = flag.Bool("gantt", false, "print a per-processor activity chart for each run")
-		traceFile  = flag.String("tracefile", "", "write a Chrome-tracing JSON of the last run to this file")
-		realFlag   = flag.Bool("real", false, "execute the kernel for real (goroutine ranks, measured traffic) instead of simulating")
-		rFlag      = flag.Int("r", 8, "element block size for -real runs (matrix side = nb*r)")
-		parallel   = flag.Int("parallel", 1, "goroutines per rank for -real block updates (bit-identical for any value)")
-		bcastFlag  = flag.String("bcast", "auto", "broadcast algorithm: auto, flat, ring, pipeline, tree")
+		timesFlag   = flag.String("times", "1,2,3,5", "comma-separated processor cycle-times (p*q values)")
+		pFlag       = flag.Int("p", 2, "grid rows")
+		qFlag       = flag.Int("q", 2, "grid columns")
+		nbFlag      = flag.Int("nb", 24, "block matrix side (in blocks)")
+		kernelFlag  = flag.String("kernel", "matmul", "kernel: matmul, lu, qr")
+		distFlag    = flag.String("dist", "panel", "distribution: uniform, kl, panel, all")
+		netFlag     = flag.String("net", "switched", "network: switched, bus")
+		latency     = flag.Float64("latency", 0.05, "per-message latency (block-update time units)")
+		byteTime    = flag.Float64("bytetime", 1e-5, "per-byte transfer time")
+		blockBytes  = flag.Float64("blockbytes", 8*32*32, "bytes per block message")
+		syncSteps   = flag.Bool("sync", false, "barrier between outer-product steps")
+		pivoting    = flag.Bool("pivot", false, "charge LU/QR for partial pivoting (search + worst-case row swap)")
+		fullDuplex  = flag.Bool("fullduplex", false, "independent send/receive channels per node")
+		gantt       = flag.Bool("gantt", false, "print a per-processor activity chart for each run")
+		traceFile   = flag.String("tracefile", "", "write a Chrome-tracing JSON of the last run to this file")
+		realFlag    = flag.Bool("real", false, "execute the kernel for real (goroutine ranks, measured traffic) instead of simulating")
+		rFlag       = flag.Int("r", 8, "element block size for -real runs (matrix side = nb*r)")
+		parallel    = flag.Int("parallel", 1, "goroutines per rank for -real block updates (bit-identical for any value)")
+		bcastFlag   = flag.String("bcast", "auto", "broadcast algorithm: auto, flat, ring, pipeline, tree")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text metrics at /metrics and profiling at /debug/pprof on this address (e.g. :9090); gridsim keeps serving after the run until interrupted")
 
 		faultFlag    = flag.Bool("fault", false, "inject deterministic faults into -real runs")
 		faultSeed    = flag.Int64("faultseed", 1, "seed for the drop/delay fault lottery")
@@ -68,7 +69,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := hetgrid.Balance(times, *pFlag, *qFlag, hetgrid.StrategyAuto)
+	var metrics *hetgrid.Metrics
+	var planOpts []hetgrid.Option
+	if *metricsAddr != "" {
+		metrics = hetgrid.NewMetrics()
+		addr, _, err := metrics.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("serving metrics at http://%s/metrics (profiling at /debug/pprof)\n", addr)
+		planOpts = append(planOpts, hetgrid.WithMetrics(metrics))
+	}
+
+	plan, err := hetgrid.Balance(times, *pFlag, *qFlag, hetgrid.StrategyAuto, planOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -110,9 +123,10 @@ func main() {
 	}
 
 	if *realFlag {
-		if err := runReal(kernel, dists, *nbFlag, *rFlag, *parallel, bcast, faults, *traceFile); err != nil {
+		if err := runReal(kernel, dists, *nbFlag, *rFlag, *parallel, bcast, faults, *traceFile, metrics); err != nil {
 			log.Fatal(err)
 		}
+		blockOnMetrics(metrics)
 		return
 	}
 	if faults != nil {
@@ -162,13 +176,25 @@ func main() {
 		}
 		fmt.Printf("wrote Chrome trace of the last run to %s\n", *traceFile)
 	}
+	blockOnMetrics(metrics)
+}
+
+// blockOnMetrics keeps the process alive once all runs finish so the final
+// counter values stay scrapeable; a scraper polling /metrics would otherwise
+// race the exit. No-op without -metrics-addr.
+func blockOnMetrics(m *hetgrid.Metrics) {
+	if m == nil {
+		return
+	}
+	fmt.Println("runs complete; metrics server still serving, interrupt (Ctrl-C) to exit")
+	select {}
 }
 
 // runReal executes the kernel with one goroutine per grid processor and
 // reports the measured traffic: world totals plus the per-rank breakdown
 // the engine's instrumented transport collects. With a trace file the last
 // run's timestamped events are written in Chrome-tracing format.
-func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast hetgrid.BroadcastKind, faults *hetgrid.FaultOptions, traceFile string) error {
+func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast hetgrid.BroadcastKind, faults *hetgrid.FaultOptions, traceFile string, metrics *hetgrid.Metrics) error {
 	if r <= 0 {
 		return fmt.Errorf("block size -r must be positive, got %d", r)
 	}
@@ -184,6 +210,9 @@ func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast
 		}
 		if faults != nil {
 			opts = append(opts, hetgrid.WithFaults(*faults))
+		}
+		if metrics != nil {
+			opts = append(opts, hetgrid.WithMetrics(metrics))
 		}
 		var stats *hetgrid.ExecStats
 		var err error

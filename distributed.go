@@ -7,6 +7,7 @@ import (
 	"hetgrid/internal/engine"
 	"hetgrid/internal/kernels"
 	"hetgrid/internal/matrix"
+	"hetgrid/internal/obs"
 	"hetgrid/internal/sim"
 )
 
@@ -93,7 +94,30 @@ type ExecOptions struct {
 	// Faults enables deterministic fault injection and (optionally)
 	// checkpoint-based recovery; see FaultOptions.
 	Faults *FaultOptions
+	// Spans records the hierarchical span timeline (rank → kernel step →
+	// compute/phase spans, plus per-message send spans); ExecStats.Spans,
+	// BusyTime and Imbalance are derived from it. WithTrace implies the
+	// same recording — Trace is the flat chrome-trace view of the spans.
+	Spans bool
+	// Metrics mirrors engine counters (transport traffic, timeouts,
+	// retries, kernel steps, fault activity) and the run's load-imbalance
+	// gauge into the registry as Prometheus series, live while the run
+	// executes. Implies span recording (the imbalance gauge needs busy
+	// times). nil disables all registry mirroring.
+	Metrics *Metrics
 }
+
+// Metrics is a Prometheus-text-format metrics registry (see internal/obs):
+// counters, gauges and histograms with atomic hot paths, rendered by
+// WriteTo/Handler/ServeMux and served by gridsim -metrics-addr.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry to pass via WithMetrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Span is one timed, rank-attributed interval of a distributed execution;
+// see ExecStats.Spans.
+type Span = obs.Span
 
 // RankStats is one rank's message/byte traffic (engine counters).
 type RankStats = engine.RankStats
@@ -118,8 +142,19 @@ type ExecStats struct {
 	// Pairs[src][dst] counts the messages and bytes src sent to dst.
 	Pairs [][]PairStats
 	// Trace is the recorded event log (nil unless tracing was requested);
-	// write it with Trace.WriteChromeTrace for chrome://tracing.
+	// write it with Trace.WriteChromeTrace for chrome://tracing. It is a
+	// flat view over Spans (compute and send spans sorted by start time).
 	Trace *Trace
+	// Spans is the hierarchical span timeline (nil unless spans, tracing
+	// or metrics were requested): per-rank kernel-step spans with their
+	// compute and phase children, plus per-message send spans.
+	Spans []Span
+	// BusyTime is each rank's accumulated compute seconds, summed from its
+	// compute spans (nil without span recording).
+	BusyTime []float64
+	// Imbalance is max/mean of BusyTime — the measured form of the paper's
+	// Obj1 load balance (1 = perfect; 0 without span recording).
+	Imbalance float64
 	// Faults reports fault injection and recovery activity (nil when no
 	// faults were configured).
 	Faults *FaultStats
@@ -164,7 +199,8 @@ func runAttempt(dist Distribution, kern Kernel, blockSize int, inputs []*Matrix,
 	opts ExecOptions, bk sim.BroadcastKind, crashes []CrashPoint, startK int, resume *checkpoint) attemptResult {
 
 	fo := opts.Faults
-	eopts := engine.Options{Broadcast: bk, Record: opts.Trace, Parallelism: opts.Parallelism}
+	record := opts.Trace || opts.Spans || opts.Metrics != nil
+	eopts := engine.Options{Broadcast: bk, Record: record, Parallelism: opts.Parallelism, Metrics: opts.Metrics}
 	if fo != nil {
 		eopts.RecvTimeout = fo.recvTimeout()
 		eopts.MaxRetries = fo.MaxRetries
@@ -334,7 +370,7 @@ func runDistributed(d Distribution, kern Kernel, blockSize int, inputs []*Matrix
 			}
 		}
 		if res.err == nil {
-			stats := execStats(res.world)
+			stats := execStats(res.world, opts)
 			stats.Faults = fstats
 			return res.out, res.taus, stats, nil
 		}
@@ -380,15 +416,33 @@ func runDistributed(d Distribution, kern Kernel, blockSize int, inputs []*Matrix
 	}
 }
 
-// execStats snapshots a finished world's counters.
-func execStats(w *engine.World) *ExecStats {
-	return &ExecStats{
+// execStats snapshots a finished world's counters and derives the
+// span-based load-balance measurements: per-rank busy time and the
+// max/mean imbalance — the paper's Obj1 as achieved, not predicted. With a
+// metrics registry attached, the imbalance and per-rank busy gauges are
+// published for scraping.
+func execStats(w *engine.World, opts ExecOptions) *ExecStats {
+	stats := &ExecStats{
 		Messages: w.Messages(),
 		Bytes:    w.Bytes(),
 		Ranks:    w.RankStats(),
 		Pairs:    w.PairStats(),
-		Trace:    w.Trace(),
+		Spans:    w.Spans(),
 	}
+	if opts.Trace {
+		stats.Trace = w.Trace()
+	}
+	if busy := w.BusyTimes(); busy != nil {
+		stats.BusyTime = busy
+		stats.Imbalance = obs.Imbalance(busy)
+		if reg := opts.Metrics; reg != nil {
+			reg.Gauge("hetgrid_load_imbalance_ratio", "", "measured max/mean per-rank busy time of the last run (paper Obj1; 1 = perfect balance)").Set(stats.Imbalance)
+			for i, b := range busy {
+				reg.Gauge("hetgrid_rank_busy_seconds", obs.Labels("rank", fmt.Sprint(i)), "accumulated compute seconds per rank in the last run").Set(b)
+			}
+		}
+	}
+	return stats
 }
 
 // DistributedMultiply executes C = A·B on the distribution for real: one

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"hetgrid"
 	"hetgrid/internal/matrix"
@@ -97,7 +98,7 @@ func main() {
 		fmt.Printf("  %4d %10d / %9d %10d / %9d\n", i, rs.MsgsSent, rs.BytesSent, rs.MsgsRecv, rs.BytesRecv)
 	}
 
-	const traceFile = "distributed-mm-trace.json"
+	traceFile := filepath.Join(os.TempDir(), "distributed-mm-trace.json")
 	f, err := os.Create(traceFile)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,52 @@
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCrashSchedule checks the crash-schedule grammar on arbitrary
+// input: the parser must never panic, every accepted entry must carry
+// non-negative coordinates, and rendering the parsed schedule back to its
+// canonical "rank@step[s]" form must reparse to the identical schedule.
+func FuzzParseCrashSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"", "2@1", "0@3s", "2@1,0@3s", " 1@2 , 3@4s ", "1@", "@2", "1@2x",
+		"-1@2", "1@-2", "s", "1@2,", "+1@2", "9999999999999999999@1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		crashes, err := ParseCrashSchedule(s)
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(s) == "" && crashes != nil {
+			t.Fatalf("blank schedule %q produced entries %v", s, crashes)
+		}
+		parts := make([]string, len(crashes))
+		for i, c := range crashes {
+			if c.Rank < 0 || c.Step < 0 {
+				t.Fatalf("accepted negative coordinates in %q: %+v", s, c)
+			}
+			parts[i] = fmt.Sprintf("%d@%d", c.Rank, c.Step)
+			if c.Silent {
+				parts[i] += "s"
+			}
+		}
+		canonical := strings.Join(parts, ",")
+		back, err := ParseCrashSchedule(canonical)
+		if err != nil {
+			t.Fatalf("%q parsed to %v but its canonical form %q does not parse: %v", s, crashes, canonical, err)
+		}
+		if len(back) != len(crashes) {
+			t.Fatalf("%q: canonical reparse has %d entries, want %d", s, len(back), len(crashes))
+		}
+		for i := range back {
+			if back[i] != crashes[i] {
+				t.Fatalf("%q: entry %d round-trips %+v → %+v", s, i, crashes[i], back[i])
+			}
+		}
+	})
+}

@@ -246,6 +246,8 @@ func stackRows(parts []*matrix.Dense) *matrix.Dense {
 func (co *Collectives) PanelBcast(tag string, indices []int, src func(int) int, recv func(int) []int,
 	get func(int) *matrix.Dense, r int) map[int]*matrix.Dense {
 
+	sp := co.c.Phase("panel " + tag)
+	defer co.c.EndPhase(sp)
 	me := co.c.Rank()
 	type groupKey struct {
 		src  int
@@ -343,6 +345,8 @@ func (co *Collectives) ColBcast(tag string, row, clo, chi, imin int, get func(bj
 // deterministic function of the participant list — identical on every run
 // and for every broadcast kind.
 func (co *Collectives) ReduceSum(tag string, root int, participants []int, mine *matrix.Dense) *matrix.Dense {
+	sp := co.c.Phase("reduce " + tag)
+	defer co.c.EndPhase(sp)
 	me := co.c.Rank()
 	idx := -1
 	for i, n := range participants {

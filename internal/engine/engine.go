@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"hetgrid/internal/matrix"
+	"hetgrid/internal/obs"
 	"hetgrid/internal/sim"
 )
 
@@ -70,6 +71,12 @@ type Options struct {
 	// lottery and scheduled rank crashes. Message drops are only survivable
 	// with RecvTimeout set.
 	Faults *FaultConfig
+	// Metrics mirrors the engine's counters (transport traffic, timeouts,
+	// retries, kernel steps, fault activity) into the registry as
+	// scrapeable Prometheus series. nil disables the mirroring; the
+	// disabled path is a pointer test and adds no allocations to the
+	// transport hot loop.
+	Metrics *obs.Registry
 }
 
 // defaultMaxRetries bounds the failure detector's retransmission attempts
@@ -82,8 +89,13 @@ type World struct {
 	opts  Options
 	meter *Meter
 	fault *FaultTransport // nil unless Options.Faults
+	spans *obs.SpanStore  // nil unless Options.Record
 
 	timeouts, retries atomic.Int64
+
+	// Registry mirrors of the detector counters; nil without a registry.
+	mTimeouts, mRetries *obs.Counter
+	mSteps              *obs.Counter
 }
 
 // Comm is one rank's endpoint.
@@ -91,6 +103,10 @@ type Comm struct {
 	world    *World
 	rank     int
 	stepHook func(k int) error
+	// stepSpan is the rank's currently open kernel-step span (0 when spans
+	// are off or no step has been entered); compute and phase spans link to
+	// it as their parent. Only this rank's goroutine touches it.
+	stepSpan obs.SpanID
 }
 
 // Run spawns n ranks with default options; see RunOpts.
@@ -115,9 +131,19 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 	var fault *FaultTransport
 	if opts.Faults != nil {
 		fault = NewFaultTransport(inner, *opts.Faults)
+		fault.attachMetrics(opts.Metrics)
 		inner = fault
 	}
-	w := &World{n: n, opts: opts, meter: NewMeter(inner, n, opts.Record), fault: fault}
+	var spans *obs.SpanStore
+	if opts.Record {
+		spans = obs.NewSpanStore()
+	}
+	w := &World{n: n, opts: opts, meter: NewMeter(inner, n, spans, opts.Metrics), fault: fault, spans: spans}
+	if reg := opts.Metrics; reg != nil {
+		w.mTimeouts = reg.Counter("hetgrid_transport_timeouts_total", "", "Recv deadlines that expired")
+		w.mRetries = reg.Counter("hetgrid_transport_retries_total", "", "timeout-triggered retransmission requests")
+		w.mSteps = reg.Counter("hetgrid_kernel_steps_total", "", "kernel panel steps entered across all ranks")
+	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for r := 0; r < n; r++ {
@@ -159,6 +185,11 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 	wg.Wait()
 	if fault != nil {
 		fault.quiesce()
+	}
+	if spans != nil {
+		// Close dangling step spans (aborted ranks never reach the next
+		// Step) so every recorded interval is well-formed.
+		spans.CloseAll()
 	}
 	// A crashed rank's own report names the definitive victim; detector
 	// reports are secondary (several peers may all point at the same dead
@@ -278,10 +309,16 @@ func (c *Comm) Recv(src int, tag string) *matrix.Dense {
 			return data
 		}
 		w.timeouts.Add(1)
+		if w.mTimeouts != nil {
+			w.mTimeouts.Inc()
+		}
 		if attempt >= maxRetries {
 			panic(&peerDead{rank: src})
 		}
 		w.retries.Add(1)
+		if w.mRetries != nil {
+			w.mRetries.Inc()
+		}
 		w.meter.Retransmit(src, c.rank, tag)
 		// Bounded exponential backoff: a slow-but-alive peer gets
 		// progressively longer grace periods before being declared dead.
@@ -298,11 +335,20 @@ func (c *Comm) Recv(src int, tag string) *matrix.Dense {
 func (c *Comm) SetStepHook(fn func(k int) error) { c.stepHook = fn }
 
 // Step marks this rank's entry into kernel step k: scheduled crash faults
-// fire here, then the rank's step hook (if any) runs. The kernels call it
-// at the top of every panel iteration.
+// fire here, then — when spans are recorded — the rank's previous step
+// span closes and a new one opens (the parent of the step's compute and
+// phase spans), and finally the rank's step hook (if any) runs. The
+// kernels call it at the top of every panel iteration.
 func (c *Comm) Step(k int) error {
 	if ft := c.world.fault; ft != nil {
 		ft.StepEntered(c.rank, k)
+	}
+	if ctr := c.world.mSteps; ctr != nil {
+		ctr.Inc()
+	}
+	if s := c.world.spans; s != nil {
+		s.End(c.stepSpan)
+		c.stepSpan = s.Begin(c.rank, obs.SpanStep, fmt.Sprintf("step %d", k), 0)
 	}
 	if c.stepHook != nil {
 		return c.stepHook(k)
@@ -310,17 +356,36 @@ func (c *Comm) Step(k int) error {
 	return nil
 }
 
-// Compute runs f as a labeled compute span attributed to this rank in the
-// event trace (free when recording is off).
+// Compute runs f as a labeled compute span attributed to this rank,
+// parented to the rank's current kernel step (free when recording is off).
 func (c *Comm) Compute(label string, f func() error) error {
-	m := c.world.meter
-	if !m.record {
+	s := c.world.spans
+	if s == nil {
 		return f()
 	}
-	start := m.now()
+	id := s.Begin(c.rank, obs.SpanCompute, label, c.stepSpan)
 	err := f()
-	m.compute(c.rank, label, start, m.now())
+	s.End(id)
 	return err
+}
+
+// Phase opens a labeled phase span (a collective, a solve section) on this
+// rank, parented to the current kernel step; close it with EndPhase.
+// Phases may include blocking waits, so they carry timeline structure but
+// never count toward busy time. Both are no-ops when spans are off.
+func (c *Comm) Phase(label string) obs.SpanID {
+	s := c.world.spans
+	if s == nil {
+		return 0
+	}
+	return s.Begin(c.rank, obs.SpanPhase, label, c.stepSpan)
+}
+
+// EndPhase closes a span returned by Phase (0 is ignored).
+func (c *Comm) EndPhase(id obs.SpanID) {
+	if s := c.world.spans; s != nil {
+		s.End(id)
+	}
 }
 
 // Messages returns the total cross-rank messages sent so far.
@@ -336,10 +401,31 @@ func (w *World) RankStats() []RankStats { return w.meter.RankStats() }
 // PairStats returns per-(src,dst) traffic counters.
 func (w *World) PairStats() [][]PairStats { return w.meter.PairStats() }
 
-// Trace returns the recorded event trace (nil unless Options.Record). It
-// uses the simulator's trace format, so Gantt rendering and chrome-trace
-// export work unchanged on real executions.
+// Trace returns the recorded event trace (nil unless Options.Record) as a
+// view over the span store: compute and send spans in the simulator's
+// trace format, so Gantt rendering and chrome-trace export work unchanged
+// on real executions.
 func (w *World) Trace() *sim.Trace { return w.meter.Trace() }
+
+// Spans returns the completed spans of the run (nil unless
+// Options.Record): the hierarchical form of the trace, with step spans
+// linking each rank's compute and phase spans to their kernel step.
+func (w *World) Spans() []obs.Span {
+	if w.spans == nil {
+		return nil
+	}
+	return w.spans.Snapshot()
+}
+
+// BusyTimes returns each rank's accumulated compute-span seconds (nil
+// unless Options.Record) — the measured per-rank workload whose max/mean
+// is the paper's achieved load imbalance.
+func (w *World) BusyTimes() []float64 {
+	if w.spans == nil {
+		return nil
+	}
+	return w.spans.BusyTimes(w.n)
+}
 
 // Timeouts returns how many Recv deadlines expired across all ranks.
 func (w *World) Timeouts() int { return int(w.timeouts.Load()) }

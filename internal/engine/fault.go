@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hetgrid/internal/matrix"
+	"hetgrid/internal/obs"
 )
 
 // This file is the engine's fault layer: a deterministic, seed-driven
@@ -131,6 +132,21 @@ type FaultTransport struct {
 	aborted bool
 
 	dropped, delayed, retransmitted int
+
+	// Registry mirrors of the fault counters; nil without a registry.
+	mDropped, mDelayed, mRetransmitted, mCrashes *obs.Counter
+}
+
+// attachMetrics mirrors the transport's fault counters into the registry
+// (no-op on nil) so scrapers see drop/delay/retransmission activity live.
+func (t *FaultTransport) attachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	t.mDropped = reg.Counter("hetgrid_fault_dropped_total", "", "messages whose first delivery the fault lottery swallowed")
+	t.mDelayed = reg.Counter("hetgrid_fault_delayed_total", "", "messages the fault lottery deferred")
+	t.mRetransmitted = reg.Counter("hetgrid_fault_retransmitted_total", "", "dropped messages redelivered on retransmission requests")
+	t.mCrashes = reg.Counter("hetgrid_fault_crashes_total", "", "scheduled rank crash points that fired")
 }
 
 // NewFaultTransport wraps inner with the configured faults.
@@ -177,8 +193,14 @@ func (t *FaultTransport) Send(src, dst int, tag string, data *matrix.Dense) {
 	case t.cfg.DropProb > 0 && faultRoll(t.cfg.Seed, src, dst, tag, n, 1) < t.cfg.DropProb:
 		msg.state = outDropped
 		t.dropped++
+		if t.mDropped != nil {
+			t.mDropped.Inc()
+		}
 	case t.cfg.DelayProb > 0 && t.cfg.Delay > 0 && faultRoll(t.cfg.Seed, src, dst, tag, n, 2) < t.cfg.DelayProb:
 		t.delayed++
+		if t.mDelayed != nil {
+			t.mDelayed.Inc()
+		}
 		if !t.aborted {
 			msg.state = outDelayed
 			timer := time.AfterFunc(t.cfg.Delay, func() {
@@ -253,6 +275,9 @@ func (t *FaultTransport) Retransmit(src, dst int, tag string) bool {
 		}
 	}
 	t.retransmitted += n
+	if t.mRetransmitted != nil {
+		t.mRetransmitted.Add(int64(n))
+	}
 	t.flushLocked(key)
 	return n > 0
 }
@@ -285,6 +310,9 @@ func (t *FaultTransport) StepEntered(rank, step int) {
 		if cp.Rank == rank && cp.Step == step && !t.fired[i] {
 			t.fired[i] = true
 			t.crashed = append(t.crashed, cp)
+			if t.mCrashes != nil {
+				t.mCrashes.Inc()
+			}
 			t.mu.Unlock()
 			panic(&rankCrash{point: cp})
 		}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/obs"
+	"hetgrid/internal/sim"
+)
+
+// TestChromeTraceByteIdenticalToPreSpanExporter pins the chrome-trace view
+// over the span store to the pre-refactor exporter: the old Meter appended
+// one sim.Op per event at completion time and sorted the list by start with
+// a stable insertion sort before serializing. The reference below rebuilds
+// exactly that pipeline from the raw spans of a fixed 2×3 LU run; the output
+// of w.Trace().WriteChromeTrace must match it byte for byte.
+func TestChromeTraceByteIdenticalToPreSpanExporter(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	const nb, r = 6, 2
+	d, err := distribution.UniformBlockCyclic(2, 3, nb, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	w, err := RunOpts(6, Options{Record: true}, func(c *Comm) error {
+		store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+		if err != nil {
+			return err
+		}
+		return LU(c, d, store)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	if err := w.Trace().WriteChromeTrace(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-refactor exporter: events in recorded (completion) order — which
+	// is the span store's append order — filtered to computes and sends,
+	// then insertion-sorted by start time.
+	ops := make([]sim.Op, 0)
+	for _, sp := range w.Spans() {
+		switch sp.Kind {
+		case obs.SpanCompute:
+			ops = append(ops, sim.Op{Kind: sim.OpCompute, Node: sp.Rank, Peer: -1, Start: sp.Start, End: sp.End, Label: sp.Name})
+		case obs.SpanSend:
+			ops = append(ops, sim.Op{Kind: sim.OpSend, Node: sp.Rank, Peer: sp.Peer, Start: sp.Start, End: sp.End, Bytes: sp.Bytes, Label: sp.Name})
+		}
+	}
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].Start < ops[j-1].Start; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
+	if len(ops) == 0 {
+		t.Fatal("run recorded no compute or send spans")
+	}
+	var want bytes.Buffer
+	if err := (&sim.Trace{Ops: ops}).WriteChromeTrace(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("chrome trace diverged from pre-refactor exporter\ngot  %d bytes\nwant %d bytes", got.Len(), want.Len())
+	}
+}
+
+// TestSpanHierarchy checks the structural half of the span store that the
+// chrome-trace view deliberately hides: every compute span hangs off the
+// step span of its rank, phases nest under steps, and busy time is the sum
+// of compute spans per rank.
+func TestSpanHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(412))
+	const nb, r = 4, 2
+	d := engineDistributions(t, nb)[0]
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	w, err := RunOpts(4, Options{Record: true}, func(c *Comm) error {
+		store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+		if err != nil {
+			return err
+		}
+		return LU(c, d, store)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := w.Spans()
+	byID := make(map[obs.SpanID]obs.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	steps, computes, sends := 0, 0, 0
+	busy := make([]float64, 4)
+	for _, sp := range spans {
+		if sp.End < sp.Start {
+			t.Fatalf("span %d ends before it starts", sp.ID)
+		}
+		switch sp.Kind {
+		case obs.SpanStep:
+			steps++
+			if sp.Parent != 0 {
+				t.Fatalf("step span %d has a parent", sp.ID)
+			}
+		case obs.SpanCompute:
+			computes++
+			parent, ok := byID[sp.Parent]
+			if !ok {
+				t.Fatalf("compute span %d has dangling parent %d", sp.ID, sp.Parent)
+			}
+			if parent.Kind != obs.SpanStep {
+				t.Fatalf("compute span %d parented to %v, want step", sp.ID, parent.Kind)
+			}
+			if parent.Rank != sp.Rank {
+				t.Fatalf("compute span %d on rank %d has parent on rank %d", sp.ID, sp.Rank, parent.Rank)
+			}
+			busy[sp.Rank] += sp.End - sp.Start
+		case obs.SpanSend:
+			sends++
+		}
+	}
+	if steps == 0 || computes == 0 {
+		t.Fatalf("run recorded %d step and %d compute spans", steps, computes)
+	}
+	if sends != w.Messages() {
+		t.Fatalf("%d send spans for %d messages", sends, w.Messages())
+	}
+	got := w.BusyTimes()
+	for i := range busy {
+		if diff := got[i] - busy[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("rank %d BusyTimes %g, recomputed %g", i, got[i], busy[i])
+		}
+	}
+}
+
+// TestMeterDisabledPathDoesNotAllocate is the overhead budget of the
+// refactor: with no span store and no registry attached, a Send/Recv round
+// trip through the Meter must not allocate — the observability hooks reduce
+// to nil pointer tests around the pre-existing atomic counters.
+func TestMeterDisabledPathDoesNotAllocate(t *testing.T) {
+	m := NewMeter(NewMemTransport(2), 2, nil, nil)
+	data := matrix.New(4, 4)
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Send(0, 1, "hot", data)
+		if m.Recv(0, 1, "hot") == nil {
+			t.Fatal("lost message")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-observability Send/Recv allocates %.1f times per op, want 0", allocs)
+	}
+}

@@ -3,9 +3,11 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetgrid/internal/matrix"
+	"hetgrid/internal/obs"
 	"hetgrid/internal/sim"
 )
 
@@ -192,18 +194,40 @@ type PairStats struct {
 	Messages, Bytes int
 }
 
-// rankCounters is the mutable per-rank tally behind RankStats.
+// rankCounters is the mutable per-rank tally behind RankStats — plain
+// atomics so the transport hot loop takes no locks and allocates nothing.
 type rankCounters struct {
-	mu                   sync.Mutex
-	msgsSent, msgsRecv   int
-	bytesSent, bytesRecv int
+	msgsSent, msgsRecv   atomic.Int64
+	bytesSent, bytesRecv atomic.Int64
+}
+
+// transportMetrics is the transport layer's registry view: aggregate
+// send/recv counters every Meter increment mirrors into. nil when no
+// registry is attached — the disabled path is a single pointer test.
+type transportMetrics struct {
+	sentMsgs, recvMsgs   *obs.Counter
+	sentBytes, recvBytes *obs.Counter
+}
+
+func newTransportMetrics(reg *obs.Registry) *transportMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &transportMetrics{
+		sentMsgs:  reg.Counter("hetgrid_transport_messages_total", obs.Labels("dir", "send"), "cross-rank messages through the transport"),
+		recvMsgs:  reg.Counter("hetgrid_transport_messages_total", obs.Labels("dir", "recv"), "cross-rank messages through the transport"),
+		sentBytes: reg.Counter("hetgrid_transport_bytes_total", obs.Labels("dir", "send"), "cross-rank bytes through the transport"),
+		recvBytes: reg.Counter("hetgrid_transport_bytes_total", obs.Labels("dir", "recv"), "cross-rank bytes through the transport"),
+	}
 }
 
 // Meter wraps any Transport with per-rank and per-pair message/byte
-// counters and, when recording is enabled, timestamped send events in the
-// simulator's trace format — the observability layer that lets real
-// executions be cross-checked against the analytic communication volumes
-// and inspected in chrome://tracing exactly like simulated ones.
+// counters, mirrors them into an optional obs.Registry, and — when a span
+// store is attached — records every cross-rank message as a send span
+// (enqueue → delivery) in the store. The span store is the observability
+// layer that lets real executions be cross-checked against the analytic
+// communication volumes and inspected in chrome://tracing exactly like
+// simulated ones.
 //
 // Self-sends (src == dst) pass through uncounted: they are local data, not
 // network traffic, matching both the simulator and the analytic model.
@@ -211,14 +235,13 @@ type Meter struct {
 	inner Transport
 	n     int
 
-	ranks []rankCounters
+	ranks   []rankCounters
+	metrics *transportMetrics // nil unless a registry is attached
+	spans   *obs.SpanStore    // nil unless recording
 
 	mu      sync.Mutex
 	pairs   [][]PairStats
-	events  []sim.Op
 	inQueue map[pairTag][]float64 // enqueue times of in-flight messages
-	record  bool
-	start   time.Time
 }
 
 // pairTag keys in-flight messages by their (src,dst,tag) delivery channel,
@@ -228,24 +251,25 @@ type pairTag struct {
 	tag      string
 }
 
-// NewMeter instruments inner for n ranks. When record is true every
-// cross-rank message becomes a timestamped sim.Op (enqueue → delivery) in
-// the trace returned by Trace.
-func NewMeter(inner Transport, n int, record bool) *Meter {
-	m := &Meter{inner: inner, n: n, ranks: make([]rankCounters, n), record: record, start: time.Now()}
+// NewMeter instruments inner for n ranks. A non-nil span store makes every
+// cross-rank message a timestamped send span (enqueue → delivery); a
+// non-nil registry mirrors the traffic counters into scrapeable metrics.
+func NewMeter(inner Transport, n int, spans *obs.SpanStore, reg *obs.Registry) *Meter {
+	m := &Meter{inner: inner, n: n, ranks: make([]rankCounters, n), spans: spans, metrics: newTransportMetrics(reg)}
 	m.pairs = make([][]PairStats, n)
 	for i := range m.pairs {
 		m.pairs[i] = make([]PairStats, n)
 	}
-	if record {
+	if spans != nil {
 		m.inQueue = make(map[pairTag][]float64)
 	}
 	return m
 }
 
-// now returns seconds since the meter was created; WriteChromeTrace maps
-// trace time units to microseconds, so real traces keep wall-clock scale.
-func (m *Meter) now() float64 { return time.Since(m.start).Seconds() }
+// now returns seconds since the span store was created; WriteChromeTrace
+// maps trace time units to microseconds, so real traces keep wall-clock
+// scale.
+func (m *Meter) now() float64 { return m.spans.Now() }
 
 // Send counts the message at the sender and forwards it to the fabric.
 func (m *Meter) Send(src, dst int, tag string, data *matrix.Dense) {
@@ -253,14 +277,16 @@ func (m *Meter) Send(src, dst int, tag string, data *matrix.Dense) {
 		r, c := data.Dims()
 		bytes := 8 * r * c
 		rc := &m.ranks[src]
-		rc.mu.Lock()
-		rc.msgsSent++
-		rc.bytesSent += bytes
-		rc.mu.Unlock()
+		rc.msgsSent.Add(1)
+		rc.bytesSent.Add(int64(bytes))
+		if tm := m.metrics; tm != nil {
+			tm.sentMsgs.Inc()
+			tm.sentBytes.Add(int64(bytes))
+		}
 		m.mu.Lock()
 		m.pairs[src][dst].Messages++
 		m.pairs[src][dst].Bytes += bytes
-		if m.record {
+		if m.spans != nil {
 			key := pairTag{src, dst, tag}
 			m.inQueue[key] = append(m.inQueue[key], m.now())
 		}
@@ -299,7 +325,8 @@ func (m *Meter) Retransmit(src, dst int, tag string) bool {
 	return false
 }
 
-// countRecv tallies one delivered cross-rank message at the receiver.
+// countRecv tallies one delivered cross-rank message at the receiver and,
+// when recording, closes the message's send span (enqueue → delivery).
 func (m *Meter) countRecv(src, dst int, tag string, data *matrix.Dense) {
 	if src == dst {
 		return
@@ -307,47 +334,45 @@ func (m *Meter) countRecv(src, dst int, tag string, data *matrix.Dense) {
 	r, c := data.Dims()
 	bytes := 8 * r * c
 	rc := &m.ranks[dst]
-	rc.mu.Lock()
-	rc.msgsRecv++
-	rc.bytesRecv += bytes
-	rc.mu.Unlock()
-	if m.record {
+	rc.msgsRecv.Add(1)
+	rc.bytesRecv.Add(int64(bytes))
+	if tm := m.metrics; tm != nil {
+		tm.recvMsgs.Inc()
+		tm.recvBytes.Add(int64(bytes))
+	}
+	if m.spans != nil {
 		end := m.now()
 		key := pairTag{src, dst, tag}
 		m.mu.Lock()
-		if ts := m.inQueue[key]; len(ts) > 0 {
-			m.events = append(m.events, sim.Op{
-				Kind: sim.OpSend, Node: src, Peer: dst,
-				Start: ts[0], End: end, Bytes: float64(bytes), Label: tag,
-			})
+		ts := m.inQueue[key]
+		var start float64
+		ok := len(ts) > 0
+		if ok {
+			start = ts[0]
 			m.inQueue[key] = ts[1:]
 		}
 		m.mu.Unlock()
+		if ok {
+			m.spans.Record(obs.Span{
+				Rank: src, Kind: obs.SpanSend, Name: tag, Peer: dst,
+				Bytes: float64(bytes), Start: start, End: end,
+			})
+		}
 	}
 }
 
 // Abort forwards to the fabric.
 func (m *Meter) Abort() { m.inner.Abort() }
 
-// compute records a labeled compute span on a rank (no-op unless
-// recording).
-func (m *Meter) compute(rank int, label string, start, end float64) {
-	if !m.record {
-		return
-	}
-	m.mu.Lock()
-	m.events = append(m.events, sim.Op{Kind: sim.OpCompute, Node: rank, Peer: -1, Start: start, End: end, Label: label})
-	m.mu.Unlock()
-}
-
 // RankStats returns a snapshot of the per-rank counters.
 func (m *Meter) RankStats() []RankStats {
 	out := make([]RankStats, m.n)
 	for i := range m.ranks {
 		rc := &m.ranks[i]
-		rc.mu.Lock()
-		out[i] = RankStats{MsgsSent: rc.msgsSent, MsgsRecv: rc.msgsRecv, BytesSent: rc.bytesSent, BytesRecv: rc.bytesRecv}
-		rc.mu.Unlock()
+		out[i] = RankStats{
+			MsgsSent: int(rc.msgsSent.Load()), MsgsRecv: int(rc.msgsRecv.Load()),
+			BytesSent: int(rc.bytesSent.Load()), BytesRecv: int(rc.bytesRecv.Load()),
+		}
 	}
 	return out
 }
@@ -366,38 +391,43 @@ func (m *Meter) PairStats() [][]PairStats {
 
 // Messages returns the total cross-rank message count.
 func (m *Meter) Messages() int {
-	total := 0
+	total := int64(0)
 	for i := range m.ranks {
-		rc := &m.ranks[i]
-		rc.mu.Lock()
-		total += rc.msgsSent
-		rc.mu.Unlock()
+		total += m.ranks[i].msgsSent.Load()
 	}
-	return total
+	return int(total)
 }
 
 // Bytes returns the total cross-rank bytes sent.
 func (m *Meter) Bytes() int {
-	total := 0
+	total := int64(0)
 	for i := range m.ranks {
-		rc := &m.ranks[i]
-		rc.mu.Lock()
-		total += rc.bytesSent
-		rc.mu.Unlock()
+		total += m.ranks[i].bytesSent.Load()
 	}
-	return total
+	return int(total)
 }
 
-// Trace returns the recorded events as a sim.Trace (events sorted by start
-// time), or nil when recording was off. The trace serializes through the
-// same Gantt / chrome-trace writers as simulated runs.
+// Trace renders the span store's compute and send spans as a sim.Trace
+// (events sorted by start time), or nil when recording was off — the
+// chrome-trace exporter is a view over the span store, so Gantt rendering
+// and WriteChromeTrace work on real executions unchanged. Step and phase
+// spans are structural (parent links, busy-time attribution) and do not
+// appear in the view, which keeps its output identical to the pre-span
+// exporter's.
 func (m *Meter) Trace() *sim.Trace {
-	if !m.record {
+	if m.spans == nil {
 		return nil
 	}
-	m.mu.Lock()
-	ops := append([]sim.Op(nil), m.events...)
-	m.mu.Unlock()
+	spans := m.spans.Snapshot()
+	ops := make([]sim.Op, 0, len(spans))
+	for _, sp := range spans {
+		switch sp.Kind {
+		case obs.SpanCompute:
+			ops = append(ops, sim.Op{Kind: sim.OpCompute, Node: sp.Rank, Peer: -1, Start: sp.Start, End: sp.End, Label: sp.Name})
+		case obs.SpanSend:
+			ops = append(ops, sim.Op{Kind: sim.OpSend, Node: sp.Rank, Peer: sp.Peer, Start: sp.Start, End: sp.End, Bytes: sp.Bytes, Label: sp.Name})
+		}
+	}
 	sortOpsByStart(ops)
 	return &sim.Trace{Ops: ops}
 }

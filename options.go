@@ -48,6 +48,28 @@ func WithFaults(f FaultOptions) Option {
 	return func(co *callOptions) { co.exec.Faults = &f }
 }
 
+// WithSpans records the hierarchical span timeline of a distributed
+// execution: per-rank kernel-step spans with their compute and phase
+// children, plus per-message send spans. ExecStats.Spans, BusyTime and
+// Imbalance are derived from it.
+func WithSpans() Option {
+	return func(co *callOptions) { co.exec.Spans = true }
+}
+
+// WithMetrics mirrors the execution's counters and gauges into m as
+// Prometheus series, live while it runs: transport traffic, receive
+// timeouts and retries, kernel steps, fault activity, and the measured
+// load-imbalance gauge (max/mean per-rank busy time). On planning calls
+// (Balance, BalanceArrangement) with the exact strategy, the solver's
+// arrangement and spanning-tree pruning counters are published instead.
+// Serve m with (*Metrics).ServeMux or gridsim -metrics-addr.
+func WithMetrics(m *Metrics) Option {
+	return func(co *callOptions) {
+		co.exec.Metrics = m
+		co.balance.Metrics = m
+	}
+}
+
 // WithWorkers sets the worker-goroutine count of the exact strategy's
 // branch-and-bound search (0 selects GOMAXPROCS). The solution is
 // bit-identical for every worker count.

@@ -1,0 +1,81 @@
+package hetgrid
+
+import (
+	"strings"
+	"testing"
+)
+
+// The enum parsers promise Parse*(v.String()) == v for every valid value.
+// The fuzz targets push arbitrary strings through each parser and check
+// the contract from the other side: anything that parses must render to a
+// canonical name that parses back to the same value, and rejections must
+// name the offending input.
+
+func FuzzParseBroadcast(f *testing.F) {
+	for _, seed := range []string{"auto", "flat", "star", "ring", "pipeline", "segring", "tree", "TREE", " ring", "broadcast(7)", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseBroadcast(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "broadcast") {
+				t.Fatalf("rejection of %q does not say what was being parsed: %v", s, err)
+			}
+			return
+		}
+		name := v.String()
+		back, err := ParseBroadcast(name)
+		if err != nil {
+			t.Fatalf("%q parsed to %v but its name %q does not parse: %v", s, v, name, err)
+		}
+		if back != v {
+			t.Fatalf("%q parsed to %v, round-trips to %v", s, v, back)
+		}
+	})
+}
+
+func FuzzParseKernel(f *testing.F) {
+	for _, seed := range []string{"matmul", "mm", "lu", "qr", "cholesky", "chol", "LU", "lu ", "kernel(9)", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseKernel(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "kernel") {
+				t.Fatalf("rejection of %q does not say what was being parsed: %v", s, err)
+			}
+			return
+		}
+		name := v.String()
+		back, err := ParseKernel(name)
+		if err != nil {
+			t.Fatalf("%q parsed to %v but its name %q does not parse: %v", s, v, name, err)
+		}
+		if back != v {
+			t.Fatalf("%q parsed to %v, round-trips to %v", s, v, back)
+		}
+	})
+}
+
+func FuzzParseStrategy(f *testing.F) {
+	for _, seed := range []string{"auto", "heuristic", "exact", "EXACT", "greedy", "strategy(3)", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseStrategy(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "strategy") {
+				t.Fatalf("rejection of %q does not say what was being parsed: %v", s, err)
+			}
+			return
+		}
+		name := v.String()
+		back, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatalf("%q parsed to %v but its name %q does not parse: %v", s, v, name, err)
+		}
+		if back != v {
+			t.Fatalf("%q parsed to %v, round-trips to %v", s, v, back)
+		}
+	})
+}
