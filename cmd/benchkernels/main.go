@@ -1,10 +1,12 @@
 // Command benchkernels measures the dense compute layer — GEMM, TRSM, LU,
 // Cholesky, and QR — in its execution modes (scalar reference, packed
-// level-3 kernel, and for GEMM the row-band parallel path) across the block
-// sizes the distributed kernels actually run on, and emits ns/op plus
-// effective GFLOP/s as JSON. The committed BENCH_kernels.json baseline is
-// produced by this command; CI runs it with -smoke so the binary can never
-// rot.
+// level-3 kernel, and row-band/column-band parallel paths for GEMM and
+// TRSM) under both numerics contracts (strict and fast) across the block
+// sizes the distributed kernels actually run on, and emits ns/op,
+// effective GFLOP/s and the fraction of the machine's measured register
+// peak (the roofline estimate) as JSON. The committed BENCH_kernels.json
+// baseline is produced by this command; CI runs it with -smoke so the
+// binary can never rot.
 //
 // The factorizations report scalar vs packed only: their critical path is
 // sequential by nature, and intra-rank parallelism enters above this layer,
@@ -15,6 +17,7 @@
 //	benchkernels                          # print JSON to stdout
 //	benchkernels -o BENCH_kernels.json -reps 3 -workers 4
 //	benchkernels -smoke                   # 1 rep, small sizes (CI)
+//	benchkernels -smoke -numerics fast    # fast contract only (CI)
 package main
 
 import (
@@ -25,53 +28,74 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"hetgrid/internal/matrix"
 )
 
-// Result is one (kernel, n, mode) measurement. NsPerOp is the best of -reps
-// runs (benchmark convention: least-noise estimate of the true cost), and
-// GFlops the corresponding effective rate for the kernel's standard flop
-// count.
+// Result is one (kernel, n, mode, numerics) measurement. NsPerOp is the
+// best of -reps runs (benchmark convention: least-noise estimate of the
+// true cost), GFlops the corresponding effective rate for the kernel's
+// standard flop count, and RooflineFrac that rate over the measured
+// register-tile peak of the numerics contract — how much of the machine
+// this mode actually extracts.
 type Result struct {
 	Kernel          string  `json:"kernel"`
 	N               int     `json:"n"`
 	Mode            string  `json:"mode"`
+	Numerics        string  `json:"numerics"`
 	Workers         int     `json:"workers,omitempty"`
 	NsPerOp         int64   `json:"ns_per_op"`
 	GFlops          float64 `json:"gflops"`
 	SpeedupVsScalar float64 `json:"speedup_vs_scalar"`
+	RooflineFrac    float64 `json:"roofline_frac"`
 }
 
 type output struct {
-	GoMaxProcs int      `json:"gomaxprocs"`
-	NumCPU     int      `json:"num_cpu"`
-	Reps       int      `json:"reps"`
-	Results    []Result `json:"results"`
+	GoMaxProcs    int                `json:"gomaxprocs"`
+	NumCPU        int                `json:"num_cpu"`
+	Reps          int                `json:"reps"`
+	FastAvailable bool               `json:"fast_available"`
+	PeakGFlops    map[string]float64 `json:"peak_gflops"`
+	Results       []Result           `json:"results"`
 }
 
-// mode is one execution variant of a kernel: prepare clones the pristine
-// inputs (untimed), run does the measured work.
+// mode is one execution variant of a kernel: run does the measured work
+// (cloning pristine operands inside is deliberate — the clone cost is the
+// same across modes, so relative numbers stay comparable).
 type mode struct {
-	name    string
-	workers int
-	run     func(n int)
+	name     string
+	numerics matrix.Numerics
+	workers  int
+	run      func(n int)
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchkernels: ")
 	var (
-		outFlag     = flag.String("o", "", "write JSON to this file (default: stdout)")
-		repsFlag    = flag.Int("reps", 3, "repetitions per measurement (best is reported)")
-		workersFlag = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for the parallel mode")
-		seedFlag    = flag.Int64("seed", 17, "random seed for the operands")
-		smokeFlag   = flag.Bool("smoke", false, "1 rep on small sizes: exercises every mode cheaply (CI)")
+		outFlag      = flag.String("o", "", "write JSON to this file (default: stdout)")
+		repsFlag     = flag.Int("reps", 3, "repetitions per measurement (best is reported)")
+		workersFlag  = flag.Int("workers", runtime.GOMAXPROCS(0), "largest worker count for the parallel modes")
+		seedFlag     = flag.Int64("seed", 17, "random seed for the operands")
+		smokeFlag    = flag.Bool("smoke", false, "1 rep on small sizes: exercises every mode cheaply (CI)")
+		numericsFlag = flag.String("numerics", "both", "numerics contract to measure: strict, fast or both")
 	)
 	flag.Parse()
 	if *repsFlag < 1 {
 		log.Fatalf("-reps must be at least 1, got %d", *repsFlag)
+	}
+	var contracts []matrix.Numerics
+	switch *numericsFlag {
+	case "strict":
+		contracts = []matrix.Numerics{matrix.Strict}
+	case "fast":
+		contracts = []matrix.Numerics{matrix.Fast}
+	case "both":
+		contracts = []matrix.Numerics{matrix.Strict, matrix.Fast}
+	default:
+		log.Fatalf("unknown numerics %q (want strict, fast or both)", *numericsFlag)
 	}
 	sizes := []int{64, 256, 512, 1024}
 	reps := *repsFlag
@@ -80,8 +104,29 @@ func main() {
 		reps = 1
 	}
 
+	// The parallel modes run at several worker counts so the baseline
+	// records the scaling curve, not one point. On a single-CPU host the
+	// extra rows honestly show the coordination overhead.
+	workerCounts := uniqueSorted([]int{2, 4, *workersFlag})
+
+	// peak[mode] is the measured register-tile ceiling the roofline
+	// fraction is computed against.
+	peak := map[matrix.Numerics]float64{}
+	for _, nm := range contracts {
+		peak[nm] = matrix.PeakGFlops(nm)
+	}
+	out := output{
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Reps:          reps,
+		FastAvailable: matrix.FastAvailable(),
+		PeakGFlops:    map[string]float64{},
+	}
+	for nm, p := range peak {
+		out.PeakGFlops[nm.String()] = p
+	}
+
 	rng := rand.New(rand.NewSource(*seedFlag))
-	out := output{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Reps: reps}
 	for _, n := range sizes {
 		// Shared operands per size; every mode works on clones.
 		a := matrix.Random(n, n, rng)
@@ -93,8 +138,37 @@ func main() {
 		for i := 0; i < n; i++ {
 			lower.Set(i, i, 1)
 			for j := 0; j < i; j++ {
-				lower.Set(i, j, 2*rng.Float64() - 1)
+				lower.Set(i, j, 2*rng.Float64()-1)
 			}
+		}
+
+		gemmModes := []mode{{name: "scalar", numerics: matrix.Strict, run: func(int) { c.Clone().AddMulScalar(1, a, b) }}}
+		trsmModes := []mode{{name: "scalar", numerics: matrix.Strict, run: func(int) { lower.SolveLowerUnitScalar(b.Clone()) }}}
+		luModes := []mode{{name: "scalar", numerics: matrix.Strict, run: func(int) { mustLU(matrix.Factor(wc.Clone())) }}}
+		cholModes := []mode{{name: "scalar", numerics: matrix.Strict, run: func(int) { mustChol(matrix.FactorCholesky(spd)) }}}
+		qrModes := []mode{{name: "scalar", numerics: matrix.Strict, run: func(int) { matrix.FactorQR(a) }}}
+		for _, nm := range contracts {
+			nm := nm
+			gemmModes = append(gemmModes, mode{name: "packed", numerics: nm,
+				run: func(int) { c.Clone().AddMulNumerics(1, a, b, nm) }})
+			for _, w := range workerCounts {
+				w := w
+				gemmModes = append(gemmModes, mode{name: "packed-parallel", numerics: nm, workers: w,
+					run: func(int) { c.Clone().AddMulParallelNumerics(1, a, b, w, nm) }})
+			}
+			trsmModes = append(trsmModes, mode{name: "packed", numerics: nm,
+				run: func(int) { lower.SolveLowerUnitNumerics(b.Clone(), nm) }})
+			for _, w := range workerCounts {
+				w := w
+				trsmModes = append(trsmModes, mode{name: "packed-parallel", numerics: nm, workers: w,
+					run: func(int) { lower.SolveLowerUnitParallelNumerics(b.Clone(), w, nm) }})
+			}
+			luModes = append(luModes, mode{name: "packed", numerics: nm,
+				run: func(int) { mustLU(matrix.BlockedFactorNumerics(wc.Clone(), 0, nm)) }})
+			cholModes = append(cholModes, mode{name: "packed", numerics: nm,
+				run: func(int) { mustChol(matrix.BlockedFactorCholeskyNumerics(spd, 0, nm)) }})
+			qrModes = append(qrModes, mode{name: "packed", numerics: nm,
+				run: func(int) { matrix.FactorQRBlockedNumerics(a, 0, nm) }})
 		}
 
 		kernels := []struct {
@@ -102,28 +176,11 @@ func main() {
 			flops float64
 			modes []mode
 		}{
-			{"gemm", 2 * fcube(n), []mode{
-				{name: "scalar", run: func(int) { c.Clone().AddMulScalar(1, a, b) }},
-				{name: "packed", run: func(int) { c.Clone().AddMul(1, a, b) }},
-				{name: "packed-parallel", workers: *workersFlag,
-					run: func(int) { c.Clone().AddMulParallel(1, a, b, *workersFlag) }},
-			}},
-			{"trsm", fcube(n), []mode{
-				{name: "scalar", run: func(int) { lower.SolveLowerUnitScalar(b.Clone()) }},
-				{name: "packed", run: func(int) { lower.SolveLowerUnit(b.Clone()) }},
-			}},
-			{"lu", 2.0 / 3 * fcube(n), []mode{
-				{name: "scalar", run: func(int) { mustLU(matrix.Factor(wc.Clone())) }},
-				{name: "packed", run: func(int) { mustLU(matrix.BlockedFactor(wc.Clone(), 0)) }},
-			}},
-			{"cholesky", 1.0 / 3 * fcube(n), []mode{
-				{name: "scalar", run: func(int) { mustChol(matrix.FactorCholesky(spd)) }},
-				{name: "packed", run: func(int) { mustChol(matrix.BlockedFactorCholesky(spd, 0)) }},
-			}},
-			{"qr", 4.0 / 3 * fcube(n), []mode{
-				{name: "scalar", run: func(int) { matrix.FactorQR(a) }},
-				{name: "packed", run: func(int) { matrix.FactorQRBlocked(a, 0) }},
-			}},
+			{"gemm", 2 * fcube(n), gemmModes},
+			{"trsm", fcube(n), trsmModes},
+			{"lu", 2.0 / 3 * fcube(n), luModes},
+			{"cholesky", 1.0 / 3 * fcube(n), cholModes},
+			{"qr", 4.0 / 3 * fcube(n), qrModes},
 		}
 
 		for _, k := range kernels {
@@ -133,17 +190,25 @@ func main() {
 				if m.name == "scalar" {
 					scalarNs = best
 				}
+				gf := k.flops / float64(best)
 				out.Results = append(out.Results, Result{
 					Kernel:          k.name,
 					N:               n,
 					Mode:            m.name,
+					Numerics:        m.numerics.String(),
 					Workers:         m.workers,
 					NsPerOp:         best,
-					GFlops:          k.flops / float64(best),
+					GFlops:          gf,
 					SpeedupVsScalar: float64(scalarNs) / float64(best),
+					RooflineFrac:    gf / peakFor(peak, m.numerics),
 				})
 			}
 		}
+	}
+
+	// peakFor may have measured extra contracts lazily; publish them all.
+	for nm, p := range peak {
+		out.PeakGFlops[nm.String()] = p
 	}
 
 	buf, err := json.MarshalIndent(out, "", "  ")
@@ -159,6 +224,30 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *outFlag)
+}
+
+// peakFor returns the contract's measured peak, measuring Strict's lazily
+// when only Fast was requested (the strict scalar baseline rows still need
+// a denominator).
+func peakFor(peak map[matrix.Numerics]float64, nm matrix.Numerics) float64 {
+	if p, ok := peak[nm]; ok {
+		return p
+	}
+	p := matrix.PeakGFlops(nm)
+	peak[nm] = p
+	return p
+}
+
+// uniqueSorted sorts and deduplicates, dropping non-positive entries.
+func uniqueSorted(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for _, x := range xs {
+		if x > 0 && (len(out) == 0 || out[len(out)-1] != x) {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // fcube returns n³ as a float64 (flop counts overflow int32 territory fast).

@@ -43,6 +43,7 @@ func main() {
 		realFlag    = flag.Bool("real", false, "execute the kernel for real (goroutine ranks, measured traffic) instead of simulating")
 		rFlag       = flag.Int("r", 8, "element block size for -real runs (matrix side = nb*r)")
 		parallel    = flag.Int("parallel", 1, "goroutines per rank for -real block updates (bit-identical for any value)")
+		numericsF   = flag.String("numerics", "strict", "floating-point contract for -real block computations: strict (bit-identical) or fast (FMA-fused, bounded error)")
 		bcastFlag   = flag.String("bcast", "auto", "broadcast algorithm: auto, flat, ring, pipeline, tree")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus text metrics at /metrics and profiling at /debug/pprof on this address (e.g. :9090); gridsim keeps serving after the run until interrupted")
 
@@ -66,6 +67,10 @@ func main() {
 		log.Fatal(err)
 	}
 	bcast, err := cliutil.ParseBroadcast(*bcastFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	numerics, err := cliutil.ParseNumerics(*numericsF)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,11 +128,14 @@ func main() {
 	}
 
 	if *realFlag {
-		if err := runReal(kernel, dists, *nbFlag, *rFlag, *parallel, bcast, faults, *traceFile, metrics); err != nil {
+		if err := runReal(kernel, dists, *nbFlag, *rFlag, *parallel, bcast, numerics, faults, *traceFile, metrics); err != nil {
 			log.Fatal(err)
 		}
 		blockOnMetrics(metrics)
 		return
+	}
+	if numerics != hetgrid.Strict {
+		log.Fatal("-numerics fast requires -real (the simulator performs no floating-point kernel work)")
 	}
 	if faults != nil {
 		log.Fatal("-fault requires -real (faults are injected into the real execution, not the simulator)")
@@ -194,17 +202,17 @@ func blockOnMetrics(m *hetgrid.Metrics) {
 // reports the measured traffic: world totals plus the per-rank breakdown
 // the engine's instrumented transport collects. With a trace file the last
 // run's timestamped events are written in Chrome-tracing format.
-func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast hetgrid.BroadcastKind, faults *hetgrid.FaultOptions, traceFile string, metrics *hetgrid.Metrics) error {
+func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast hetgrid.BroadcastKind, numerics hetgrid.Numerics, faults *hetgrid.FaultOptions, traceFile string, metrics *hetgrid.Metrics) error {
 	if r <= 0 {
 		return fmt.Errorf("block size -r must be positive, got %d", r)
 	}
 	n := nb * r
 	rng := rand.New(rand.NewSource(1))
-	fmt.Printf("real execution: %d×%d matrix (%d×%d blocks of %d), %s broadcast\n\n", n, n, nb, nb, r, bcast)
+	fmt.Printf("real execution: %d×%d matrix (%d×%d blocks of %d), %s broadcast, %s numerics\n\n", n, n, nb, nb, r, bcast, numerics)
 
 	var lastStats *hetgrid.ExecStats
 	for _, dc := range dists {
-		opts := []hetgrid.Option{hetgrid.WithBroadcast(bcast), hetgrid.WithParallelism(parallel)}
+		opts := []hetgrid.Option{hetgrid.WithBroadcast(bcast), hetgrid.WithParallelism(parallel), hetgrid.WithNumerics(numerics)}
 		if traceFile != "" {
 			opts = append(opts, hetgrid.WithTrace())
 		}

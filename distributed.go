@@ -91,6 +91,12 @@ type ExecOptions struct {
 	// output-row bands inside large GEMMs — so results are bit-identical to a
 	// serial run for any value. 0 or 1 means serial.
 	Parallelism int
+	// Numerics selects the floating-point contract of the ranks' block
+	// computations: Strict (the zero value) keeps results bit-identical
+	// across code paths, Fast unlocks the FMA-fused micro-kernel under the
+	// relaxed componentwise error bound documented on Numerics. Pivot and
+	// reflector decisions stay Strict in both modes.
+	Numerics Numerics
 	// Faults enables deterministic fault injection and (optionally)
 	// checkpoint-based recovery; see FaultOptions.
 	Faults *FaultOptions
@@ -200,7 +206,7 @@ func runAttempt(dist Distribution, kern Kernel, blockSize int, inputs []*Matrix,
 
 	fo := opts.Faults
 	record := opts.Trace || opts.Spans || opts.Metrics != nil
-	eopts := engine.Options{Broadcast: bk, Record: record, Parallelism: opts.Parallelism, Metrics: opts.Metrics}
+	eopts := engine.Options{Broadcast: bk, Record: record, Parallelism: opts.Parallelism, Numerics: opts.Numerics, Metrics: opts.Metrics}
 	if fo != nil {
 		eopts.RecvTimeout = fo.recvTimeout()
 		eopts.MaxRetries = fo.MaxRetries
@@ -431,6 +437,28 @@ func execStats(w *engine.World, opts ExecOptions) *ExecStats {
 	}
 	if opts.Trace {
 		stats.Trace = w.Trace()
+	}
+	if reg := opts.Metrics; reg != nil {
+		reg.Gauge("hetgrid_numerics_mode", "", "numerics contract of the last run (0 = strict, 1 = fast)").Set(float64(opts.Numerics))
+		// Pool series are callback-backed: they read the process-wide
+		// compute pool's live counters at every scrape instead of a
+		// snapshot from run end.
+		reg.FuncGauge("hetgrid_pool_workers", "", "resident goroutines of the shared compute pool (0 until the first parallel call)", func() float64 {
+			n, _, _, _ := matrix.PoolStats()
+			return float64(n)
+		})
+		reg.FuncGauge("hetgrid_pool_tasks_submitted", "", "tasks handed to pool workers since process start", func() float64 {
+			_, sub, _, _ := matrix.PoolStats()
+			return float64(sub)
+		})
+		reg.FuncGauge("hetgrid_pool_tasks_inline", "", "tasks run inline by the submitter because the pool queue was full", func() float64 {
+			_, _, inl, _ := matrix.PoolStats()
+			return float64(inl)
+		})
+		reg.FuncGauge("hetgrid_numerics_fast_dispatch", "", "GEMM calls dispatched to the FMA-fused fast path since process start", func() float64 {
+			_, _, _, fast := matrix.PoolStats()
+			return float64(fast)
+		})
 	}
 	if busy := w.BusyTimes(); busy != nil {
 		stats.BusyTime = busy

@@ -71,23 +71,26 @@ func (f *Factorization) Q(blockSize int) *Matrix {
 
 // Factor executes the factorization kernel numerically under d with the
 // serial replay (block ownership respected, no concurrency) and returns
-// the uniform result type. Supported kernels: LU, Cholesky, QR.
-func Factor(k Kernel, d Distribution, a *Matrix) (*Factorization, error) {
+// the uniform result type. Supported kernels: LU, Cholesky, QR. Behavior
+// is configured with functional options; WithNumerics selects the
+// floating-point contract (Strict stays the default).
+func Factor(k Kernel, d Distribution, a *Matrix, opts ...Option) (*Factorization, error) {
+	mode := applyOptions(opts).exec.Numerics
 	switch k {
 	case LU:
-		rep, err := kernels.ReplayLU(d, a)
+		rep, err := kernels.ReplayLUNumerics(d, a, mode)
 		if err != nil {
 			return nil, err
 		}
 		return &Factorization{kernel: LU, packed: rep.C, ops: rep.Ops}, nil
 	case Cholesky:
-		rep, err := kernels.ReplayCholesky(d, a)
+		rep, err := kernels.ReplayCholeskyNumerics(d, a, mode)
 		if err != nil {
 			return nil, err
 		}
 		return &Factorization{kernel: Cholesky, packed: rep.C, ops: rep.Ops}, nil
 	case QR:
-		rep, err := kernels.ReplayQR(d, a)
+		rep, err := kernels.ReplayQRNumerics(d, a, mode)
 		if err != nil {
 			return nil, err
 		}

@@ -39,6 +39,10 @@ func ParseBroadcast(s string) (hetgrid.BroadcastKind, error) { return hetgrid.Pa
 // Deprecated: use hetgrid.ParseStrategy, the exported home of this parser.
 func ParseStrategy(s string) (hetgrid.Strategy, error) { return hetgrid.ParseStrategy(s) }
 
+// ParseNumerics maps a numerics-mode name (strict, fast) to its constant,
+// delegating to hetgrid.ParseNumerics like the other enum parsers.
+func ParseNumerics(s string) (hetgrid.Numerics, error) { return hetgrid.ParseNumerics(s) }
+
 // ParseCrashSchedule parses a comma-separated crash schedule such as
 // "2@1,0@3s": each entry is rank@step, with a trailing "s" marking a
 // silent crash (the rank dies without aborting, exercising the failure

@@ -77,6 +77,13 @@ type Options struct {
 	// disabled path is a pointer test and adds no allocations to the
 	// transport hot loop.
 	Metrics *obs.Registry
+	// Numerics selects the arithmetic contract of every rank's block
+	// computations. The zero value (matrix.Strict) keeps the historical
+	// bit-identical-to-serial guarantee; matrix.Fast routes the trailing
+	// GEMM/TRSM updates through the FMA-fused kernels under the error-bound
+	// contract documented on matrix.Numerics. Panel factorizations (where
+	// pivots and reflectors are chosen) always run Strict.
+	Numerics matrix.Numerics
 }
 
 // defaultMaxRetries bounds the failure detector's retransmission attempts
@@ -227,51 +234,20 @@ func (c *Comm) Parallelism() int {
 	return 1
 }
 
-// parallelDo runs fn(0), …, fn(n-1) across at most workers goroutines in
-// contiguous index chunks, blocking until all return. The split is only a
-// scheduling choice: callers use it for disjoint-output block updates, so
-// any worker count produces bit-identical results. workers ≤ 1 (or n ≤ 1)
-// runs inline.
+// Numerics returns the arithmetic contract this world's kernels compute
+// under (matrix.Strict unless configured otherwise).
+func (c *Comm) Numerics() matrix.Numerics { return c.world.opts.Numerics }
+
+// parallelDo runs fn(0), …, fn(n-1) across at most workers executors in
+// contiguous index chunks, blocking until all return. It delegates to the
+// matrix layer's persistent worker pool — block updates no longer spawn
+// goroutines per call — and keeps the historical semantics: the split is
+// only a scheduling choice (callers use it for disjoint-output block
+// updates, so any worker count produces bit-identical results), worker
+// panics re-raise on the rank goroutine where the engine's abort recovery
+// lives, and workers ≤ 1 (or n ≤ 1) runs inline.
 func parallelDo(workers, n int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var (
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicked any
-	)
-	for w := 0; w < workers; w++ {
-		lo, hi := n*w/workers, n*(w+1)/workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			// Re-raise worker panics on the rank goroutine, where the
-			// engine's abort recovery lives.
-			defer func() {
-				if p := recover(); p != nil {
-					panicMu.Lock()
-					if panicked == nil {
-						panicked = p
-					}
-					panicMu.Unlock()
-				}
-			}()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
-	}
+	matrix.ParallelDo(workers, n, fn)
 }
 
 // Send delivers a copy of data to dst under tag. Sending to yourself is

@@ -182,8 +182,9 @@ func MMResume(c *Comm, d distribution.Distribution, a, b *BlockStore, cStore *Bl
 				mine = append(mine, blk)
 				panels = append(panels, [2]*matrix.Dense{aPanel[pos[0]], bPanel[pos[1]]})
 			}
+			mode := c.Numerics()
 			parallelDo(c.Parallelism(), len(mine), func(i int) {
-				mine[i].AddMul(1, panels[i][0], panels[i][1])
+				mine[i].AddMulNumerics(1, panels[i][0], panels[i][1], mode)
 			})
 			return nil
 		}); err != nil {
@@ -286,7 +287,7 @@ func LUResume(c *Comm, d distribution.Distribution, a *BlockStore, startK int) e
 				if co.Node(k, bj) != me {
 					continue
 				}
-				diag.SolveLowerUnit(a.Get(k, bj))
+				diag.SolveLowerUnitNumerics(a.Get(k, bj), c.Numerics())
 			}
 			return nil
 		}); err != nil {
@@ -306,9 +307,10 @@ func LUResume(c *Comm, d distribution.Distribution, a *BlockStore, startK int) e
 					}
 				}
 			}
+			mode := c.Numerics()
 			parallelDo(c.Parallelism(), len(mine), func(i int) {
 				bi, bj := mine[i][0], mine[i][1]
-				a.Get(bi, bj).AddMul(-1, lPanel[bi], uPanel[bj])
+				a.Get(bi, bj).AddMulNumerics(-1, lPanel[bi], uPanel[bj], mode)
 			})
 			return nil
 		}); err != nil {
@@ -452,9 +454,10 @@ func CholeskyResume(c *Comm, d distribution.Distribution, a *BlockStore, startK 
 					}
 				}
 			}
+			mode := c.Numerics()
 			parallelDo(c.Parallelism(), len(mine), func(i int) {
 				bi, bj := mine[i][0], mine[i][1]
-				a.Get(bi, bj).AddMul(-1, lPanel[bi], lPanel[bj].T())
+				a.Get(bi, bj).AddMulNumerics(-1, lPanel[bi], lPanel[bj].T(), mode)
 			})
 			return nil
 		}); err != nil {

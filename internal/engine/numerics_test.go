@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hetgrid/internal/kernels"
+	"hetgrid/internal/matrix"
+)
+
+// The engine's numerics contract: Options.Numerics = Strict (the zero
+// value) keeps every kernel bit-identical to the serial replay — the
+// historical guarantee — while Fast matches the Fast serial replay exactly
+// (the engine performs the same block operations in the same order, just
+// under the fused contract) and stays within the componentwise error bound
+// of the Strict result.
+
+// runEngineMM executes the distributed MM under opts and returns the
+// gathered product.
+func runEngineMM(t *testing.T, opts Options, d interface {
+	Dims() (int, int)
+	Blocks() (int, int)
+	Owner(bi, bj int) (int, int)
+	Name() string
+}, a, b *matrix.Dense, r int) *matrix.Dense {
+	t.Helper()
+	var got *matrix.Dense
+	_, err := RunOpts(4, opts, func(c *Comm) error {
+		s1, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+		if err != nil {
+			return err
+		}
+		s2, err := Scatter(c, d, pick(c.Rank() == 0, b), r)
+		if err != nil {
+			return err
+		}
+		cs, err := MM(c, d, s1, s2)
+		if err != nil {
+			return err
+		}
+		full, err := Gather(c, d, cs)
+		if c.Rank() == 0 {
+			got = full
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestMMFastNumerics(t *testing.T) {
+	rng := rand.New(rand.NewSource(511))
+	const nb, r = 6, 4
+	a := matrix.Random(nb*r, nb*r, rng)
+	b := matrix.Random(nb*r, nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		strict, err := kernels.ReplayMM(d, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastRep, err := kernels.ReplayMMNumerics(d, a, b, matrix.Fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3} {
+			got := runEngineMM(t, Options{Numerics: matrix.Fast, Parallelism: workers}, d, a, b, r)
+			// Same block ops, same order, same contract: the engine's Fast
+			// run reproduces the Fast serial replay bitwise.
+			if !got.Equal(fastRep.C) {
+				t.Fatalf("%s/p=%d: engine Fast MM not bit-identical to Fast replay", d.Name(), workers)
+			}
+			// And it stays within a crude componentwise error bound of the
+			// Strict oracle: |fast−strict| ≤ c·k·ε·(|A|·|B|) with |entries|≤1,
+			// so c·k²·ε elementwise is generous yet catches real corruption.
+			n := nb * r
+			tol := 64 * float64(n) * float64(n) * 0x1p-53
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if diff := math.Abs(got.At(i, j) - strict.C.At(i, j)); diff > tol {
+						t.Fatalf("%s/p=%d: fast[%d,%d] off by %g (tol %g)", d.Name(), workers, i, j, diff, tol)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLUFastMatchesFastReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(512))
+	const nb, r = 6, 4
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	for _, d := range engineDistributions(t, nb) {
+		fastRep, err := kernels.ReplayLUNumerics(d, a, matrix.Fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got *matrix.Dense
+		_, err = RunOpts(4, Options{Numerics: matrix.Fast}, func(c *Comm) error {
+			store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+			if err != nil {
+				return err
+			}
+			if err := LU(c, d, store); err != nil {
+				return err
+			}
+			full, err := Gather(c, d, store)
+			if c.Rank() == 0 {
+				got = full
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(fastRep.C) {
+			t.Fatalf("%s: engine Fast LU not bit-identical to Fast replay", d.Name())
+		}
+	}
+}
+
+// TestConcurrentFactorizationsMixedModes hammers the shared matrix-level
+// worker pool from several concurrent distributed factorizations running
+// different numerics modes and parallelism degrees — the -race sentinel
+// for the pool's cross-world sharing.
+func TestConcurrentFactorizationsMixedModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(513))
+	const nb, r = 4, 4
+	a := matrix.RandomWellConditioned(nb*r, rng)
+	d := engineDistributions(t, nb)[0]
+	want := map[matrix.Numerics]*matrix.Dense{}
+	for _, mode := range []matrix.Numerics{matrix.Strict, matrix.Fast} {
+		rep, err := kernels.ReplayLUNumerics(d, a, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[mode] = rep.C
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		mode := matrix.Strict
+		if g%2 == 1 {
+			mode = matrix.Fast
+		}
+		workers := 1 + g%3
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var got *matrix.Dense
+			_, err := RunOpts(4, Options{Numerics: mode, Parallelism: workers}, func(c *Comm) error {
+				store, err := Scatter(c, d, pick(c.Rank() == 0, a), r)
+				if err != nil {
+					return err
+				}
+				if err := LU(c, d, store); err != nil {
+					return err
+				}
+				full, err := Gather(c, d, store)
+				if c.Rank() == 0 {
+					got = full
+				}
+				return err
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !got.Equal(want[mode]) {
+				errs <- errMismatch(mode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch matrix.Numerics
+
+func (e errMismatch) Error() string {
+	return "concurrent LU result diverged from its mode's serial replay (" + matrix.Numerics(e).String() + ")"
+}

@@ -126,6 +126,18 @@ func SimulateCholesky(d distribution.Distribution, arr *grid.Arrangement, opts O
 // (upper triangle zero) and per-node block-operation counts. The input must
 // be symmetric positive definite.
 func ReplayCholesky(d distribution.Distribution, a *matrix.Dense) (*Replay, error) {
+	return replayCholesky(d, a, matrix.Strict)
+}
+
+// ReplayCholeskyNumerics is ReplayCholesky under an explicit numerics
+// contract: diagonal factorization and panel solves stay scalar
+// (matrix.Strict is exactly ReplayCholesky), the trailing symmetric
+// updates run under mode.
+func ReplayCholeskyNumerics(d distribution.Distribution, a *matrix.Dense, mode matrix.Numerics) (*Replay, error) {
+	return replayCholesky(d, a, mode)
+}
+
+func replayCholesky(d distribution.Distribution, a *matrix.Dense, mode matrix.Numerics) (*Replay, error) {
 	n, nc := a.Dims()
 	if n != nc {
 		return nil, fmt.Errorf("kernels: ReplayCholesky needs a square matrix, got %d×%d", n, nc)
@@ -162,7 +174,7 @@ func ReplayCholesky(d distribution.Distribution, a *matrix.Dense) (*Replay, erro
 			li := blockView(work, bi, k, r)
 			for bj := k + 1; bj <= bi; bj++ {
 				lj := blockView(work, bj, k, r)
-				blockView(work, bi, bj, r).AddMul(-1, li, lj.T())
+				blockView(work, bi, bj, r).AddMulNumerics(-1, li, lj.T(), mode)
 				charge(bi, bj)
 			}
 		}

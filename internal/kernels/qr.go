@@ -26,6 +26,21 @@ type QRReplay struct {
 
 // ReplayQR factors a square matrix; see QRReplay.
 func ReplayQR(d distribution.Distribution, a *matrix.Dense) (*QRReplay, error) {
+	return replayQR(d, a, matrix.Strict)
+}
+
+// ReplayQRNumerics is ReplayQR under an explicit numerics contract,
+// accepted for API symmetry with the other kernels. The QR replay's block
+// operations are Householder reflector applications — panel work that the
+// numerics contract keeps Strict on every kernel (reflector choices, like
+// pivot choices, are always made on Strict arithmetic) — so both modes
+// currently execute identically; Fast-mode callers still get the contract
+// they asked for, since Strict trivially satisfies the error bound.
+func ReplayQRNumerics(d distribution.Distribution, a *matrix.Dense, mode matrix.Numerics) (*QRReplay, error) {
+	return replayQR(d, a, mode)
+}
+
+func replayQR(d distribution.Distribution, a *matrix.Dense, _ matrix.Numerics) (*QRReplay, error) {
 	n, nc := a.Dims()
 	if n != nc {
 		return nil, fmt.Errorf("kernels: ReplayQR needs a square matrix, got %d×%d", n, nc)

@@ -40,6 +40,18 @@ func checkBlocking(n int, d distribution.Distribution) (r int, err error) {
 // The numeric result is independent of the distribution — the property the
 // load-balancing strategies rely on — and tests assert it.
 func ReplayMM(d distribution.Distribution, a, b *matrix.Dense) (*Replay, error) {
+	return replayMM(d, a, b, matrix.Strict)
+}
+
+// ReplayMMNumerics is ReplayMM under an explicit numerics contract: every
+// block update runs through matrix.AddMulNumerics, so matrix.Fast computes
+// the product under the FMA-fused error-bound contract while matrix.Strict
+// is exactly ReplayMM.
+func ReplayMMNumerics(d distribution.Distribution, a, b *matrix.Dense, mode matrix.Numerics) (*Replay, error) {
+	return replayMM(d, a, b, mode)
+}
+
+func replayMM(d distribution.Distribution, a, b *matrix.Dense, mode matrix.Numerics) (*Replay, error) {
 	ar, ac := a.Dims()
 	br, bc := b.Dims()
 	if ar != ac || br != bc || ar != br {
@@ -58,7 +70,7 @@ func ReplayMM(d distribution.Distribution, a, b *matrix.Dense) (*Replay, error) 
 			for bj := 0; bj < nb; bj++ {
 				pi, pj := d.Owner(bi, bj)
 				ops[pi*q+pj]++
-				blockView(c, bi, bj, r).AddMul(1, blockView(a, bi, k, r), blockView(b, k, bj, r))
+				blockView(c, bi, bj, r).AddMulNumerics(1, blockView(a, bi, k, r), blockView(b, k, bj, r), mode)
 			}
 		}
 	}
@@ -73,6 +85,18 @@ func ReplayMM(d distribution.Distribution, a, b *matrix.Dense) (*Replay, error) 
 // it, exactly like matrix.LU. Each block operation — panel factor,
 // triangular solve, trailing update — is attributed to the block's owner.
 func ReplayLU(d distribution.Distribution, a *matrix.Dense) (*Replay, error) {
+	return replayLU(d, a, matrix.Strict)
+}
+
+// ReplayLUNumerics is ReplayLU under an explicit numerics contract: the
+// diagonal-block factorization stays scalar (matrix.Strict is exactly
+// ReplayLU), while the U-panel triangular solves and the trailing updates
+// run under mode.
+func ReplayLUNumerics(d distribution.Distribution, a *matrix.Dense, mode matrix.Numerics) (*Replay, error) {
+	return replayLU(d, a, mode)
+}
+
+func replayLU(d distribution.Distribution, a *matrix.Dense, mode matrix.Numerics) (*Replay, error) {
 	n, nc := a.Dims()
 	if n != nc {
 		return nil, fmt.Errorf("kernels: ReplayLU needs a square matrix, got %d×%d", n, nc)
@@ -106,24 +130,18 @@ func ReplayLU(d distribution.Distribution, a *matrix.Dense) (*Replay, error) {
 		// U panel: U(k,bj) = L(k,k)^{-1} · A(k,bj).
 		for bj := k + 1; bj < nb; bj++ {
 			u := blockView(lu, k, bj, r)
-			solveLowerUnitLeft(diag, u)
+			diag.SolveLowerUnitNumerics(u, mode)
 			charge(k, bj)
 		}
 		// Trailing update: A(bi,bj) -= L(bi,k) · U(k,bj).
 		for bi := k + 1; bi < nb; bi++ {
 			for bj := k + 1; bj < nb; bj++ {
-				blockView(lu, bi, bj, r).AddMul(-1, blockView(lu, bi, k, r), blockView(lu, k, bj, r))
+				blockView(lu, bi, bj, r).AddMulNumerics(-1, blockView(lu, bi, k, r), blockView(lu, k, bj, r), mode)
 				charge(bi, bj)
 			}
 		}
 	}
 	return &Replay{C: lu, Ops: ops}, nil
-}
-
-// solveLowerUnitLeft overwrites u with L^{-1}·u for the unit lower
-// triangular factor packed in diag.
-func solveLowerUnitLeft(diag, u *matrix.Dense) {
-	diag.SolveLowerUnit(u)
 }
 
 // ExtractLU splits a packed LU matrix into explicit L and U factors.

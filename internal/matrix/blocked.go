@@ -26,6 +26,17 @@ func BlockedMul(a, b *Dense, blockSize int) *Dense {
 // (identical pivot choices) and is what the distributed LU kernel executes
 // per block column. blockSize ≤ 0 selects a default.
 func BlockedFactor(a *Dense, blockSize int) (*LU, error) {
+	return blockedFactor(a, blockSize, Strict)
+}
+
+// blockedFactor is BlockedFactor under an explicit numerics contract. The
+// panel factorization (where pivots are chosen) is always scalar; the
+// U-panel triangular solve and the trailing rank-blockSize update run
+// under mode. Fast-mode rounding in a trailing update can therefore shift
+// a later panel's pivot choice when two candidates are within the error
+// bound of each other — factorization tests compare modes via residuals,
+// not element-wise.
+func blockedFactor(a *Dense, blockSize int, mode Numerics) (*LU, error) {
 	if a.rows != a.cols {
 		panic(fmt.Sprintf("matrix: BlockedFactor of non-square %d×%d", a.rows, a.cols))
 	}
@@ -82,11 +93,11 @@ func BlockedFactor(a *Dense, blockSize int) (*LU, error) {
 		// U panel: lu[k0:k1, k1:n] ← L(panel)^{-1} · lu[k0:k1, k1:n].
 		panelL := lu.Slice(k0, k1, k0, k1)
 		uPanel := lu.Slice(k0, k1, k1, n)
-		panelL.SolveLowerUnit(uPanel)
+		panelL.solveLowerUnitMode(uPanel, mode)
 		// Trailing update: lu[k1:n, k1:n] -= lu[k1:n, k0:k1] · uPanel.
 		trailing := lu.Slice(k1, n, k1, n)
 		lPanel := lu.Slice(k1, n, k0, k1)
-		trailing.AddMul(-1, lPanel, uPanel)
+		trailing.AddMulNumerics(-1, lPanel, uPanel, mode)
 	}
 	return &LU{LU: lu, Pivots: piv, signDet: sign}, firstErr
 }

@@ -99,6 +99,13 @@ func (f *Cholesky) Det() float64 {
 // rounding (the update order differs); the input is not modified.
 // blockSize ≤ 0 selects a default.
 func BlockedFactorCholesky(a *Dense, blockSize int) (*Cholesky, error) {
+	return blockedFactorCholesky(a, blockSize, Strict)
+}
+
+// blockedFactorCholesky is BlockedFactorCholesky under an explicit
+// numerics contract: the diagonal factor and panel solve stay scalar, the
+// trailing symmetric rank-blockSize update runs under mode.
+func blockedFactorCholesky(a *Dense, blockSize int, mode Numerics) (*Cholesky, error) {
 	n, c := a.Dims()
 	if n != c {
 		panic(fmt.Sprintf("matrix: Cholesky of non-square %d×%d", n, c))
@@ -126,7 +133,7 @@ func BlockedFactorCholesky(a *Dense, blockSize int) (*Cholesky, error) {
 		// Trailing: A(trailing) -= panel·panelᵀ. The update covers the full
 		// square — the trailing block stays symmetric, so the upper half is
 		// simply overwritten again by later steps and zeroed below.
-		l.Slice(k1, n, k1, n).AddMul(-1, panel, panel.T())
+		l.Slice(k1, n, k1, n).AddMulNumerics(-1, panel, panel.T(), mode)
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {

@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -49,6 +50,15 @@ const (
 	// gemmNRAVX is the B panel width the AVX assembly micro-kernel consumes
 	// (see gemm_amd64.s); the driver packs for it when the CPU qualifies.
 	gemmNRAVX = 8
+	// gemmMRFMA×gemmNRFMA is the Fast-mode register tile consumed by the
+	// fused AVX2+FMA micro-kernel: 6×8 is the widest tile that fits the VEX
+	// register budget (12 YMM accumulators + 2 B loads + 2 broadcasts).
+	gemmMRFMA = 6
+	gemmNRFMA = 8
+	// gemmMCFMA is the Fast-mode M blocking: the largest multiple of
+	// gemmMRFMA not exceeding gemmMC, so interior A blocks pack into whole
+	// 6-row panels and only the global bottom rim takes the edge kernel.
+	gemmMCFMA = 126
 )
 
 // gemmScalarFlops is the m·n·k product below which the packing overhead
@@ -89,7 +99,7 @@ func (m *Dense) addMulPacked(alpha float64, a, b *Dense) {
 			packB(bufs.b, b, pc, jc, kc, nc, nr)
 			for ic := 0; ic < bigM; ic += gemmMC {
 				mc := min(gemmMC, bigM-ic)
-				packA(bufs.a, a, alpha, ic, pc, mc, kc)
+				packA(bufs.a, a, alpha, ic, pc, mc, kc, gemmMR)
 				gemmMacro(m, bufs.a, bufs.b, ic, jc, mc, nc, kc, nr)
 			}
 		}
@@ -97,18 +107,45 @@ func (m *Dense) addMulPacked(alpha float64, a, b *Dense) {
 	gemmPool.Put(bufs)
 }
 
-// packA packs the mc×kc block of a at (ic, pc) into row panels of gemmMR
-// rows, k-major within each panel, with alpha folded in:
+// addMulPackedFMA is the Fast-mode packed driver: same three-level blocking
+// as addMulPacked, but packed for the 6×8 fused tile and dispatched to the
+// FMA micro-kernel. Only reachable when gemmHaveFMA. Bit-identical to the
+// math.FMA scalar reference addMulScalarFMA (rim tiles fuse via math.FMA,
+// which the compiler lowers to the same VFMADD instruction).
+func (m *Dense) addMulPackedFMA(alpha float64, a, b *Dense) {
+	fastDispatch.Add(1)
+	bufs := gemmPool.Get().(*gemmBuffers)
+	bufs.a = ensure(bufs.a, gemmMC*gemmKC)
+	bufs.b = ensure(bufs.b, gemmKC*gemmNC)
+	bigM, bigK, bigN := a.rows, a.cols, b.cols
+	for jc := 0; jc < bigN; jc += gemmNC {
+		nc := min(gemmNC, bigN-jc)
+		for pc := 0; pc < bigK; pc += gemmKC {
+			kc := min(gemmKC, bigK-pc)
+			packB(bufs.b, b, pc, jc, kc, nc, gemmNRFMA)
+			for ic := 0; ic < bigM; ic += gemmMCFMA {
+				mc := min(gemmMCFMA, bigM-ic)
+				packA(bufs.a, a, alpha, ic, pc, mc, kc, gemmMRFMA)
+				gemmMacroFMA(m, bufs.a, bufs.b, ic, jc, mc, nc, kc)
+			}
+		}
+	}
+	gemmPool.Put(bufs)
+}
+
+// packA packs the mc×kc block of a at (ic, pc) into row panels of mr rows
+// (gemmMR for Strict, gemmMRFMA for Fast), k-major within each panel, with
+// alpha folded in:
 //
-//	dst[p·gemmMR·kc + k·mrEff + r] = alpha · a[ic+p·gemmMR+r, pc+k]
+//	dst[p·mr·kc + k·mrEff + r] = alpha · a[ic+p·mr+r, pc+k]
 //
-// The final panel may have mrEff < gemmMR rows and is packed tightly (stride
+// The final panel may have mrEff < mr rows and is packed tightly (stride
 // mrEff); no zero padding, so NaN/Inf in unrelated positions can never leak
 // into real outputs.
-func packA(dst []float64, a *Dense, alpha float64, ic, pc, mc, kc int) {
+func packA(dst []float64, a *Dense, alpha float64, ic, pc, mc, kc, mr int) {
 	off := 0
-	for p := 0; p < mc; p += gemmMR {
-		mrEff := min(gemmMR, mc-p)
+	for p := 0; p < mc; p += mr {
+		mrEff := min(mr, mc-p)
 		for r := 0; r < mrEff; r++ {
 			src := a.data[(ic+p+r)*a.stride+pc : (ic+p+r)*a.stride+pc+kc]
 			q := off + r
@@ -207,6 +244,47 @@ func gemmMicro4x4(c *Dense, i0, j0 int, pa, pb []float64, kc int) {
 	r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
 }
 
+// gemmMacroFMA is the Fast-mode macro kernel: full 6×8 tiles dispatch to
+// the fused assembly micro-kernel, rims to the math.FMA edge kernel — so
+// every output element sees one rounding per multiply-add regardless of
+// which kernel produced it.
+func gemmMacroFMA(c *Dense, packedA, packedB []float64, ic, jc, mc, nc, kc int) {
+	for jp := 0; jp < nc; jp += gemmNRFMA {
+		nrEff := min(gemmNRFMA, nc-jp)
+		pb := packedB[jp*kc:]
+		for ip := 0; ip < mc; ip += gemmMRFMA {
+			mrEff := min(gemmMRFMA, mc-ip)
+			pa := packedA[ip*kc:]
+			if mrEff == gemmMRFMA && nrEff == gemmNRFMA {
+				gemmMicroFMA6x8(&c.data[(ic+ip)*c.stride+jc+jp], c.stride, &pa[0], &pb[0], kc)
+			} else {
+				gemmMicroEdgeFMA(c, ic+ip, jc+jp, mrEff, nrEff, pa, pb, kc)
+			}
+		}
+	}
+}
+
+// gemmMicroEdgeFMA is the Fast-mode rim kernel: gemmMicroEdge's loop with
+// the multiply-add fused through math.FMA (hardware FMA on the CPUs that
+// reach this path), keeping rim elements on the same one-rounding contract
+// as the assembly tile.
+func gemmMicroEdgeFMA(c *Dense, i0, j0, mrEff, nrEff int, pa, pb []float64, kc int) {
+	for r := 0; r < mrEff; r++ {
+		crow := c.data[(i0+r)*c.stride+j0 : (i0+r)*c.stride+j0+nrEff]
+		for cc := 0; cc < nrEff; cc++ {
+			acc := crow[cc]
+			q := r
+			w := cc
+			for k := 0; k < kc; k++ {
+				acc = math.FMA(pa[q], pb[w], acc)
+				q += mrEff
+				w += nrEff
+			}
+			crow[cc] = acc
+		}
+	}
+}
+
 // gemmMicroEdge handles partial tiles at the right and bottom rims: same
 // accumulation order, variable tile size, accumulators initialized from C.
 func gemmMicroEdge(c *Dense, i0, j0, mrEff, nrEff int, pa, pb []float64, kc int) {
@@ -254,6 +332,35 @@ func (m *Dense) addMulScalar(alpha float64, a, b *Dense) {
 	}
 }
 
+// AddMulScalarFMA is the Fast-mode reference GEMM: the same ikj loop nest
+// and increasing-k accumulation as AddMulScalar, with each multiply-add
+// fused through math.FMA. On AVX2+FMA hardware the packed Fast path is
+// bit-identical to this reference (the property tests assert it); it is
+// what "one rounding per multiply-add" means operationally. The alpha·A
+// scaling remains a separate rounding, exactly as the packing step rounds
+// it.
+func (m *Dense) AddMulScalarFMA(alpha float64, a, b *Dense) {
+	m.checkAddMul(a, b)
+	if alpha == 0 {
+		return
+	}
+	m.addMulScalarFMA(alpha, a, b)
+}
+
+func (m *Dense) addMulScalarFMA(alpha float64, a, b *Dense) {
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.stride : i*a.stride+a.cols]
+		mrow := m.data[i*m.stride : i*m.stride+m.cols]
+		for k, av := range arow {
+			s := alpha * av
+			brow := b.data[k*b.stride : k*b.stride+b.cols]
+			for j, bv := range brow {
+				mrow[j] = math.FMA(s, bv, mrow[j])
+			}
+		}
+	}
+}
+
 func (m *Dense) checkAddMul(a, b *Dense) {
 	if a.cols != b.rows || m.rows != a.rows || m.cols != b.cols {
 		panic(fmt.Sprintf("matrix: AddMul %d×%d += %d×%d * %d×%d",
@@ -264,45 +371,44 @@ func (m *Dense) checkAddMul(a, b *Dense) {
 // addMulDispatch routes a shape-checked, alpha≠0 update to the scalar or
 // packed path by problem size.
 func (m *Dense) addMulDispatch(alpha float64, a, b *Dense) {
-	if a.rows*a.cols*b.cols <= gemmScalarFlops || a.cols < gemmNR {
+	m.addMulDispatchMode(alpha, a, b, Strict)
+}
+
+// addMulDispatchMode is addMulDispatch under an explicit numerics contract.
+// In Fast mode on FMA hardware both the small-size and the packed arm fuse
+// (scalar FMA reference below the cutoff, packed 6×8 kernel above), so the
+// whole Fast path is bit-identical to AddMulScalarFMA; elsewhere Fast is
+// Strict.
+func (m *Dense) addMulDispatchMode(alpha float64, a, b *Dense, mode Numerics) {
+	small := a.rows*a.cols*b.cols <= gemmScalarFlops || a.cols < gemmNR
+	if mode == Fast && gemmHaveFMA {
+		if small {
+			m.addMulScalarFMA(alpha, a, b)
+			return
+		}
+		m.addMulPackedFMA(alpha, a, b)
+		return
+	}
+	if small {
 		m.addMulScalar(alpha, a, b)
 		return
 	}
 	m.addMulPacked(alpha, a, b)
 }
 
-// AddMulParallel is AddMul computed by `workers` goroutines, the GEMM
-// partitioned into contiguous output-row bands: every output element is
-// accumulated by exactly one goroutine in the same increasing-k order, so the
-// result is bit-identical to the serial AddMul for any worker count. Workers
-// ≤ 1, tiny problems, or bands thinner than one register tile run serially.
+// AddMulParallel is AddMul computed by up to `workers` concurrent executors
+// on the persistent worker pool (see pool.go), the GEMM partitioned into
+// contiguous output-row bands: every output element is accumulated by
+// exactly one executor in the same increasing-k order, so the result is
+// bit-identical to the serial AddMul for any worker count. Workers ≤ 1,
+// tiny problems, or bands thinner than one register tile run serially. The
+// steady-state call is allocation-free.
 func (m *Dense) AddMulParallel(alpha float64, a, b *Dense, workers int) {
 	m.checkAddMul(a, b)
 	if alpha == 0 {
 		return
 	}
-	if workers > m.rows/gemmMR {
-		workers = m.rows / gemmMR
-	}
-	if workers <= 1 || a.rows*a.cols*b.cols <= gemmScalarFlops {
-		m.addMulDispatch(alpha, a, b)
-		return
-	}
-	// Band height: even split rounded up to a whole number of register
-	// tiles, so only the last band carries an edge.
-	band := ((m.rows+workers-1)/workers + gemmMR - 1) / gemmMR * gemmMR
-	var wg sync.WaitGroup
-	for i0 := 0; i0 < m.rows; i0 += band {
-		i1 := min(i0+band, m.rows)
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			mb := m.Slice(i0, i1, 0, m.cols)
-			ab := a.Slice(i0, i1, 0, a.cols)
-			mb.addMulDispatch(alpha, ab, b)
-		}(i0, i1)
-	}
-	wg.Wait()
+	m.addMulParallelMode(alpha, a, b, workers, Strict)
 }
 
 // MulParallel returns a·b computed with AddMulParallel's row-band

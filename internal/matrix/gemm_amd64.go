@@ -7,6 +7,11 @@ package matrix
 // force the pure-Go tile and assert both paths are bit-identical.
 var gemmHaveAVX = cpuHasAVX()
 
+// gemmHaveFMA reports whether the fused Fast-mode micro-kernel is usable:
+// AVX2+FMA present and YMM state OS-enabled. Also a variable so tests can
+// force the fallback and assert Fast degrades to the Strict path.
+var gemmHaveFMA = cpuHasAVX2FMA()
+
 // gemmTileN is the packed-B panel width the driver packs for: 8 columns for
 // the AVX micro-kernel, gemmNR for the generic Go tile.
 func gemmTileN() int {
@@ -30,3 +35,18 @@ func cpuHasAVX() bool
 //
 //go:noescape
 func gemmMicroAVX4x8(c *float64, stride int, pa, pb *float64, kc int)
+
+// cpuHasAVX2FMA reports CPU and OS support for the fused kernel: CPUID.1:ECX
+// must advertise FMA, AVX and OSXSAVE, CPUID.(7,0):EBX must advertise AVX2,
+// and XCR0 must have the XMM and YMM state bits set.
+func cpuHasAVX2FMA() bool
+
+// gemmMicroFMA6x8 is the Fast-mode assembly micro-kernel: a 6×8 tile of C
+// held in twelve YMM accumulators across the whole k loop, updated with
+// VFMADD231PD (one rounding per multiply-add) and software prefetch over
+// the packed panels. Bit-identical to the math.FMA scalar reference, NOT to
+// the Strict kernels — see the Numerics contract. stride is in elements; pa
+// advances 6 and pb 8 elements per k step. kc must be ≥ 1.
+//
+//go:noescape
+func gemmMicroFMA6x8(c *float64, stride int, pa, pb *float64, kc int)

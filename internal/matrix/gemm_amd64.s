@@ -24,6 +24,37 @@ noavx:
 	MOVB	$0, ret+0(FP)
 	RET
 
+// func cpuHasAVX2FMA() bool
+//
+// The fused micro-kernel needs FMA (CPUID.1:ECX bit 12), AVX + OSXSAVE
+// (bits 28/27), AVX2 (CPUID.(EAX=7,ECX=0):EBX bit 5), and the OS must
+// enable XMM+YMM state in XCR0 (XGETBV bits 1 and 2).
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVQ	$0, AX
+	CPUID
+	CMPL	AX, $7              // leaf 7 must exist
+	JLT	nofma
+	MOVQ	$1, AX
+	CPUID
+	ANDL	$0x18001000, CX     // FMA | OSXSAVE | AVX
+	CMPL	CX, $0x18001000
+	JNE	nofma
+	MOVQ	$7, AX
+	XORL	CX, CX
+	CPUID
+	ANDL	$0x20, BX           // AVX2
+	JZ	nofma
+	XORL	CX, CX
+	XGETBV
+	ANDL	$6, AX              // XMM and YMM state enabled
+	CMPL	AX, $6
+	JNE	nofma
+	MOVB	$1, ret+0(FP)
+	RET
+nofma:
+	MOVB	$0, ret+0(FP)
+	RET
+
 // func gemmMicroAVX4x8(c *float64, stride int, pa, pb *float64, kc int)
 //
 // Register tile: Y0..Y7 hold the 4×8 block of C (two YMM per row) across
@@ -84,5 +115,83 @@ kloop:
 	VMOVUPD	Y5, 32(R10)
 	VMOVUPD	Y6, (R10)(SI*1)
 	VMOVUPD	Y7, 32(R10)(SI*1)
+	VZEROUPPER
+	RET
+
+// func gemmMicroFMA6x8(c *float64, stride int, pa, pb *float64, kc int)
+//
+// The Fast-mode register tile: Y0..Y11 hold the 6×8 block of C (two YMM
+// per row) across the whole k loop. Per k step: two 8-wide B loads, six A
+// broadcasts (alternating Y14/Y15 to break the dependency chain), and
+// twelve VFMADD231PD — one rounding per multiply-add, which is the whole
+// point of Fast mode. A 6×8 tile is the widest that fits the VEX register
+// budget (12 accumulators + 2 B + 2 broadcast = 16 YMM); software
+// prefetch walks the packed panels a few k steps ahead. Accumulation is
+// still strictly increasing in k, so the result is bit-identical to the
+// math.FMA scalar reference AddMulScalarFMA. pa advances 6 and pb 8
+// elements per k step. kc must be ≥ 1.
+TEXT ·gemmMicroFMA6x8(SB), NOSPLIT, $0-40
+	MOVQ	c+0(FP), DI
+	MOVQ	stride+8(FP), SI
+	MOVQ	pa+16(FP), R8
+	MOVQ	pb+24(FP), R9
+	MOVQ	kc+32(FP), CX
+	SHLQ	$3, SI              // stride in bytes
+	LEAQ	(DI)(SI*2), R10     // row 2
+	LEAQ	(DI)(SI*4), R11     // row 4
+
+	VMOVUPD	(DI), Y0            // C row 0
+	VMOVUPD	32(DI), Y1
+	VMOVUPD	(DI)(SI*1), Y2      // C row 1
+	VMOVUPD	32(DI)(SI*1), Y3
+	VMOVUPD	(R10), Y4           // C row 2
+	VMOVUPD	32(R10), Y5
+	VMOVUPD	(R10)(SI*1), Y6     // C row 3
+	VMOVUPD	32(R10)(SI*1), Y7
+	VMOVUPD	(R11), Y8           // C row 4
+	VMOVUPD	32(R11), Y9
+	VMOVUPD	(R11)(SI*1), Y10    // C row 5
+	VMOVUPD	32(R11)(SI*1), Y11
+
+fmakloop:
+	VMOVUPD	(R9), Y12           // B[k, 0:4]
+	VMOVUPD	32(R9), Y13         // B[k, 4:8]
+	PREFETCHT0	384(R8)         // packed A, 8 k steps ahead
+	PREFETCHT0	512(R9)         // packed B, 8 k steps ahead
+	VBROADCASTSD	(R8), Y14   // A[0, k]
+	VBROADCASTSD	8(R8), Y15  // A[1, k]
+	VFMADD231PD	Y12, Y14, Y0
+	VFMADD231PD	Y13, Y14, Y1
+	VFMADD231PD	Y12, Y15, Y2
+	VFMADD231PD	Y13, Y15, Y3
+	VBROADCASTSD	16(R8), Y14 // A[2, k]
+	VBROADCASTSD	24(R8), Y15 // A[3, k]
+	VFMADD231PD	Y12, Y14, Y4
+	VFMADD231PD	Y13, Y14, Y5
+	VFMADD231PD	Y12, Y15, Y6
+	VFMADD231PD	Y13, Y15, Y7
+	VBROADCASTSD	32(R8), Y14 // A[4, k]
+	VBROADCASTSD	40(R8), Y15 // A[5, k]
+	VFMADD231PD	Y12, Y14, Y8
+	VFMADD231PD	Y13, Y14, Y9
+	VFMADD231PD	Y12, Y15, Y10
+	VFMADD231PD	Y13, Y15, Y11
+	ADDQ	$48, R8
+	ADDQ	$64, R9
+	DECQ	CX
+	JNE	fmakloop
+
+	VMOVUPD	Y0, (DI)
+	VMOVUPD	Y1, 32(DI)
+	VMOVUPD	Y2, (DI)(SI*1)
+	VMOVUPD	Y3, 32(DI)(SI*1)
+	VMOVUPD	Y4, (R10)
+	VMOVUPD	Y5, 32(R10)
+	VMOVUPD	Y6, (R10)(SI*1)
+	VMOVUPD	Y7, 32(R10)(SI*1)
+	VMOVUPD	Y8, (R11)
+	VMOVUPD	Y9, 32(R11)
+	VMOVUPD	Y10, (R11)(SI*1)
+	VMOVUPD	Y11, 32(R11)(SI*1)
 	VZEROUPPER
 	RET

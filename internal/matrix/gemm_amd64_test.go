@@ -83,3 +83,72 @@ func TestGemmMicroAVXDirect(t *testing.T) {
 		t.Fatal("AVX micro-kernel differs from reference accumulation")
 	}
 }
+
+// TestGemmMicroFMADirect exercises the fused assembly kernel on one exact
+// 6×8 tile against a math.FMA accumulation (the compiler lowers math.FMA to
+// the same VFMADD instruction on this hardware), including NaN and
+// signed-zero lanes.
+func TestGemmMicroFMADirect(t *testing.T) {
+	if !cpuHasAVX2FMA() {
+		t.Skip("no AVX2+FMA on this CPU")
+	}
+	const kc = 7
+	pa := make([]float64, 6*kc)
+	pb := make([]float64, 8*kc)
+	rng := rand.New(rand.NewSource(713))
+	for i := range pa {
+		pa[i] = rng.NormFloat64()
+	}
+	for i := range pb {
+		pb[i] = rng.NormFloat64()
+	}
+	pa[4] = math.NaN()
+	pb[5] = math.Copysign(0, -1)
+	c := New(6, 8)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 8; j++ {
+			c.Set(i, j, rng.NormFloat64())
+		}
+	}
+	want := c.Clone()
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 8; j++ {
+			acc := want.At(i, j)
+			for k := 0; k < kc; k++ {
+				acc = math.FMA(pa[6*k+i], pb[8*k+j], acc)
+			}
+			want.Set(i, j, acc)
+		}
+	}
+	gemmMicroFMA6x8(&c.data[0], c.stride, &pa[0], &pb[0], kc)
+	if !bitIdentical(c, want) {
+		t.Fatal("FMA micro-kernel differs from math.FMA reference accumulation")
+	}
+}
+
+// TestFastFallbackWithoutFMA forces gemmHaveFMA off and asserts Fast mode
+// degrades to the Strict packed path bit for bit — the documented behavior
+// on hardware without AVX2+FMA (the error bound then holds with equality).
+func TestFastFallbackWithoutFMA(t *testing.T) {
+	saved := gemmHaveFMA
+	defer func() { gemmHaveFMA = saved }()
+	gemmHaveFMA = false
+
+	rng := rand.New(rand.NewSource(714))
+	for it := 0; it < 10; it++ {
+		m, k, n := pickDim(rng), pickDim(rng), pickDim(rng)
+		a := randomOperand(rng, m, k, false, it%3 == 0)
+		b := randomOperand(rng, k, n, false, false)
+		c0 := randomOperand(rng, m, n, false, false)
+		strict := c0.Clone()
+		strict.AddMulNumerics(1, a, b, Strict)
+		fast := c0.Clone()
+		fast.AddMulNumerics(1, a, b, Fast)
+		if !bitIdentical(fast, strict) {
+			t.Fatalf("it=%d m=%d k=%d n=%d: Fast without FMA is not the Strict path", it, m, k, n)
+		}
+	}
+	if FastAvailable() {
+		t.Fatal("FastAvailable must report false while gemmHaveFMA is forced off")
+	}
+}

@@ -6,9 +6,18 @@ package matrix
 // assembly dispatch arm entirely.
 const gemmHaveAVX = false
 
+// gemmHaveFMA is constant false off amd64: Fast mode runs the Strict
+// packed path there (the error bound holds with equality).
+const gemmHaveFMA = false
+
 func gemmTileN() int { return gemmNR }
 
 // gemmMicroAVX4x8 is never reachable when gemmHaveAVX is false.
 func gemmMicroAVX4x8(c *float64, stride int, pa, pb *float64, kc int) {
 	panic("matrix: AVX micro-kernel unavailable on this architecture")
+}
+
+// gemmMicroFMA6x8 is never reachable when gemmHaveFMA is false.
+func gemmMicroFMA6x8(c *float64, stride int, pa, pb *float64, kc int) {
+	panic("matrix: FMA micro-kernel unavailable on this architecture")
 }

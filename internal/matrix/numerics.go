@@ -1,0 +1,156 @@
+package matrix
+
+import (
+	"fmt"
+	"time"
+)
+
+// Numerics selects the arithmetic contract of the compute layer.
+//
+// Strict is the historical (and default) contract: every kernel is
+// bit-identical to the scalar ikj reference — each product is a separate
+// IEEE-rounded multiply followed by a separate rounded add, accumulated in
+// strictly increasing k order. Strict results are reproducible across the
+// scalar, packed, AVX, and parallel paths, which is what lets the
+// distributed engine stay bit-identical to serial replays.
+//
+// Fast trades the bitwise contract for an error-bound contract: on CPUs
+// with AVX2+FMA the packed GEMM dispatches to a fused 6×8 micro-kernel
+// (one rounding per multiply-add instead of two, wider register tile,
+// software prefetch). Each output element is still accumulated in strictly
+// increasing k order, so the Fast result C̃ of an m×k·k×n update satisfies
+// the componentwise bound
+//
+//	|C̃ - C| ≤ 2·γ(k+1)·(|C0| + |alpha|·|A|·|B|),  γ(t) = t·ε/(1-t·ε)
+//
+// against the Strict result C (both paths are within γ(k+1) of the exact
+// value). On hardware without AVX2+FMA, Fast falls back to the Strict
+// packed path, so the bound holds trivially. NaN/Inf semantics are
+// preserved: a NaN in Strict is a NaN in Fast (fusion never un-poisons an
+// operand), and ±Inf propagates with the same sign absent catastrophic
+// overflow differences. Property tests in numerics_test.go verify the
+// bound; DESIGN.md §10 documents the contract.
+type Numerics int
+
+const (
+	// Strict is the bit-identical-to-scalar contract (the default).
+	Strict Numerics = iota
+	// Fast is the FMA-fused, error-bounded contract.
+	Fast
+)
+
+func (n Numerics) String() string {
+	switch n {
+	case Strict:
+		return "strict"
+	case Fast:
+		return "fast"
+	default:
+		return fmt.Sprintf("numerics(%d)", int(n))
+	}
+}
+
+// FastAvailable reports whether the Fast contract actually changes the
+// arithmetic on this CPU: true when the AVX2+FMA fused micro-kernel is
+// usable. When false, Fast mode runs the Strict kernels (the error bound
+// holds with equality).
+func FastAvailable() bool { return gemmHaveFMA }
+
+// AddMulNumerics is AddMul under an explicit numerics contract: Strict is
+// exactly AddMul; Fast routes large updates through the FMA-fused
+// micro-kernel when the CPU supports it. See Numerics for the error bound.
+func (m *Dense) AddMulNumerics(alpha float64, a, b *Dense, mode Numerics) {
+	m.checkAddMul(a, b)
+	if alpha == 0 {
+		return
+	}
+	m.addMulDispatchMode(alpha, a, b, mode)
+}
+
+// AddMulParallelNumerics is AddMulParallel under an explicit numerics
+// contract. The row-band split is unchanged between modes: in Strict mode
+// results stay bit-identical to the serial Strict path for any worker
+// count, and in Fast mode every element is produced by exactly the same
+// fused accumulation the serial Fast path performs.
+func (m *Dense) AddMulParallelNumerics(alpha float64, a, b *Dense, workers int, mode Numerics) {
+	m.checkAddMul(a, b)
+	if alpha == 0 {
+		return
+	}
+	m.addMulParallelMode(alpha, a, b, workers, mode)
+}
+
+// BlockedFactorNumerics is BlockedFactor under an explicit numerics
+// contract: the panel factorization is always scalar (pivot choices are
+// made on Strict arithmetic of the panel itself), while the U-panel
+// triangular solve and the trailing rank-b update run under mode.
+func BlockedFactorNumerics(a *Dense, blockSize int, mode Numerics) (*LU, error) {
+	return blockedFactor(a, blockSize, mode)
+}
+
+// BlockedFactorCholeskyNumerics is BlockedFactorCholesky under an explicit
+// numerics contract (the trailing symmetric update runs under mode).
+func BlockedFactorCholeskyNumerics(a *Dense, blockSize int, mode Numerics) (*Cholesky, error) {
+	return blockedFactorCholesky(a, blockSize, mode)
+}
+
+// FactorQRBlockedNumerics is FactorQRBlocked under an explicit numerics
+// contract (the compact-WY trailing updates run under mode).
+func FactorQRBlockedNumerics(a *Dense, blockSize int, mode Numerics) *QR {
+	return factorQRBlocked(a, blockSize, mode)
+}
+
+// SolveLowerUnitNumerics is SolveLowerUnit under an explicit numerics
+// contract: the off-diagonal GEMM updates of the blocked forward solve run
+// under mode; the diagonal substitutions are always scalar.
+func (m *Dense) SolveLowerUnitNumerics(b *Dense, mode Numerics) {
+	if m.rows != m.cols || m.rows != b.rows {
+		panic(fmt.Sprintf("matrix: SolveLowerUnit %d×%d with rhs %d×%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	m.solveLowerUnitMode(b, mode)
+}
+
+// PeakGFlops estimates the micro-kernel flop ceiling of this machine under
+// the given numerics contract by timing the register-tile kernel on
+// L1-resident packed panels — the practical single-core roofline that
+// benchkernels reports measured rates against. The estimate costs a few
+// tens of milliseconds.
+func PeakGFlops(mode Numerics) float64 {
+	const kc = gemmKC
+	mr, nr := gemmMR, gemmTileN()
+	if mode == Fast && gemmHaveFMA {
+		mr, nr = gemmMRFMA, gemmNRFMA
+	}
+	pa := make([]float64, mr*kc)
+	pb := make([]float64, nr*kc)
+	for i := range pa {
+		pa[i] = 1 + float64(i%7)*0.125
+	}
+	for i := range pb {
+		pb[i] = 1 - float64(i%5)*0.0625
+	}
+	c := New(mr, nr)
+	tile := func() {
+		switch {
+		case mode == Fast && gemmHaveFMA:
+			gemmMicroFMA6x8(&c.data[0], c.stride, &pa[0], &pb[0], kc)
+		case gemmHaveAVX && nr == gemmNRAVX:
+			gemmMicroAVX4x8(&c.data[0], c.stride, &pa[0], &pb[0], kc)
+		default:
+			gemmMicro4x4(c, 0, 0, pa, pb, kc)
+		}
+	}
+	// Warm up (page faults, turbo ramp), then time enough iterations to
+	// dominate timer noise.
+	for i := 0; i < 100; i++ {
+		tile()
+	}
+	const iters = 20000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		tile()
+	}
+	elapsed := time.Since(start).Seconds()
+	flops := 2 * float64(mr) * float64(nr) * float64(kc) * iters
+	return flops / elapsed / 1e9
+}

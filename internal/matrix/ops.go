@@ -99,6 +99,14 @@ func (m *Dense) SolveLowerUnit(b *Dense) {
 	if m.rows != m.cols || m.rows != b.rows {
 		panic(fmt.Sprintf("matrix: SolveLowerUnit %d×%d with rhs %d×%d", m.rows, m.cols, b.rows, b.cols))
 	}
+	m.solveLowerUnitMode(b, Strict)
+}
+
+// solveLowerUnitMode is the blocked forward solve under an explicit
+// numerics contract: the off-diagonal rank-trsmBlock GEMM updates run
+// under mode, the diagonal substitutions stay scalar. Strict is exactly
+// the historical SolveLowerUnit. Shapes were validated by the caller.
+func (m *Dense) solveLowerUnitMode(b *Dense, mode Numerics) {
 	n := m.rows
 	if n <= trsmBlock || b.cols < gemmNR {
 		m.solveLowerUnitRange(b, 0, n)
@@ -109,7 +117,7 @@ func (m *Dense) SolveLowerUnit(b *Dense) {
 		m.solveLowerUnitRange(b, k0, k1)
 		if k1 < n {
 			// b[k1:n] -= L[k1:n, k0:k1] · b[k0:k1]
-			b.Slice(k1, n, 0, b.cols).AddMul(-1, m.Slice(k1, n, k0, k1), b.Slice(k0, k1, 0, b.cols))
+			b.Slice(k1, n, 0, b.cols).AddMulNumerics(-1, m.Slice(k1, n, k0, k1), b.Slice(k0, k1, 0, b.cols), mode)
 		}
 	}
 }

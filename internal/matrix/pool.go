@@ -1,0 +1,296 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the compute layer's persistent worker pool. The parallel
+// GEMM/TRSM paths and the engine's block-update fan-out used to spawn fresh
+// goroutines (plus a WaitGroup allocation) on every call; steady-state
+// distributed runs perform thousands of such calls per factorization. The
+// pool replaces that with a fixed set of lazily-started workers fed by one
+// buffered channel of by-value task descriptors:
+//
+//   - tasks are plain structs (matrix views are embedded by value), so a
+//     submission is a channel copy — no per-call heap allocation;
+//   - completion groups are recycled through a sync.Pool, extending the
+//     serial packed path's zero-allocation guarantee to the parallel
+//     steady state (pinned by TestAddMulParallelZeroAlloc);
+//   - when the queue is full the submitter runs the task inline, which
+//     both bounds latency and makes the pool deadlock-free under
+//     arbitrary nesting (a task never waits on queue capacity);
+//   - idle workers block in a channel receive — quiescent, no spinning —
+//     and the pool never grows, so hammering it from many concurrent
+//     factorizations cannot leak goroutines.
+//
+// Output partitions handed to the pool are always whole register-tile row
+// bands (GEMM) or column bands (TRSM): disjoint in memory, so workers never
+// write the same element and — tile alignment keeping band boundaries off
+// shared lines in the common strides — rarely even the same cache line.
+type poolTask struct {
+	kind  int8
+	mode  Numerics
+	alpha float64
+	// c/a/b are by-value views: taskGemm computes c += alpha·a·b, taskTrsm
+	// solves a·x = c in place over c's columns (a unit lower triangular).
+	c, a, b Dense
+	// fn/lo/hi are the taskFunc form: run fn(lo), …, fn(hi-1).
+	fn     func(i int)
+	lo, hi int
+	g      *poolGroup
+}
+
+const (
+	taskGemm int8 = iota
+	taskTrsm
+	taskFunc
+)
+
+// poolGroup tracks one caller's outstanding tasks and captures the first
+// worker panic for re-raise on the caller.
+type poolGroup struct {
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	panicked any
+}
+
+var groupPool = sync.Pool{New: func() any { return new(poolGroup) }}
+
+// Pool instrumentation, exposed via PoolStats for the observability layer.
+var (
+	poolSubmitted atomic.Int64 // tasks handed to pool workers
+	poolInline    atomic.Int64 // tasks run on the submitter (queue full)
+	fastDispatch  atomic.Int64 // packed GEMM calls routed to the fused fast path
+)
+
+// PoolStats reports the worker pool's size and cumulative task counters,
+// plus how many packed GEMM calls dispatched to the Fast fused kernel.
+// Workers is 0 until the first parallel call starts the pool.
+func PoolStats() (workers int, submitted, inline, fastCalls int64) {
+	return int(poolWorkerCount.Load()), poolSubmitted.Load(), poolInline.Load(), fastDispatch.Load()
+}
+
+var (
+	poolOnce        sync.Once
+	poolTasks       chan poolTask
+	poolWorkerCount atomic.Int64
+)
+
+// pool returns the task channel, starting the workers on first use. The
+// pool is sized to the scheduler (GOMAXPROCS at start, minimum 2 so the
+// concurrent paths stay exercised even on single-CPU machines); extra
+// logical workers requested by callers simply produce more bands, which
+// queue and drain.
+func pool() chan poolTask {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 2 {
+			n = 2
+		}
+		poolTasks = make(chan poolTask, 8*n)
+		for i := 0; i < n; i++ {
+			go poolWorker(poolTasks)
+		}
+		poolWorkerCount.Store(int64(n))
+	})
+	return poolTasks
+}
+
+func poolWorker(tasks <-chan poolTask) {
+	for t := range tasks {
+		runPoolTask(&t)
+	}
+}
+
+// poolSubmit hands a task to the pool, or runs it inline when the queue is
+// full — the non-blocking send is what makes nested parallel calls unable
+// to deadlock on queue capacity.
+func poolSubmit(t poolTask) {
+	select {
+	case pool() <- t:
+		poolSubmitted.Add(1)
+	default:
+		poolInline.Add(1)
+		runPoolTask(&t)
+	}
+}
+
+// runPoolTask executes one task, routing any panic into the group so the
+// caller's wait re-raises it (the engine's abort recovery lives on the
+// calling goroutine).
+func runPoolTask(t *poolTask) {
+	defer t.g.taskDone()
+	switch t.kind {
+	case taskGemm:
+		t.c.addMulDispatchMode(t.alpha, &t.a, &t.b, t.mode)
+	case taskTrsm:
+		t.a.solveLowerUnitMode(&t.c, t.mode)
+	default:
+		for i := t.lo; i < t.hi; i++ {
+			t.fn(i)
+		}
+	}
+}
+
+func (g *poolGroup) taskDone() {
+	if p := recover(); p != nil {
+		g.mu.Lock()
+		if g.panicked == nil {
+			g.panicked = p
+		}
+		g.mu.Unlock()
+	}
+	g.wg.Done()
+}
+
+// getGroup returns a recycled completion group.
+func getGroup() *poolGroup { return groupPool.Get().(*poolGroup) }
+
+// finishGroup waits for the group's outstanding tasks, recycles it, and
+// re-raises the first panic: callerPanic (from the submitter's own share)
+// takes precedence, then the first worker panic.
+func finishGroup(g *poolGroup, callerPanic any) {
+	g.wg.Wait()
+	p := g.panicked
+	g.panicked = nil
+	groupPool.Put(g)
+	if callerPanic != nil {
+		panic(callerPanic)
+	}
+	if p != nil {
+		panic(p)
+	}
+}
+
+// ParallelDo runs fn(0), …, fn(n-1) across at most workers concurrent
+// executors in contiguous index chunks, blocking until all return. The
+// caller always executes the first chunk itself; the rest go to the
+// persistent pool. The split is purely a scheduling choice: callers use it
+// for disjoint-output updates, so any worker count produces identical
+// results. A panic in any chunk is re-raised on the caller after all
+// chunks finish. workers ≤ 1 (or n ≤ 1) runs inline with no pool traffic.
+func ParallelDo(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	g := getGroup()
+	g.wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		poolSubmit(poolTask{kind: taskFunc, fn: fn, lo: n * w / workers, hi: n * (w + 1) / workers, g: g})
+	}
+	callerPanic := runChunk(fn, 0, n/workers)
+	finishGroup(g, callerPanic)
+}
+
+// runChunk executes the caller's own share, capturing a panic so the group
+// can still be awaited before re-raising.
+func runChunk(fn func(i int), lo, hi int) (panicked any) {
+	defer func() { panicked = recover() }()
+	for i := lo; i < hi; i++ {
+		fn(i)
+	}
+	return nil
+}
+
+// rowBand returns a by-value view of rows [i0, i1) — the no-allocation
+// counterpart of Slice for handing disjoint output bands to pool tasks.
+// Requires 0 ≤ i0 < i1 ≤ m.rows.
+func (m *Dense) rowBand(i0, i1 int) Dense {
+	end := (i1-1)*m.stride + m.cols
+	return Dense{rows: i1 - i0, cols: m.cols, stride: m.stride, data: m.data[i0*m.stride : end : end]}
+}
+
+// colBand returns a by-value view of columns [j0, j1). Requires
+// 0 ≤ j0 < j1 ≤ m.cols and m.rows ≥ 1.
+func (m *Dense) colBand(j0, j1 int) Dense {
+	end := (m.rows-1)*m.stride + j1
+	return Dense{rows: m.rows, cols: j1 - j0, stride: m.stride, data: m.data[j0:end:end]}
+}
+
+// addMulParallelMode is the parallel GEMM driver behind AddMulParallel and
+// AddMulParallelNumerics: the output is partitioned into contiguous
+// register-tile row bands, bands beyond the first are submitted to the
+// persistent pool, and the caller computes the first band while they run.
+// Every output element is accumulated by exactly one executor in the
+// mode's serial accumulation order, so Strict stays bit-identical to the
+// serial Strict path for any worker count, and Fast produces exactly the
+// serial Fast result. Shapes and alpha were validated by the caller.
+func (m *Dense) addMulParallelMode(alpha float64, a, b *Dense, workers int, mode Numerics) {
+	mr := gemmMR
+	if mode == Fast && gemmHaveFMA {
+		mr = gemmMRFMA
+	}
+	if workers > m.rows/mr {
+		workers = m.rows / mr
+	}
+	if workers <= 1 || a.rows*a.cols*b.cols <= gemmScalarFlops {
+		m.addMulDispatchMode(alpha, a, b, mode)
+		return
+	}
+	// Band height: even split rounded up to a whole number of register
+	// tiles, so only the last band carries an edge.
+	band := ((m.rows+workers-1)/workers + mr - 1) / mr * mr
+	g := getGroup()
+	for i0 := band; i0 < m.rows; i0 += band {
+		i1 := min(i0+band, m.rows)
+		g.wg.Add(1)
+		poolSubmit(poolTask{kind: taskGemm, mode: mode, alpha: alpha,
+			c: m.rowBand(i0, i1), a: a.rowBand(i0, i1), b: *b, g: g})
+	}
+	callerPanic := func() (panicked any) {
+		defer func() { panicked = recover() }()
+		c0 := m.rowBand(0, min(band, m.rows))
+		a0 := a.rowBand(0, min(band, a.rows))
+		c0.addMulDispatchMode(alpha, &a0, b, mode)
+		return nil
+	}()
+	finishGroup(g, callerPanic)
+}
+
+// SolveLowerUnitParallel solves L·x = b in place over the columns of b
+// with `workers` concurrent executors, the right-hand side partitioned
+// into contiguous column bands on the persistent pool. Columns are
+// independent in a forward solve and the blocked solve is bit-identical to
+// the scalar reference per column, so the result is bit-identical to
+// SolveLowerUnit for any worker count.
+func (m *Dense) SolveLowerUnitParallel(b *Dense, workers int) {
+	m.SolveLowerUnitParallelNumerics(b, workers, Strict)
+}
+
+// SolveLowerUnitParallelNumerics is SolveLowerUnitParallel under an
+// explicit numerics contract (the blocked solve's GEMM updates run under
+// mode, exactly as the serial SolveLowerUnitNumerics).
+func (m *Dense) SolveLowerUnitParallelNumerics(b *Dense, workers int, mode Numerics) {
+	if m.rows != m.cols || m.rows != b.rows {
+		panic("matrix: SolveLowerUnitParallel shape mismatch")
+	}
+	if workers > b.cols/gemmNR {
+		workers = b.cols / gemmNR
+	}
+	if workers <= 1 || m.rows == 0 {
+		m.solveLowerUnitMode(b, mode)
+		return
+	}
+	band := ((b.cols+workers-1)/workers + gemmNR - 1) / gemmNR * gemmNR
+	g := getGroup()
+	for j0 := band; j0 < b.cols; j0 += band {
+		j1 := min(j0+band, b.cols)
+		g.wg.Add(1)
+		poolSubmit(poolTask{kind: taskTrsm, mode: mode, a: *m, c: b.colBand(j0, j1), g: g})
+	}
+	callerPanic := func() (panicked any) {
+		defer func() { panicked = recover() }()
+		b0 := b.colBand(0, min(band, b.cols))
+		m.solveLowerUnitMode(&b0, mode)
+		return nil
+	}()
+	finishGroup(g, callerPanic)
+}

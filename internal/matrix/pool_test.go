@@ -1,0 +1,220 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestParallelDo checks the chunked fan-out: every index runs exactly once
+// for assorted worker/n combinations, including workers > n and the serial
+// fallbacks.
+func TestParallelDo(t *testing.T) {
+	for _, tc := range [][2]int{{1, 5}, {2, 2}, {3, 10}, {4, 100}, {7, 3}, {16, 1}, {2, 0}} {
+		workers, n := tc[0], tc[1]
+		hits := make([]int32, n)
+		var mu sync.Mutex
+		ParallelDo(workers, n, func(i int) {
+			mu.Lock()
+			hits[i]++
+			mu.Unlock()
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+			}
+		}
+	}
+}
+
+// TestParallelDoPanic checks panic propagation from both the caller's own
+// chunk (index 0) and a pool worker's chunk (last index).
+func TestParallelDoPanic(t *testing.T) {
+	for _, panicAt := range []int{0, 99} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("panic at index %d was swallowed", panicAt)
+				}
+				if s, ok := p.(string); !ok || s != "boom" {
+					t.Fatalf("panic at index %d: got %v", panicAt, p)
+				}
+			}()
+			ParallelDo(4, 100, func(i int) {
+				if i == panicAt {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// TestSolveLowerUnitParallel pins the parallel TRSM: bit-identical to the
+// serial SolveLowerUnit for any worker count (columns are independent in a
+// forward solve).
+func TestSolveLowerUnitParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{8, 64, 130, 257} {
+		l := randomOperand(rng, n, n, false, false)
+		b := randomOperand(rng, n, 70, false, false)
+		want := b.Clone()
+		l.SolveLowerUnit(want)
+		for _, workers := range []int{1, 2, 3, 4, 9} {
+			got := b.Clone()
+			l.SolveLowerUnitParallel(got, workers)
+			if !bitIdentical(got, want) {
+				t.Fatalf("n=%d workers=%d: parallel TRSM differs from serial", n, workers)
+			}
+		}
+	}
+}
+
+// TestAddMulParallelPool re-pins the historical contract now that the
+// parallel path runs on the persistent pool: bit-identical to serial AddMul
+// for any worker count, specials included.
+func TestAddMulParallelPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 24; trial++ {
+		m, k, n := pickDim(rng), pickDim(rng), pickDim(rng)
+		a := randomOperand(rng, m, k, trial%2 == 0, trial%4 == 0)
+		b := randomOperand(rng, k, n, false, trial%5 == 0)
+		c := randomOperand(rng, m, n, false, false)
+		want := c.Clone()
+		want.AddMul(-0.75, a, b)
+		for _, workers := range []int{2, 4, 13} {
+			got := c.Clone()
+			got.AddMulParallel(-0.75, a, b, workers)
+			if !bitIdentical(got, want) {
+				t.Fatalf("trial %d (%d×%d·%d×%d) workers=%d: parallel differs from serial",
+					trial, m, k, k, n, workers)
+			}
+		}
+	}
+}
+
+// TestAddMulParallelZeroAlloc extends the serial zero-allocation guarantee
+// to the parallel steady state: once the pool and packing buffers are warm,
+// a parallel GEMM call allocates nothing — in either numerics mode.
+func TestAddMulParallelZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin runs in the non-race matrix")
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := randomOperand(rng, 192, 96, false, false)
+	b := randomOperand(rng, 96, 128, false, false)
+	c := randomOperand(rng, 192, 128, false, false)
+	for _, mode := range []Numerics{Strict, Fast} {
+		// Warm the pool, the completion groups, and every worker's packing
+		// buffers before measuring.
+		for i := 0; i < 10; i++ {
+			c.AddMulParallelNumerics(1, a, b, 4, mode)
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			c.AddMulParallelNumerics(1, a, b, 4, mode)
+		})
+		if avg != 0 {
+			t.Errorf("mode=%v: parallel AddMul allocates %.2f per call in steady state", mode, avg)
+		}
+	}
+}
+
+// TestPoolNoGoroutineLeak hammers the parallel paths and checks the
+// goroutine count stays at the pool's fixed size: the pool never grows, and
+// per-call goroutine spawning is gone.
+func TestPoolNoGoroutineLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomOperand(rng, 130, 64, false, false)
+	b := randomOperand(rng, 64, 96, false, false)
+	c := randomOperand(rng, 130, 96, false, false)
+	c.AddMulParallel(1, a, b, 4) // ensure the pool is started
+	base := runtime.NumGoroutine()
+	for i := 0; i < 300; i++ {
+		c.AddMulParallel(1, a, b, 2+i%6)
+	}
+	// A small slack absorbs unrelated runtime goroutines (GC workers etc.).
+	if got := runtime.NumGoroutine(); got > base+2 {
+		t.Fatalf("goroutines grew from %d to %d over 300 parallel calls", base, got)
+	}
+}
+
+// TestPoolConcurrentHammer drives the pool from many concurrent
+// factorizations and mixed parallel kernels at once — the race detector
+// (CI runs this package under -race) checks the pool's synchronization, and
+// the bitwise/error assertions check results stay correct under contention.
+func TestPoolConcurrentHammer(t *testing.T) {
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			mode := Strict
+			if g%2 == 1 {
+				mode = Fast
+			}
+			a := randomOperand(rng, 97, 64, false, false)
+			b := randomOperand(rng, 64, 70, false, false)
+			c := randomOperand(rng, 97, 70, false, false)
+			want := c.Clone()
+			want.AddMulNumerics(1, a, b, mode)
+			for iter := 0; iter < 20; iter++ {
+				got := c.Clone()
+				got.AddMulParallelNumerics(1, a, b, 1+iter%5, mode)
+				if !bitIdentical(got, want) {
+					errs <- fmt.Errorf("goroutine %d iter %d: parallel result diverged", g, iter)
+					return
+				}
+				sq := randomOperand(rng, 70, 70, false, false)
+				for i := 0; i < 70; i++ {
+					sq.Add(i, i, 70)
+				}
+				if _, err := BlockedFactorNumerics(sq, 32, mode); err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d: LU: %v", g, iter, err)
+					return
+				}
+				ParallelDo(3, 50, func(int) {})
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPoolStats sanity-checks the instrumentation counters the obs layer
+// exports: after parallel work the pool reports a fixed worker count and a
+// non-decreasing submit counter.
+func TestPoolStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomOperand(rng, 130, 64, false, false)
+	b := randomOperand(rng, 64, 96, false, false)
+	c := randomOperand(rng, 130, 96, false, false)
+	c.AddMulParallel(1, a, b, 4)
+	workers, submitted, inline, _ := PoolStats()
+	if workers < 2 {
+		t.Fatalf("pool reports %d workers after use", workers)
+	}
+	if submitted+inline == 0 {
+		t.Fatalf("no tasks recorded after a parallel call (submitted=%d inline=%d)", submitted, inline)
+	}
+	c.AddMulParallel(1, a, b, 4)
+	_, submitted2, inline2, _ := PoolStats()
+	if submitted2+inline2 <= submitted+inline {
+		t.Fatalf("task counters did not advance: %d+%d -> %d+%d", submitted, inline, submitted2, inline2)
+	}
+	if FastAvailable() {
+		_, _, _, fastBefore := PoolStats()
+		c.AddMulNumerics(1, a, b, Fast)
+		_, _, _, fastAfter := PoolStats()
+		if fastAfter <= fastBefore {
+			t.Fatalf("fast-dispatch counter did not advance: %d -> %d", fastBefore, fastAfter)
+		}
+	}
+}

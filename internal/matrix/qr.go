@@ -81,6 +81,14 @@ func FactorQR(a *Dense) *QR {
 // to FactorQR (R and Q agree to rounding; the trailing-update order
 // differs). The input is not modified. blockSize ≤ 0 selects a default.
 func FactorQRBlocked(a *Dense, blockSize int) *QR {
+	return factorQRBlocked(a, blockSize, Strict)
+}
+
+// factorQRBlocked is FactorQRBlocked under an explicit numerics contract:
+// the panel reflector loop and T accumulation stay scalar (reflector
+// choices are made on Strict arithmetic of the panel), while the three
+// compact-WY trailing products run under mode.
+func factorQRBlocked(a *Dense, blockSize int, mode Numerics) *QR {
 	m, n := a.rows, a.cols
 	if m < n {
 		panic(fmt.Sprintf("matrix: QR requires rows >= cols, got %d×%d", m, n))
@@ -171,9 +179,11 @@ func FactorQRBlocked(a *Dense, blockSize int) *QR {
 		}
 		// Trailing update: C ← (I − V·Tᵀ·Vᵀ)·C, i.e. C −= V·(Tᵀ·(Vᵀ·C)).
 		trailing := qr.Slice(k0, m, k1, n)
-		w1 := Mul(vMat.T(), trailing)
-		w2 := Mul(tMat.T(), w1)
-		trailing.AddMul(-1, vMat, w2)
+		w1 := New(pw, n-k1)
+		w1.AddMulNumerics(1, vMat.T(), trailing, mode)
+		w2 := New(pw, n-k1)
+		w2.AddMulNumerics(1, tMat.T(), w1, mode)
+		trailing.AddMulNumerics(-1, vMat, w2, mode)
 	}
 	return &QR{qr: qr, tau: tau}
 }

@@ -113,6 +113,9 @@ type series struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	// fn, when non-nil, overrides the gauge's stored value at exposition
+	// time (see FuncGauge). Guarded by the registry mutex.
+	fn func() float64
 }
 
 // Registry holds named metrics and renders them in the Prometheus text
@@ -196,6 +199,33 @@ func (r *Registry) Gauge(name, labels, help string) *Gauge {
 	return s.gauge
 }
 
+// FuncGauge registers (or re-points) a callback-backed gauge name{labels}:
+// the callback is evaluated at exposition time (WriteTo), so the series
+// always reports live state — process-wide counters, pool occupancy —
+// without anyone having to call Set on every change. The callback must be
+// safe to call from any goroutine.
+func (r *Registry) FuncGauge(name, labels, help string, fn func() float64) {
+	key := name + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byKey[key]; ok {
+		if s.kind != kindGauge {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different type", key))
+		}
+		s.fn = fn
+		return
+	}
+	s := &series{name: name, labels: labels, kind: kindGauge, help: help, gauge: &Gauge{}, fn: fn}
+	r.byKey[key] = s
+	r.sorted = append(r.sorted, s)
+	sort.Slice(r.sorted, func(a, b int) bool {
+		if r.sorted[a].name != r.sorted[b].name {
+			return r.sorted[a].name < r.sorted[b].name
+		}
+		return r.sorted[a].labels < r.sorted[b].labels
+	})
+}
+
 // Histogram returns (registering on first use) the histogram name{labels}
 // with the given upper bounds (nil selects DefBuckets). Bounds are fixed at
 // first registration.
@@ -226,6 +256,10 @@ func fmtFloat(v float64) string {
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	r.mu.Lock()
 	snapshot := append([]*series(nil), r.sorted...)
+	fns := make([]func() float64, len(snapshot))
+	for i, s := range snapshot {
+		fns[i] = s.fn
+	}
 	r.mu.Unlock()
 
 	var n int64
@@ -235,7 +269,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		return err
 	}
 	lastName := ""
-	for _, s := range snapshot {
+	for i, s := range snapshot {
 		if s.name != lastName {
 			lastName = s.name
 			if s.help != "" {
@@ -254,7 +288,11 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 				return n, err
 			}
 		case kindGauge:
-			if err := emit("%s%s %s\n", s.name, s.labels, fmtFloat(s.gauge.Value())); err != nil {
+			v := s.gauge.Value()
+			if fns[i] != nil {
+				v = fns[i]()
+			}
+			if err := emit("%s%s %s\n", s.name, s.labels, fmtFloat(v)); err != nil {
 				return n, err
 			}
 		case kindHistogram:

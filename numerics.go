@@ -1,0 +1,38 @@
+package hetgrid
+
+import "hetgrid/internal/matrix"
+
+// Numerics selects the floating-point contract of the compute kernels
+// behind Multiply, Factor and the Distributed* executions.
+//
+// Strict (the default) is the historical contract: every multiply and add
+// rounds separately, in a fixed evaluation order, so results are
+// bit-identical across the scalar, packed, vectorized and parallel code
+// paths — the property every distribution-independence and recovery test
+// in this repo leans on.
+//
+// Fast relaxes rounding, not order: on hardware with AVX2+FMA the GEMM
+// micro-kernel fuses each multiply-add into one rounding (VFMADD), runs a
+// wider register tile and prefetches ahead. The result is no longer
+// bit-identical to Strict but satisfies the componentwise bound
+//
+//	|fast − strict| ≤ 2·γ(k+1)·(|C₀| + |α|·|A|·|B|),  γ(t) = t·ε/(1−t·ε)
+//
+// which the matrix package's property tests verify against the Strict
+// oracle. Decisions that steer an algorithm — pivot choices, Householder
+// reflector scalings — always run Strict in both modes; only trailing
+// updates and triangular-solve bulk work take the fast path. On hardware
+// without FMA, Fast executes the Strict code path exactly.
+type Numerics = matrix.Numerics
+
+const (
+	// Strict is the default bit-identical contract (see Numerics).
+	Strict = matrix.Strict
+	// Fast is the FMA-fused relaxed-rounding contract (see Numerics).
+	Fast = matrix.Fast
+)
+
+// FastAvailable reports whether this machine runs Fast mode's fused
+// micro-kernel (AVX2+FMA detected at startup). When false, Fast mode is
+// still accepted everywhere but computes exactly like Strict.
+func FastAvailable() bool { return matrix.FastAvailable() }

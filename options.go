@@ -42,6 +42,15 @@ func WithParallelism(n int) Option {
 	return func(co *callOptions) { co.exec.Parallelism = n }
 }
 
+// WithNumerics selects the floating-point contract of the call's compute
+// kernels: Strict (the default) keeps every result bit-identical across
+// code paths; Fast unlocks the FMA-fused micro-kernel under the relaxed
+// componentwise error bound documented on Numerics. Applies to Multiply,
+// Factor and the Distributed* executions.
+func WithNumerics(n Numerics) Option {
+	return func(co *callOptions) { co.exec.Numerics = n }
+}
+
 // WithFaults enables deterministic fault injection (and, when
 // f.Recover is set, checkpoint-based recovery) on a distributed execution.
 func WithFaults(f FaultOptions) Option {

@@ -6,9 +6,9 @@ import (
 )
 
 // This file gives the package's enums a parse side, so BroadcastKind,
-// Strategy and Kernel all round-trip through String()/Parse*: for every
-// valid value v, Parse*(v.String()) == v. The CLI tools build their flag
-// handling on these.
+// Strategy, Kernel and Numerics all round-trip through String()/Parse*:
+// for every valid value v, Parse*(v.String()) == v. The CLI tools build
+// their flag handling on these.
 
 func (s Strategy) String() string {
 	switch s {
@@ -56,6 +56,19 @@ func ParseKernel(s string) (Kernel, error) {
 		return Cholesky, nil
 	default:
 		return 0, fmt.Errorf("hetgrid: unknown kernel %q (want matmul, lu, qr or cholesky)", s)
+	}
+}
+
+// ParseNumerics maps a numerics-mode name to its constant. Accepted:
+// strict, fast.
+func ParseNumerics(s string) (Numerics, error) {
+	switch strings.ToLower(s) {
+	case "strict":
+		return Strict, nil
+	case "fast":
+		return Fast, nil
+	default:
+		return 0, fmt.Errorf("hetgrid: unknown numerics %q (want strict or fast)", s)
 	}
 }
 

@@ -57,6 +57,29 @@ func FuzzParseKernel(f *testing.F) {
 	})
 }
 
+func FuzzParseNumerics(f *testing.F) {
+	for _, seed := range []string{"strict", "fast", "FAST", "Strict", " fast", "loose", "numerics(2)", ""} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseNumerics(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "numerics") {
+				t.Fatalf("rejection of %q does not say what was being parsed: %v", s, err)
+			}
+			return
+		}
+		name := v.String()
+		back, err := ParseNumerics(name)
+		if err != nil {
+			t.Fatalf("%q parsed to %v but its name %q does not parse: %v", s, v, name, err)
+		}
+		if back != v {
+			t.Fatalf("%q parsed to %v, round-trips to %v", s, v, back)
+		}
+	})
+}
+
 func FuzzParseStrategy(f *testing.F) {
 	for _, seed := range []string{"auto", "heuristic", "exact", "EXACT", "greedy", "strategy(3)", ""} {
 		f.Add(seed)
