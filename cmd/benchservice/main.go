@@ -1,0 +1,217 @@
+// Command benchservice measures hetgridd's serving performance: it stands
+// up the service in-process (or targets a running daemon via -addr),
+// drives POST /v1/plan workloads engineered for 0%, 50% and 95% cache hit
+// ratios, and writes requests/sec plus p50/p99 latency per scenario to
+// BENCH_service.json.
+//
+// The hit ratio is controlled by the key population: misses draw fresh
+// random cycle-times every request (every key unique), hits draw from a
+// pre-warmed hot set. The observed ratio is read back from the X-Cache
+// headers, so the report states what the cache actually did, not what the
+// workload intended.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hetgrid/internal/plancache"
+	"hetgrid/internal/service"
+)
+
+type scenarioResult struct {
+	TargetHitRatio   float64 `json:"target_hit_ratio"`
+	Requests         int     `json:"requests"`
+	Concurrency      int     `json:"concurrency"`
+	RPS              float64 `json:"rps"`
+	P50Millis        float64 `json:"p50_ms"`
+	P99Millis        float64 `json:"p99_ms"`
+	ObservedHitRatio float64 `json:"observed_hit_ratio"`
+	Errors           int     `json:"errors"`
+}
+
+type report struct {
+	GeneratedUnix int64            `json:"generated_unix"`
+	Target        string           `json:"target"`
+	Grid          string           `json:"grid"`
+	Scenarios     []scenarioResult `json:"scenarios"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchservice: ")
+	var (
+		addr        = flag.String("addr", "", "benchmark a running hetgridd at this base URL (empty = in-process server)")
+		requests    = flag.Int("requests", 2000, "requests per scenario")
+		concurrency = flag.Int("concurrency", 8, "concurrent client goroutines")
+		hotSet      = flag.Int("hotset", 32, "distinct keys in the hot set hit traffic draws from")
+		out         = flag.String("out", "BENCH_service.json", "output file")
+		seed        = flag.Int64("seed", 20000501, "workload seed")
+	)
+	flag.Parse()
+
+	base := *addr
+	target := "in-process"
+	if base == "" {
+		srv := service.New(service.Config{
+			Cache: plancache.New(plancache.Config{MaxEntries: 1 << 16, TTL: time.Hour}),
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+	} else {
+		base = strings.TrimSuffix(base, "/")
+		target = base
+	}
+
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		Target:        target,
+		Grid:          "2x3 heuristic (6 processors)",
+	}
+	for _, ratio := range []float64{0, 0.5, 0.95} {
+		res := runScenario(base, ratio, *requests, *concurrency, *hotSet, *seed)
+		rep.Scenarios = append(rep.Scenarios, res)
+		fmt.Printf("hit ratio %4.0f%%: %8.0f req/s, p50 %6.3f ms, p99 %6.3f ms, observed hits %.1f%%, errors %d\n",
+			100*ratio, res.RPS, res.P50Millis, res.P99Millis, 100*res.ObservedHitRatio, res.Errors)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// body renders a plan request for a 2×3 heuristic grid with the given
+// cycle-times.
+func body(times []float64) string {
+	var sb strings.Builder
+	sb.WriteString(`{"times":[`)
+	for i, v := range times {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%.4f", v)
+	}
+	sb.WriteString(`],"p":2,"q":3,"strategy":"heuristic"}`)
+	return sb.String()
+}
+
+func randTimes(rng *rand.Rand) []float64 {
+	out := make([]float64, 6)
+	for i := range out {
+		out[i] = 0.25 + 2*rng.Float64()
+	}
+	return out
+}
+
+func runScenario(base string, ratio float64, requests, concurrency, hotSet int, seed int64) scenarioResult {
+	rng := rand.New(rand.NewSource(seed))
+	hot := make([]string, hotSet)
+	for i := range hot {
+		hot[i] = body(randTimes(rng))
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: concurrency}}
+
+	// Warm the hot set so draws from it are true hits, not first-touch
+	// misses. (The warming requests are not measured.)
+	if ratio > 0 {
+		for _, b := range hot {
+			if _, _, err := post(client, base, b); err != nil {
+				log.Fatalf("warmup: %v", err)
+			}
+		}
+	}
+
+	// Pre-render the workload so generation cost stays out of the timings.
+	bodies := make([]string, requests)
+	for i := range bodies {
+		if rng.Float64() < ratio {
+			bodies[i] = hot[rng.Intn(len(hot))]
+		} else {
+			bodies[i] = body(randTimes(rng)) // fresh key: a guaranteed miss
+		}
+	}
+
+	latencies := make([]time.Duration, requests)
+	hits := make([]bool, requests)
+	errs := make([]bool, requests)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				hit, code, err := post(client, base, bodies[i])
+				latencies[i] = time.Since(t0)
+				hits[i] = hit
+				errs[i] = err != nil || code != http.StatusOK
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return float64(sorted[idx].Nanoseconds()) / 1e6
+	}
+	hitCount, errCount := 0, 0
+	for i := range hits {
+		if hits[i] {
+			hitCount++
+		}
+		if errs[i] {
+			errCount++
+		}
+	}
+	return scenarioResult{
+		TargetHitRatio:   ratio,
+		Requests:         requests,
+		Concurrency:      concurrency,
+		RPS:              float64(requests) / elapsed.Seconds(),
+		P50Millis:        pct(0.50),
+		P99Millis:        pct(0.99),
+		ObservedHitRatio: float64(hitCount) / float64(len(hits)),
+		Errors:           errCount,
+	}
+}
+
+func post(client *http.Client, base, b string) (hit bool, code int, err error) {
+	resp, err := client.Post(base+"/v1/plan", "application/json", strings.NewReader(b))
+	if err != nil {
+		return false, 0, err
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reusable.
+	buf := make([]byte, 4096)
+	for {
+		if _, rerr := resp.Body.Read(buf); rerr != nil {
+			break
+		}
+	}
+	return resp.Header.Get("X-Cache") == "hit", resp.StatusCode, nil
+}

@@ -62,15 +62,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	kernel, err := cliutil.ParseKernel(*kernelFlag)
+	kernel, err := hetgrid.ParseKernel(*kernelFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bcast, err := cliutil.ParseBroadcast(*bcastFlag)
+	bcast, err := hetgrid.ParseBroadcast(*bcastFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	numerics, err := cliutil.ParseNumerics(*numericsF)
+	numerics, err := hetgrid.ParseNumerics(*numericsF)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func main() {
 		planOpts = append(planOpts, hetgrid.WithMetrics(metrics))
 	}
 
-	plan, err := hetgrid.Balance(times, *pFlag, *qFlag, hetgrid.StrategyAuto, planOpts...)
+	plan, _, err := hetgrid.SolvePlan(hetgrid.PlanRequest{Times: times, P: *pFlag, Q: *qFlag}, planOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

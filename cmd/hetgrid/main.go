@@ -39,31 +39,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	strategy, err := cliutil.ParseStrategy(*strategyFlag)
+	strategy, err := hetgrid.ParseStrategy(*strategyFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	kernel, err := cliutil.ParseKernel(*kernelFlag)
+	kernel, err := hetgrid.ParseKernel(*kernelFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var plan *hetgrid.Plan
+	// Both CLI modes are one planning request to the canonical pipeline.
+	ps, err := hetgrid.CanonicalStrategy(strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := hetgrid.PlanRequest{Times: times, P: *pFlag, Q: *qFlag, Strategy: ps}
 	if *arrFlag != "" {
 		rows, err := cliutil.ParseArrangement(*arrFlag)
 		if err != nil {
 			log.Fatal(err)
 		}
-		plan, err = hetgrid.BalanceArrangementOpts(rows, strategy, hetgrid.BalanceOptions{Workers: *workersFlag})
-		if err != nil {
-			log.Fatal(err)
+		req.P, req.Q, req.Fixed = len(rows), len(rows[0]), true
+		req.Times = make([]float64, 0, req.P*req.Q)
+		for _, row := range rows {
+			req.Times = append(req.Times, row...)
 		}
-		*pFlag, *qFlag = len(rows), len(rows[0])
-	} else {
-		plan, err = hetgrid.BalanceOpts(times, *pFlag, *qFlag, strategy, hetgrid.BalanceOptions{Workers: *workersFlag})
-		if err != nil {
-			log.Fatal(err)
-		}
+		*pFlag, *qFlag = req.P, req.Q
+	}
+	plan, _, err := hetgrid.SolvePlan(req, hetgrid.WithWorkers(*workersFlag))
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("arrangement (cycle-times):\n%s", plan.Arrangement())
 	fmt.Printf("row shares   : %s\n", cliutil.FormatFloats(plan.RowShares(), 4))
@@ -143,16 +148,16 @@ func runCheck(kernel hetgrid.Kernel, d hetgrid.Distribution, nb int) error {
 		fmt.Printf("  max |C - C_serial| = %.2e\n", diff)
 	case hetgrid.LU:
 		a := matrix.RandomWellConditioned(n, rng)
-		packed, ops, err := hetgrid.FactorLU(d, a)
+		f, err := hetgrid.Factor(hetgrid.LU, d, a)
 		if err != nil {
 			return err
 		}
-		l, u := hetgrid.SplitLU(packed)
+		l, u := f.LU()
 		diff := matrix.Sub(matrix.Mul(l, u), a).MaxAbs()
-		fmt.Printf("  max |L*U - A| = %.2e, ops per processor %v\n", diff, ops)
+		fmt.Printf("  max |L*U - A| = %.2e, ops per processor %v\n", diff, f.Ops())
 	case hetgrid.QR:
 		a := matrix.Random(n, n, rng)
-		f, err := hetgrid.FactorQR(d, a)
+		f, err := hetgrid.Factor(hetgrid.QR, d, a)
 		if err != nil {
 			return err
 		}
@@ -160,12 +165,13 @@ func runCheck(kernel hetgrid.Kernel, d hetgrid.Distribution, nb int) error {
 		fmt.Printf("  max |Q*R - A| = %.2e\n", diff)
 	case hetgrid.Cholesky:
 		a := matrix.RandomSPD(n, rng)
-		l, ops, err := hetgrid.FactorCholesky(d, a)
+		f, err := hetgrid.Factor(hetgrid.Cholesky, d, a)
 		if err != nil {
 			return err
 		}
+		l := f.L()
 		diff := matrix.Sub(matrix.Mul(l, l.T()), a).MaxAbs()
-		fmt.Printf("  max |L*Lᵀ - A| = %.2e, ops per processor %v\n", diff, ops)
+		fmt.Printf("  max |L*Lᵀ - A| = %.2e, ops per processor %v\n", diff, f.Ops())
 	}
 	return nil
 }

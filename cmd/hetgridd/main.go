@@ -1,0 +1,83 @@
+// Command hetgridd serves the planning pipeline over HTTP: POST a JSON
+// plan request to /v1/plan and get back the canonical plan (arrangement,
+// shares, panel, provenance), cached under the quantized cycle-times.
+// Prometheus metrics live at /metrics, profiling at /debug/pprof, and
+// /healthz answers readiness probes.
+//
+// Example:
+//
+//	hetgridd -addr :8080 &
+//	curl -s localhost:8080/v1/plan -d '{"times":[1,2,3,5],"p":2,"q":2}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetgrid/internal/plancache"
+	"hetgrid/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetgridd: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		entries  = flag.Int("cache-entries", 1024, "maximum cached plans across all shards")
+		ttl      = flag.Duration("cache-ttl", 10*time.Minute, "how long a cached plan stays valid (0 = forever)")
+		shards   = flag.Int("shards", 16, "cache shard count (rounded up to a power of two)")
+		quant    = flag.Int("quant", 0, "cycle-time quantization in significant digits (0 = default 3, negative = off)")
+		workers  = flag.Int("workers", 0, "exact-solver goroutines per request (0 = GOMAXPROCS)")
+		drainFor = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Cache: plancache.New(plancache.Config{
+			MaxEntries: *entries,
+			TTL:        *ttl,
+			Shards:     *shards,
+		}),
+		QuantDigits: *quant,
+		Workers:     *workers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("hetgridd serving on http://%s (plan: POST /v1/plan, metrics: /metrics, health: /healthz)\n",
+		ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		log.Print("signal received, draining")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		st := srv.Cache().Stats()
+		log.Printf("final cache stats: %d gets, %d hits, %d misses, %d shared, %d evictions",
+			st.Gets, st.Hits, st.Misses, st.Shared, st.Evictions)
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

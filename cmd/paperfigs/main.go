@@ -27,10 +27,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperfigs: ")
 	var (
-		outDir = flag.String("out", "out", "output directory for CSV files")
-		only   = flag.String("only", "", "regenerate one artifact: fig1, fig3, fig4, fig6, fig7, fig8, example, exact, mm-lu, shapes, ablation")
-		trials = flag.Int("trials", 200, "random trials per grid size for Figures 6-8")
-		maxN   = flag.Int("maxn", 8, "largest n for the n×n sweeps of Figures 6-8")
+		outDir  = flag.String("out", "out", "output directory for CSV files")
+		only    = flag.String("only", "", "regenerate one artifact: fig1, fig3, fig4, fig6, fig7, fig8, example, exact, mm-lu, shapes, ablation")
+		trials  = flag.Int("trials", 200, "random trials per grid size for Figures 6-8")
+		maxN    = flag.Int("maxn", 8, "largest n for the n×n sweeps of Figures 6-8")
 		seed    = flag.Int64("seed", 20000501, "random seed (defaults to the IPPS 2000 date)")
 		workers = flag.Int("workers", 0, "worker goroutines for the exact solver (0 = GOMAXPROCS; output is identical for any count)")
 	)
@@ -94,7 +94,7 @@ func writeFile(dir, name, content string) error {
 // panel, perfectly balanced, tiled over a 10×10 block matrix.
 func fig1(outDir string) error {
 	fmt.Println("== Figure 1/2: perfect balance on the rank-1 grid [[1,2],[3,6]] ==")
-	plan, err := hetgrid.Balance([]float64{1, 2, 3, 6}, 2, 2, hetgrid.StrategyAuto)
+	plan, _, err := hetgrid.SolvePlan(hetgrid.PlanRequest{Times: []float64{1, 2, 3, 6}, P: 2, Q: 2})
 	if err != nil {
 		return err
 	}
@@ -137,7 +137,9 @@ func fig3(outDir string) error {
 // ABAABA column interleaving.
 func fig4(outDir string) error {
 	fmt.Println("== Figure 4: LU panel (Bp=8, Bq=6) on [[1,2],[3,5]] ==")
-	plan, err := hetgrid.Balance([]float64{1, 2, 3, 5}, 2, 2, hetgrid.StrategyExact)
+	plan, _, err := hetgrid.SolvePlan(hetgrid.PlanRequest{
+		Times: []float64{1, 2, 3, 5}, P: 2, Q: 2, Strategy: hetgrid.PlanExact,
+	})
 	if err != nil {
 		return err
 	}

@@ -81,10 +81,8 @@ func main() {
 	// switched on here, so the stats also carry the per-rank breakdown and a
 	// timestamped event log in the simulator's trace format.
 	b := matrix.Random(n, n, rng)
-	cMat, stats, err := hetgrid.DistributedMultiplyOpts(panel, a, b, r, hetgrid.ExecOptions{
-		Broadcast: hetgrid.TreeBroadcast,
-		Trace:     true,
-	})
+	cMat, stats, err := hetgrid.DistributedMultiply(panel, a, b, r,
+		hetgrid.WithBroadcast(hetgrid.TreeBroadcast), hetgrid.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}

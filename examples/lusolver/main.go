@@ -53,11 +53,12 @@ func main() {
 	xTrue := matrix.Random(n, 1, rng)
 	b := matrix.Mul(a, xTrue)
 
-	packed, ops, err := hetgrid.FactorLU(d, a)
+	f, err := hetgrid.Factor(hetgrid.LU, d, a)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("block operations per processor: %v\n", ops)
+	packed := f.Packed()
+	fmt.Printf("block operations per processor: %v\n", f.Ops())
 
 	// Forward/back substitution with the packed factors.
 	x := b.Clone()

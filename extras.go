@@ -3,9 +3,9 @@ package hetgrid
 import (
 	"fmt"
 
-	"hetgrid/internal/core"
 	"hetgrid/internal/kernels"
 	"hetgrid/internal/matrix"
+	"hetgrid/internal/plan"
 	"hetgrid/internal/sim"
 )
 
@@ -31,16 +31,17 @@ type GridChoice struct {
 // min(p,q)/max(p,q) — pass 0 to allow any shape including 1×n, or values
 // toward 1 to force squarer, communication-friendlier grids.
 func ChooseGrid(times []float64, allowSubset bool, minAspect float64) (*Plan, *GridChoice, error) {
-	res, err := core.ChooseShape(times, core.ShapeOptions{
+	res, err := plan.Solve(plan.Request{
+		Times:       times,
 		AllowSubset: allowSubset,
 		MinAspect:   minAspect,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	plan := &Plan{sol: res.Solution, Iterations: 1, Converged: true}
-	choice := &GridChoice{P: res.P, Q: res.Q, Selected: res.Selected, Candidates: res.Candidates}
-	return plan, choice, nil
+	shape := res.Shape
+	choice := &GridChoice{P: shape.P, Q: shape.Q, Selected: shape.Selected, Candidates: shape.Candidates}
+	return planFromResult(res), choice, nil
 }
 
 // FactorCholesky executes the blocked Cholesky factorization numerically

@@ -1,0 +1,246 @@
+package hetgrid
+
+// Golden parity: testdata/golden_plans.json snapshots the outputs of
+// Balance, BalanceArrangement, ChooseGrid and adapt.ReplanSurvivors over
+// 50 seeded random grids as they were BEFORE planning was unified into
+// internal/plan. Every float is stored as raw IEEE-754 bits, so the test
+// pins the refactored pipeline bit for bit — any drift in solver dispatch,
+// arrangement handling or panel rounding fails loudly.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"hetgrid/internal/adapt"
+	"hetgrid/internal/distribution"
+)
+
+func bitsOf(v float64) string { return strconv.FormatUint(math.Float64bits(v), 16) }
+
+func bitsOfSlice(v []float64) []string {
+	out := make([]string, len(v))
+	for i, x := range v {
+		out[i] = bitsOf(x)
+	}
+	return out
+}
+
+func bitsOfMatrix(m [][]float64) [][]string {
+	out := make([][]string, len(m))
+	for i, row := range m {
+		out[i] = bitsOfSlice(row)
+	}
+	return out
+}
+
+type goldenCase struct {
+	ID       int       `json:"id"`
+	Mode     string    `json:"mode"`
+	Times    []float64 `json:"times"`
+	P        int       `json:"p,omitempty"`
+	Q        int       `json:"q,omitempty"`
+	Strategy string    `json:"strategy,omitempty"`
+	Subset   bool      `json:"allow_subset,omitempty"`
+	Aspect   float64   `json:"min_aspect,omitempty"`
+	Nbr      int       `json:"nbr,omitempty"`
+	Nbc      int       `json:"nbc,omitempty"`
+	Kernel   string    `json:"kernel,omitempty"`
+
+	Out goldenOut `json:"out"`
+}
+
+type goldenOut struct {
+	P          int          `json:"p"`
+	Q          int          `json:"q"`
+	T          [][]string   `json:"t"`
+	R          []string     `json:"r"`
+	C          []string     `json:"c"`
+	Objective  string       `json:"objective"`
+	Iterations int          `json:"iterations,omitempty"`
+	Converged  bool         `json:"converged,omitempty"`
+	Tau        string       `json:"tau,omitempty"`
+	Selected   []int        `json:"selected,omitempty"`
+	Candidates int          `json:"candidates,omitempty"`
+	Panel      *goldenPanel `json:"panel,omitempty"`
+}
+
+type goldenPanel struct {
+	Bp        int   `json:"bp"`
+	Bq        int   `json:"bq"`
+	RowCounts []int `json:"row_counts"`
+	ColCounts []int `json:"col_counts"`
+	RowOrder  []int `json:"row_order"`
+	ColOrder  []int `json:"col_order"`
+}
+
+func loadGoldenCases(t *testing.T) []goldenCase {
+	t.Helper()
+	blob, err := os.ReadFile("testdata/golden_plans.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Cases []goldenCase `json:"cases"`
+	}
+	if err := json.Unmarshal(blob, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Cases) != 50 {
+		t.Fatalf("golden file has %d cases, want 50", len(file.Cases))
+	}
+	return file.Cases
+}
+
+func checkPlanParity(t *testing.T, gc goldenCase, p *Plan) {
+	t.Helper()
+	arr := p.Arrangement()
+	if arr.P != gc.Out.P || arr.Q != gc.Out.Q {
+		t.Fatalf("case %d: grid %d×%d, golden %d×%d", gc.ID, arr.P, arr.Q, gc.Out.P, gc.Out.Q)
+	}
+	if got := bitsOfMatrix(arr.T); !reflect.DeepEqual(got, gc.Out.T) {
+		t.Fatalf("case %d: arrangement drifted: %v vs %v", gc.ID, got, gc.Out.T)
+	}
+	if got := bitsOfSlice(p.RowShares()); !reflect.DeepEqual(got, gc.Out.R) {
+		t.Fatalf("case %d: row shares drifted: %v vs %v", gc.ID, got, gc.Out.R)
+	}
+	if got := bitsOfSlice(p.ColShares()); !reflect.DeepEqual(got, gc.Out.C) {
+		t.Fatalf("case %d: col shares drifted: %v vs %v", gc.ID, got, gc.Out.C)
+	}
+	if got := bitsOf(p.Objective()); got != gc.Out.Objective {
+		t.Fatalf("case %d: objective drifted: %s vs %s", gc.ID, got, gc.Out.Objective)
+	}
+	if p.Iterations != gc.Out.Iterations || p.Converged != gc.Out.Converged {
+		t.Fatalf("case %d: convergence record drifted: %d/%v vs %d/%v",
+			gc.ID, p.Iterations, p.Converged, gc.Out.Iterations, gc.Out.Converged)
+	}
+	if got := bitsOf(p.Tau); gc.Out.Tau != "" && got != gc.Out.Tau {
+		t.Fatalf("case %d: tau drifted: %s vs %s", gc.ID, got, gc.Out.Tau)
+	}
+}
+
+// TestGoldenPlanParity re-solves every golden case through the refactored
+// public API (which now routes through internal/plan) and demands
+// bit-identical plans.
+func TestGoldenPlanParity(t *testing.T) {
+	for _, gc := range loadGoldenCases(t) {
+		switch gc.Mode {
+		case "balance":
+			strat, err := ParseStrategy(gc.Strategy)
+			if err != nil {
+				t.Fatalf("case %d: %v", gc.ID, err)
+			}
+			p, err := Balance(gc.Times, gc.P, gc.Q, strat)
+			if err != nil {
+				t.Fatalf("case %d: %v", gc.ID, err)
+			}
+			checkPlanParity(t, gc, p)
+		case "arrangement":
+			strat, err := ParseStrategy(gc.Strategy)
+			if err != nil {
+				t.Fatalf("case %d: %v", gc.ID, err)
+			}
+			rows := make([][]float64, gc.P)
+			for i := 0; i < gc.P; i++ {
+				rows[i] = gc.Times[i*gc.Q : (i+1)*gc.Q]
+			}
+			p, err := BalanceArrangement(rows, strat)
+			if err != nil {
+				t.Fatalf("case %d: %v", gc.ID, err)
+			}
+			checkPlanParity(t, gc, p)
+		case "choosegrid":
+			p, choice, err := ChooseGrid(gc.Times, gc.Subset, gc.Aspect)
+			if err != nil {
+				t.Fatalf("case %d: %v", gc.ID, err)
+			}
+			checkPlanParity(t, gc, p)
+			if choice.P != gc.Out.P || choice.Q != gc.Out.Q ||
+				!reflect.DeepEqual(choice.Selected, gc.Out.Selected) ||
+				choice.Candidates != gc.Out.Candidates {
+				t.Fatalf("case %d: grid choice drifted: %+v vs %+v", gc.ID, choice, gc.Out)
+			}
+		case "replan":
+			rowOrd, colOrd := distribution.Contiguous, distribution.Contiguous
+			if gc.Kernel == "lu" {
+				rowOrd, colOrd = distribution.Interleaved, distribution.Interleaved
+			}
+			sp, err := adapt.ReplanSurvivors(gc.Times, gc.Nbr, gc.Nbc, rowOrd, colOrd)
+			if err != nil {
+				t.Fatalf("case %d: %v", gc.ID, err)
+			}
+			sol := sp.Shape.Solution
+			if sp.P != gc.Out.P || sp.Q != gc.Out.Q {
+				t.Fatalf("case %d: survivor grid %d×%d, golden %d×%d", gc.ID, sp.P, sp.Q, gc.Out.P, gc.Out.Q)
+			}
+			if !reflect.DeepEqual(sp.Selected, gc.Out.Selected) || sp.Shape.Candidates != gc.Out.Candidates {
+				t.Fatalf("case %d: survivor selection drifted", gc.ID)
+			}
+			if got := bitsOfMatrix(sol.Arr.T); !reflect.DeepEqual(got, gc.Out.T) {
+				t.Fatalf("case %d: survivor arrangement drifted", gc.ID)
+			}
+			if got := bitsOfSlice(sol.R); !reflect.DeepEqual(got, gc.Out.R) {
+				t.Fatalf("case %d: survivor row shares drifted", gc.ID)
+			}
+			if got := bitsOfSlice(sol.C); !reflect.DeepEqual(got, gc.Out.C) {
+				t.Fatalf("case %d: survivor col shares drifted", gc.ID)
+			}
+			if got := bitsOf(sol.Objective()); got != gc.Out.Objective {
+				t.Fatalf("case %d: survivor objective drifted", gc.ID)
+			}
+			gp := gc.Out.Panel
+			if gp == nil {
+				t.Fatalf("case %d: golden replan case lacks a panel", gc.ID)
+			}
+			// The survivor distribution is a cyclic tiling of the panel;
+			// parity of the panel geometry pins the whole distribution.
+			got := survivorPanel(t, sp, gc)
+			if !reflect.DeepEqual(got, gp) {
+				t.Fatalf("case %d: survivor panel drifted: %+v vs %+v", gc.ID, got, gp)
+			}
+		default:
+			t.Fatalf("case %d: unknown golden mode %q", gc.ID, gc.Mode)
+		}
+	}
+}
+
+// survivorPanel reads the panel geometry back out of the survivor
+// distribution's owner maps (the panel repeats cyclically, so the first
+// period is the panel).
+func survivorPanel(t *testing.T, sp *adapt.SurvivorPlan, gc goldenCase) *goldenPanel {
+	t.Helper()
+	prod, ok := sp.Dist.(*distribution.Product)
+	if !ok {
+		t.Fatalf("case %d: survivor distribution is %T, want *distribution.Product", gc.ID, sp.Dist)
+	}
+	gp := gc.Out.Panel
+	out := &goldenPanel{
+		Bp:        gp.Bp,
+		Bq:        gp.Bq,
+		RowCounts: make([]int, sp.P),
+		ColCounts: make([]int, sp.Q),
+	}
+	out.RowOrder = append([]int(nil), prod.RowOwner[:gp.Bp]...)
+	out.ColOrder = append([]int(nil), prod.ColOwner[:gp.Bq]...)
+	for _, r := range out.RowOrder {
+		out.RowCounts[r]++
+	}
+	for _, c := range out.ColOrder {
+		out.ColCounts[c]++
+	}
+	// Verify cyclicity: the owner maps must be the panel repeated.
+	for i, r := range prod.RowOwner {
+		if r != out.RowOrder[i%gp.Bp] {
+			t.Fatalf("case %d: row owners not panel-cyclic at %d", gc.ID, i)
+		}
+	}
+	for j, c := range prod.ColOwner {
+		if c != out.ColOrder[j%gp.Bq] {
+			t.Fatalf("case %d: col owners not panel-cyclic at %d", gc.ID, j)
+		}
+	}
+	return out
+}

@@ -29,6 +29,7 @@ import (
 	"hetgrid/internal/grid"
 	"hetgrid/internal/kernels"
 	"hetgrid/internal/matrix"
+	"hetgrid/internal/plan"
 	"hetgrid/internal/sim"
 )
 
@@ -95,7 +96,8 @@ func (k Kernel) String() string {
 // Plan is a solved load-balancing problem: an arrangement plus the
 // row/column shares that minimize the normalized makespan.
 type Plan struct {
-	sol *core.Solution
+	sol   *core.Solution
+	canon *CanonicalPlan
 	// Iterations and Converged report the heuristic's refinement loop
 	// (1/true for rank-1 and exact solutions).
 	Iterations int
@@ -104,6 +106,22 @@ type Plan struct {
 	// first step, minus 1); zero for non-heuristic strategies.
 	Tau float64
 }
+
+// planFromResult wraps a pipeline result in the package's Plan type.
+func planFromResult(res *plan.Result) *Plan {
+	return &Plan{
+		sol:        res.Solution,
+		canon:      res.Plan,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+		Tau:        res.Tau,
+	}
+}
+
+// Canonical returns the plan's canonical serializable form (the value the
+// hetgridd service caches and serves): arrangement, shares, predicted
+// objective and provenance, stable under JSON round-trips.
+func (p *Plan) Canonical() *CanonicalPlan { return p.canon }
 
 // BalanceOptions tunes how Balance and BalanceArrangement solve the
 // load-balancing problem. The zero value selects the defaults.
@@ -149,31 +167,32 @@ func BalanceOpts(times []float64, p, q int, strategy Strategy, opts BalanceOptio
 	return balanceWith(times, p, q, strategy, opts)
 }
 
-func balanceWith(times []float64, p, q int, strategy Strategy, opts BalanceOptions) (*Plan, error) {
-	switch strategy {
+// canonical maps the package's Strategy enum onto the pipeline's string
+// vocabulary.
+func (s Strategy) canonical() (plan.Strategy, error) {
+	switch s {
 	case StrategyAuto:
-		if arr, err := grid.RowMajor(times, p, q); err == nil {
-			if sol, ok := core.SolveRank1(arr, 0); ok {
-				return &Plan{sol: sol, Iterations: 1, Converged: true}, nil
-			}
-		}
-		return balanceWith(times, p, q, StrategyHeuristic, opts)
+		return plan.StrategyAuto, nil
 	case StrategyHeuristic:
-		res, err := core.SolveHeuristic(times, p, q, core.HeuristicOptions{})
-		if err != nil {
-			return nil, err
-		}
-		return &Plan{sol: res.Solution, Iterations: res.Iterations, Converged: res.Converged, Tau: res.Tau}, nil
+		return plan.StrategyHeuristic, nil
 	case StrategyExact:
-		sol, stats, err := core.SolveGlobalExactOpt(times, p, q, core.ExactOptions{Workers: opts.Workers})
-		if err != nil {
-			return nil, err
-		}
-		publishExactStats(opts.Metrics, stats)
-		return &Plan{sol: sol, Iterations: 1, Converged: true}, nil
+		return plan.StrategyExact, nil
 	default:
-		return nil, fmt.Errorf("hetgrid: unknown strategy %d", strategy)
+		return "", fmt.Errorf("hetgrid: unknown strategy %d", s)
 	}
+}
+
+func balanceWith(times []float64, p, q int, strategy Strategy, opts BalanceOptions) (*Plan, error) {
+	ps, err := strategy.canonical()
+	if err != nil {
+		return nil, err
+	}
+	res, err := plan.Solve(plan.Request{Times: times, P: p, Q: q, Strategy: ps, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	publishExactStats(opts.Metrics, res.ExactStats)
+	return planFromResult(res), nil
 }
 
 // BalanceArrangement solves the load-balancing problem for a FIXED
@@ -196,30 +215,26 @@ func BalanceArrangementOpts(rows [][]float64, strategy Strategy, opts BalanceOpt
 }
 
 func balanceArrangementWith(rows [][]float64, strategy Strategy, opts BalanceOptions) (*Plan, error) {
+	ps, err := strategy.canonical()
+	if err != nil {
+		return nil, err
+	}
+	// Validate the matrix shape here so ragged input keeps its grid error;
+	// the pipeline takes the row-major flattening plus explicit dimensions.
 	arr, err := grid.New(rows)
 	if err != nil {
 		return nil, err
 	}
-	switch strategy {
-	case StrategyExact:
-		sol, stats, err := core.SolveArrangementExactOpt(arr, core.ExactOptions{Workers: opts.Workers})
-		if err != nil {
-			return nil, err
-		}
-		publishExactStats(opts.Metrics, stats)
-		return &Plan{sol: sol, Iterations: 1, Converged: true}, nil
-	case StrategyAuto, StrategyHeuristic:
-		if sol, ok := core.SolveRank1(arr, 0); ok {
-			return &Plan{sol: sol, Iterations: 1, Converged: true}, nil
-		}
-		sol, err := core.RankOneStep(arr)
-		if err != nil {
-			return nil, err
-		}
-		return &Plan{sol: sol, Iterations: 1, Converged: true}, nil
-	default:
-		return nil, fmt.Errorf("hetgrid: unknown strategy %d", strategy)
+	times := make([]float64, 0, arr.P*arr.Q)
+	for _, row := range arr.T {
+		times = append(times, row...)
 	}
+	res, err := plan.Solve(plan.Request{Times: times, P: arr.P, Q: arr.Q, Fixed: true, Strategy: ps, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	publishExactStats(opts.Metrics, res.ExactStats)
+	return planFromResult(res), nil
 }
 
 // Arrangement returns the plan's processor arrangement.

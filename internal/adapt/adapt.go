@@ -21,6 +21,7 @@ import (
 	"hetgrid/internal/core"
 	"hetgrid/internal/distribution"
 	"hetgrid/internal/grid"
+	"hetgrid/internal/plan"
 	"hetgrid/internal/sim"
 )
 
@@ -145,31 +146,28 @@ type SurvivorPlan struct {
 // positive units — only ratios matter); the block matrix keeps its nbr×nbc
 // tiling, redistributed under the given orderings (Contiguous for
 // multiplication, Interleaved for the factorizations). Subset grids are
-// allowed so a prime survivor count still yields a plan.
+// allowed so a prime survivor count still yields a plan. The shape search,
+// balancing and panel realization all run through the canonical
+// internal/plan pipeline.
 func ReplanSurvivors(times []float64, nbr, nbc int, rowOrd, colOrd distribution.Ordering) (*SurvivorPlan, error) {
 	if len(times) == 0 {
 		return nil, fmt.Errorf("adapt: no survivors to replan onto")
 	}
-	shape, err := core.ChooseShape(times, core.ShapeOptions{AllowSubset: true})
+	res, err := plan.Solve(plan.Request{
+		Times:       times,
+		AllowSubset: true,
+		Panel: &plan.PanelSpec{
+			CapBp:       nbr,
+			CapBq:       nbc,
+			RowOrdering: orderingName(rowOrd),
+			ColOrdering: orderingName(colOrd),
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	maxPanel := 4 * shape.P
-	if 4*shape.Q > maxPanel {
-		maxPanel = 4 * shape.Q
-	}
-	maxBp, maxBq := maxPanel, maxPanel
-	if maxBp > nbr {
-		maxBp = nbr
-	}
-	if maxBq > nbc {
-		maxBq = nbc
-	}
-	pan, err := distribution.BestPanel(shape.Solution, maxBp, maxBq, rowOrd, colOrd)
-	if err != nil {
-		return nil, err
-	}
-	dist, err := pan.Distribution(nbr, nbc)
+	shape := res.Shape
+	dist, err := res.Panel.Distribution(nbr, nbc)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +178,15 @@ func ReplanSurvivors(times []float64, nbr, nbc int, rowOrd, colOrd distribution.
 		Dist:     dist,
 		Shape:    shape,
 	}, nil
+}
+
+// orderingName renders a distribution ordering in the pipeline's string
+// vocabulary.
+func orderingName(o distribution.Ordering) string {
+	if o == distribution.Interleaved {
+		return "interleaved"
+	}
+	return "contiguous"
 }
 
 // perStepBound is the compute bound of one outer-product step: the busiest

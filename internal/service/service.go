@@ -1,0 +1,186 @@
+// Package service is the HTTP face of the planning pipeline: hetgridd's
+// POST /v1/plan accepts a plan.Request as JSON, quantizes the cycle-times,
+// and answers with the canonical plan — cached, single-flighted and
+// TTL-bounded by internal/plancache. The observability mux (Prometheus
+// /metrics, pprof) comes from internal/obs; the cache and request counters
+// publish there.
+//
+// The service plans the *quantized* request: the cache key and the plan it
+// stores are derived from the same rounded cycle-times, so every request
+// inside one quantum receives the identical (byte-identical, given the
+// stable Plan JSON) response.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hetgrid/internal/obs"
+	"hetgrid/internal/plan"
+	"hetgrid/internal/plancache"
+)
+
+// Config assembles a Server. The zero value works: default cache,
+// default quantization, fresh registry.
+type Config struct {
+	// Cache holds solved plans (nil = plancache.New with defaults).
+	Cache *plancache.Cache
+	// QuantDigits is the cycle-time quantization in significant digits
+	// (0 = plan.DefaultQuantDigits, negative = no quantization).
+	QuantDigits int
+	// Workers caps the exact solver's parallelism per request (0 =
+	// GOMAXPROCS).
+	Workers int
+	// Registry receives the request and cache metrics (nil = new one).
+	Registry *obs.Registry
+}
+
+// Server handles plan requests. Safe for concurrent use.
+type Server struct {
+	cache    *plancache.Cache
+	digits   int
+	workers  int
+	registry *obs.Registry
+
+	planner plan.Planner
+	latency *obs.Histogram
+}
+
+// New builds a Server from cfg and publishes its metrics.
+func New(cfg Config) *Server {
+	s := &Server{
+		cache:    cfg.Cache,
+		digits:   cfg.QuantDigits,
+		workers:  cfg.Workers,
+		registry: cfg.Registry,
+	}
+	if s.cache == nil {
+		s.cache = plancache.New(plancache.Config{})
+	}
+	if s.digits == 0 {
+		s.digits = plan.DefaultQuantDigits
+	}
+	if s.registry == nil {
+		s.registry = obs.NewRegistry()
+	}
+	s.cache.Publish(s.registry)
+	s.latency = s.registry.Histogram("hetgrid_service_plan_seconds", "",
+		"POST /v1/plan latency.", nil)
+	return s
+}
+
+// Registry returns the registry the server publishes to.
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// Cache returns the server's plan cache.
+func (s *Server) Cache() *plancache.Cache { return s.cache }
+
+// Handler returns the full service mux: /v1/plan, /healthz, plus the
+// observability endpoints (/metrics, /debug/pprof) from the registry.
+func (s *Server) Handler() http.Handler {
+	mux := s.registry.ServeMux()
+	s.Routes(mux)
+	return mux
+}
+
+// Routes registers the service endpoints on mux.
+func (s *Server) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+}
+
+// maxRequestBytes bounds a request body; a plan request is a few KB even
+// for hundreds of processors.
+const maxRequestBytes = 1 << 20
+
+// DecodeRequest parses a plan request from JSON, strictly (unknown fields
+// are errors, so typos like "stratgy" fail loudly instead of planning with
+// defaults) and validates it.
+func DecodeRequest(r io.Reader) (plan.Request, error) {
+	var req plan.Request
+	dec := json.NewDecoder(io.LimitReader(r, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return plan.Request{}, fmt.Errorf("service: bad request body: %w", err)
+	}
+	// Reject trailing garbage after the JSON object.
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		return plan.Request{}, fmt.Errorf("service: trailing data after request body")
+	}
+	if err := req.Validate(); err != nil {
+		return plan.Request{}, err
+	}
+	return req, nil
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := http.StatusOK
+	defer func() {
+		s.latency.Observe(time.Since(start).Seconds())
+		s.registry.Counter("hetgrid_service_requests_total",
+			obs.Labels("code", strconv.Itoa(code)),
+			"Plan requests by HTTP status.").Inc()
+	}()
+
+	if r.Method != http.MethodPost {
+		code = http.StatusMethodNotAllowed
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, code, errorBody{"POST only"})
+		return
+	}
+	req, err := DecodeRequest(r.Body)
+	if err != nil {
+		code = http.StatusBadRequest
+		writeJSON(w, code, errorBody{err.Error()})
+		return
+	}
+
+	// Solve the quantized request so the cache key and the cached plan
+	// describe the same (rounded) problem.
+	qreq := req.Quantized(s.digits)
+	key := qreq.Key(s.digits)
+	qreq.Workers = s.workers
+
+	p, hit, err := s.cache.GetOrCompute(key, func() (*plan.Plan, error) {
+		res, err := s.planner.Plan(qreq)
+		if err != nil {
+			return nil, err
+		}
+		res.Plan.Provenance.Key = key
+		return res.Plan, nil
+	})
+	if err != nil {
+		// The request was well-formed but unsolvable (e.g. an aspect
+		// constraint no shape satisfies).
+		code = http.StatusUnprocessableEntity
+		writeJSON(w, code, errorBody{err.Error()})
+		return
+	}
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,69 @@
+package hetgrid
+
+import (
+	"fmt"
+
+	"hetgrid/internal/plan"
+)
+
+// PlanRequest is the canonical planning request of the internal/plan
+// pipeline — the one vocabulary every planning surface speaks: Balance and
+// BalanceArrangement (fixed shape), ChooseGrid (free shape), the survivor
+// replanner, the CLIs, and the hetgridd service's POST /v1/plan body.
+type PlanRequest = plan.Request
+
+// CanonicalPlan is the serializable plan the pipeline produces:
+// arrangement, shares, panel ordering, predicted Obj1 and provenance. Its
+// JSON form is stable (declaration-order fields, shortest-round-trip
+// floats), so it can be cached, diffed and shipped over the wire.
+type CanonicalPlan = plan.Plan
+
+// PanelSpec asks the pipeline to realize a plan's shares as a concrete
+// block panel (see PlanRequest.Panel).
+type PanelSpec = plan.PanelSpec
+
+// PlanStrategy and PlanKernel are the pipeline's string-valued enums; use
+// CanonicalStrategy/CanonicalKernel to convert this package's constants.
+type PlanStrategy = plan.Strategy
+type PlanKernel = plan.Kernel
+
+// The pipeline's strategy vocabulary, re-exported for request literals.
+const (
+	PlanAuto      PlanStrategy = plan.StrategyAuto
+	PlanHeuristic PlanStrategy = plan.StrategyHeuristic
+	PlanExact     PlanStrategy = plan.StrategyExact
+)
+
+// CanonicalStrategy maps a Strategy constant to the pipeline's string
+// vocabulary ("auto", "heuristic", "exact").
+func CanonicalStrategy(s Strategy) (PlanStrategy, error) { return s.canonical() }
+
+// CanonicalKernel maps a Kernel constant to the pipeline's string
+// vocabulary ("matmul", "lu", "qr", "cholesky").
+func CanonicalKernel(k Kernel) (PlanKernel, error) {
+	switch k {
+	case MatMul, LU, QR, Cholesky:
+		return plan.Kernel(k.String()), nil
+	default:
+		return "", fmt.Errorf("hetgrid: unknown kernel %v", k)
+	}
+}
+
+// SolvePlan runs the canonical planning pipeline on req and returns both
+// the solved Plan (ready for Panel/BestPanel/Simulate) and its canonical
+// serializable form. It is the one entry point the CLIs and services build
+// on; Balance, BalanceArrangement and ChooseGrid are conveniences over the
+// same pipeline. Options that apply: WithWorkers (exact search
+// parallelism), WithMetrics (exact solver counters).
+func SolvePlan(req PlanRequest, opts ...Option) (*Plan, *CanonicalPlan, error) {
+	bo := applyOptions(opts).balance
+	if req.Workers == 0 {
+		req.Workers = bo.Workers
+	}
+	res, err := plan.Solve(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	publishExactStats(bo.Metrics, res.ExactStats)
+	return planFromResult(res), res.Plan, nil
+}
