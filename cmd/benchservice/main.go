@@ -1,14 +1,21 @@
 // Command benchservice measures hetgridd's serving performance: it stands
-// up the service in-process (or targets a running daemon via -addr),
-// drives POST /v1/plan workloads engineered for 0%, 50% and 95% cache hit
-// ratios, and writes requests/sec plus p50/p99 latency per scenario to
-// BENCH_service.json.
+// up the service in-process (or targets a running daemon via -addr) and
+// drives POST /v1/plan and /v1/plans workloads, writing requests/sec plus
+// p50/p99 latency per scenario to BENCH_service.json.
 //
-// The hit ratio is controlled by the key population: misses draw fresh
-// random cycle-times every request (every key unique), hits draw from a
-// pre-warmed hot set. The observed ratio is read back from the X-Cache
-// headers, so the report states what the cache actually did, not what the
-// workload intended.
+// Scenarios cover three axes, and every row records its full workload
+// configuration (mode, batch size, policy, Zipf α, key space, cache size)
+// so runs are self-describing:
+//
+//   - hit ratio: misses draw fresh random cycle-times every request, hits
+//     draw from a pre-warmed hot set (the observed ratio is read back from
+//     the response cache markers, so the report states what the cache did,
+//     not what the workload intended);
+//   - batching: the same 95%-hit workload posted one request per round
+//     trip vs batches of -batch items to /v1/plans — the HTTP round-trip
+//     amortization the batch endpoint exists for;
+//   - admission policy: a Zipf(α) key stream over a key space far larger
+//     than the cache, LRU vs TinyLFU admission head-to-head.
 package main
 
 import (
@@ -20,7 +27,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -30,13 +39,21 @@ import (
 )
 
 type scenarioResult struct {
-	TargetHitRatio   float64 `json:"target_hit_ratio"`
-	Requests         int     `json:"requests"`
+	Name             string  `json:"name"`
+	Mode             string  `json:"mode"` // "single" or "batch"
+	BatchSize        int     `json:"batch_size"`
+	Policy           string  `json:"policy"`
+	ZipfAlpha        float64 `json:"zipf_alpha,omitempty"`
+	KeySpace         int     `json:"key_space,omitempty"`
+	CacheEntries     int     `json:"cache_entries"`
+	TargetHitRatio   float64 `json:"target_hit_ratio,omitempty"`
+	Requests         int     `json:"requests"` // measured items (not round-trips)
 	Concurrency      int     `json:"concurrency"`
-	RPS              float64 `json:"rps"`
+	RPS              float64 `json:"rps"` // items per second
 	P50Millis        float64 `json:"p50_ms"`
 	P99Millis        float64 `json:"p99_ms"`
 	ObservedHitRatio float64 `json:"observed_hit_ratio"`
+	DedupRatio       float64 `json:"dedup_ratio,omitempty"`
 	Errors           int     `json:"errors"`
 }
 
@@ -47,31 +64,67 @@ type report struct {
 	Scenarios     []scenarioResult `json:"scenarios"`
 }
 
+// scenario describes one benchmark run: the server it needs and the
+// workload it drives.
+type scenario struct {
+	name      string
+	mode      string // "single" or "batch"
+	batch     int
+	policy    plancache.Policy
+	entries   int
+	zipfAlpha float64
+	keySpace  int
+	hitRatio  float64
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchservice: ")
 	var (
-		addr        = flag.String("addr", "", "benchmark a running hetgridd at this base URL (empty = in-process server)")
-		requests    = flag.Int("requests", 2000, "requests per scenario")
+		addr        = flag.String("addr", "", "benchmark a running hetgridd at this base URL (empty = in-process servers; remote daemons keep their own cache policy)")
+		requests    = flag.Int("requests", 2000, "measured items per scenario")
 		concurrency = flag.Int("concurrency", 8, "concurrent client goroutines")
 		hotSet      = flag.Int("hotset", 32, "distinct keys in the hot set hit traffic draws from")
+		batch       = flag.Int("batch", 32, "items per /v1/plans request in batch scenarios")
+		zipfAlpha   = flag.Float64("zipf", 1.1, "Zipf skew for the admission-policy scenarios")
+		keySpace    = flag.Int("keyspace", 1<<14, "distinct keys in the Zipf scenarios (cache is sized far below this)")
+		zipfCache   = flag.Int("zipf-cache-entries", 128, "cache size for the Zipf scenarios")
 		out         = flag.String("out", "BENCH_service.json", "output file")
 		seed        = flag.Int64("seed", 20000501, "workload seed")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile covering all scenarios")
 	)
 	flag.Parse()
 
-	base := *addr
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	scenarios := []scenario{
+		{name: "single-hit0", mode: "single", policy: plancache.PolicyLRU, entries: 1 << 16, hitRatio: 0},
+		{name: "single-hit50", mode: "single", policy: plancache.PolicyLRU, entries: 1 << 16, hitRatio: 0.5},
+		{name: "single-hit95", mode: "single", policy: plancache.PolicyLRU, entries: 1 << 16, hitRatio: 0.95},
+		{name: fmt.Sprintf("batch%d-hit95", *batch), mode: "batch", batch: *batch,
+			policy: plancache.PolicyLRU, entries: 1 << 16, hitRatio: 0.95},
+		{name: "single-zipf-lru", mode: "single", policy: plancache.PolicyLRU, entries: *zipfCache,
+			zipfAlpha: *zipfAlpha, keySpace: *keySpace},
+		{name: "single-zipf-lfu", mode: "single", policy: plancache.PolicyLFU, entries: *zipfCache,
+			zipfAlpha: *zipfAlpha, keySpace: *keySpace},
+	}
+
 	target := "in-process"
-	if base == "" {
-		srv := service.New(service.Config{
-			Cache: plancache.New(plancache.Config{MaxEntries: 1 << 16, TTL: time.Hour}),
-		})
-		ts := httptest.NewServer(srv.Handler())
-		defer ts.Close()
-		base = ts.URL
-	} else {
-		base = strings.TrimSuffix(base, "/")
-		target = base
+	if *addr != "" {
+		target = strings.TrimSuffix(*addr, "/")
+		// A remote daemon's cache policy and size are whatever it was
+		// started with; the policy head-to-head needs in-process servers.
+		scenarios = scenarios[:4]
 	}
 
 	rep := report{
@@ -79,11 +132,28 @@ func main() {
 		Target:        target,
 		Grid:          "2x3 heuristic (6 processors)",
 	}
-	for _, ratio := range []float64{0, 0.5, 0.95} {
-		res := runScenario(base, ratio, *requests, *concurrency, *hotSet, *seed)
+	for _, sc := range scenarios {
+		base := target
+		var ts *httptest.Server
+		if *addr == "" {
+			srv := service.New(service.Config{
+				Cache: plancache.New(plancache.Config{
+					MaxEntries: sc.entries,
+					TTL:        time.Hour,
+					Policy:     sc.policy,
+				}),
+			})
+			ts = httptest.NewServer(srv.Handler())
+			base = ts.URL
+		}
+		res := runScenario(base, sc, *requests, *concurrency, *hotSet, *seed)
+		if ts != nil {
+			ts.Close()
+		}
 		rep.Scenarios = append(rep.Scenarios, res)
-		fmt.Printf("hit ratio %4.0f%%: %8.0f req/s, p50 %6.3f ms, p99 %6.3f ms, observed hits %.1f%%, errors %d\n",
-			100*ratio, res.RPS, res.P50Millis, res.P99Millis, 100*res.ObservedHitRatio, res.Errors)
+		fmt.Printf("%-16s %-6s policy=%s: %8.0f items/s, p50 %6.3f ms, p99 %6.3f ms, hits %5.1f%%, dedup %4.1f%%, errors %d\n",
+			res.Name, res.Mode, res.Policy, res.RPS, res.P50Millis, res.P99Millis,
+			100*res.ObservedHitRatio, 100*res.DedupRatio, res.Errors)
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -119,37 +189,67 @@ func randTimes(rng *rand.Rand) []float64 {
 	return out
 }
 
-func runScenario(base string, ratio float64, requests, concurrency, hotSet int, seed int64) scenarioResult {
+// keyBody renders the request body for Zipf key k deterministically: the
+// same key always maps to the same cycle-times, so the cache sees a stable
+// key space with Zipf-skewed popularity.
+func keyBody(k uint64) string {
+	return body(randTimes(rand.New(rand.NewSource(int64(k) + 7919))))
+}
+
+// buildWorkload pre-renders every request body so generation cost stays
+// out of the timings.
+func buildWorkload(sc scenario, requests, hotSet int, seed int64) []string {
 	rng := rand.New(rand.NewSource(seed))
+	bodies := make([]string, requests)
+	if sc.zipfAlpha > 0 {
+		z := rand.NewZipf(rng, sc.zipfAlpha, 1, uint64(sc.keySpace-1))
+		for i := range bodies {
+			bodies[i] = keyBody(z.Uint64())
+		}
+		return bodies
+	}
 	hot := make([]string, hotSet)
 	for i := range hot {
 		hot[i] = body(randTimes(rng))
 	}
-	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: concurrency}}
-
-	// Warm the hot set so draws from it are true hits, not first-touch
-	// misses. (The warming requests are not measured.)
-	if ratio > 0 {
-		for _, b := range hot {
-			if _, _, err := post(client, base, b); err != nil {
-				log.Fatalf("warmup: %v", err)
-			}
-		}
-	}
-
-	// Pre-render the workload so generation cost stays out of the timings.
-	bodies := make([]string, requests)
 	for i := range bodies {
-		if rng.Float64() < ratio {
+		if rng.Float64() < sc.hitRatio {
 			bodies[i] = hot[rng.Intn(len(hot))]
 		} else {
 			bodies[i] = body(randTimes(rng)) // fresh key: a guaranteed miss
 		}
 	}
+	return bodies
+}
 
-	latencies := make([]time.Duration, requests)
-	hits := make([]bool, requests)
-	errs := make([]bool, requests)
+func runScenario(base string, sc scenario, requests, concurrency, hotSet int, seed int64) scenarioResult {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: concurrency}}
+
+	// Warm the hot set so draws from it are true hits, not first-touch
+	// misses. (The warming requests are not measured.) Zipf scenarios are
+	// deliberately unwarmed: cold-start admission is part of what the
+	// policy comparison measures.
+	if sc.hitRatio > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < hotSet; i++ {
+			if _, _, err := post(client, base, body(randTimes(rng))); err != nil {
+				log.Fatalf("warmup: %v", err)
+			}
+		}
+	}
+
+	bodies := buildWorkload(sc, requests, hotSet, seed)
+	if sc.mode == "batch" {
+		return runBatch(client, base, sc, bodies, concurrency)
+	}
+	return runSingle(client, base, sc, bodies, concurrency)
+}
+
+func runSingle(client *http.Client, base string, sc scenario, bodies []string, concurrency int) scenarioResult {
+	n := len(bodies)
+	latencies := make([]time.Duration, n)
+	hits := make([]bool, n)
+	errs := make([]bool, n)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	start := time.Now()
@@ -166,19 +266,13 @@ func runScenario(base string, ratio float64, requests, concurrency, hotSet int, 
 			}
 		}()
 	}
-	for i := 0; i < requests; i++ {
+	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sorted := append([]time.Duration(nil), latencies...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-	pct := func(p float64) float64 {
-		idx := int(p * float64(len(sorted)-1))
-		return float64(sorted[idx].Nanoseconds()) / 1e6
-	}
 	hitCount, errCount := 0, 0
 	for i := range hits {
 		if hits[i] {
@@ -188,15 +282,85 @@ func runScenario(base string, ratio float64, requests, concurrency, hotSet int, 
 			errCount++
 		}
 	}
+	return renderResult(sc, n, concurrency, elapsed, latencies, hitCount, 0, errCount)
+}
+
+// runBatch posts the same workload as runSingle but in batches of
+// sc.batch items per /v1/plans round trip. Latency is per round trip; RPS
+// counts items.
+func runBatch(client *http.Client, base string, sc scenario, bodies []string, concurrency int) scenarioResult {
+	var batches []string
+	for i := 0; i < len(bodies); i += sc.batch {
+		end := i + sc.batch
+		if end > len(bodies) {
+			end = len(bodies)
+		}
+		batches = append(batches, "["+strings.Join(bodies[i:end], ",")+"]")
+	}
+	latencies := make([]time.Duration, len(batches))
+	hitCounts := make([]int, len(batches))
+	dedupCounts := make([]int, len(batches))
+	errCounts := make([]int, len(batches))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				hits, dedups, errs := postBatch(client, base, batches[i])
+				latencies[i] = time.Since(t0)
+				hitCounts[i], dedupCounts[i], errCounts[i] = hits, dedups, errs
+			}
+		}()
+	}
+	for i := range batches {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	hits, dedups, errs := 0, 0, 0
+	for i := range batches {
+		hits += hitCounts[i]
+		dedups += dedupCounts[i]
+		errs += errCounts[i]
+	}
+	res := renderResult(sc, len(bodies), concurrency, elapsed, latencies, hits, dedups, errs)
+	return res
+}
+
+func renderResult(sc scenario, items, concurrency int, elapsed time.Duration, latencies []time.Duration, hits, dedups, errs int) scenarioResult {
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return float64(sorted[idx].Nanoseconds()) / 1e6
+	}
+	batchSize := 1
+	if sc.mode == "batch" {
+		batchSize = sc.batch
+	}
 	return scenarioResult{
-		TargetHitRatio:   ratio,
-		Requests:         requests,
+		Name:             sc.name,
+		Mode:             sc.mode,
+		BatchSize:        batchSize,
+		Policy:           string(sc.policy),
+		ZipfAlpha:        sc.zipfAlpha,
+		KeySpace:         sc.keySpace,
+		CacheEntries:     sc.entries,
+		TargetHitRatio:   sc.hitRatio,
+		Requests:         items,
 		Concurrency:      concurrency,
-		RPS:              float64(requests) / elapsed.Seconds(),
+		RPS:              float64(items) / elapsed.Seconds(),
 		P50Millis:        pct(0.50),
 		P99Millis:        pct(0.99),
-		ObservedHitRatio: float64(hitCount) / float64(len(hits)),
-		Errors:           errCount,
+		ObservedHitRatio: float64(hits) / float64(items),
+		DedupRatio:       float64(dedups) / float64(items),
+		Errors:           errs,
 	}
 }
 
@@ -214,4 +378,30 @@ func post(client *http.Client, base, b string) (hit bool, code int, err error) {
 		}
 	}
 	return resp.Header.Get("X-Cache") == "hit", resp.StatusCode, nil
+}
+
+// postBatch posts one /v1/plans body and tallies per-item outcomes from
+// the X-Batch-* headers, draining the body without parsing it — the same
+// deal the single path gets from X-Cache, so the two modes pay symmetric
+// client-side costs and the comparison isolates the service.
+func postBatch(client *http.Client, base, b string) (hits, dedups, errs int) {
+	resp, err := client.Post(base+"/v1/plans", "application/json", strings.NewReader(b))
+	if err != nil {
+		return 0, 0, strings.Count(b, `"times"`)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 16384)
+	for {
+		if _, rerr := resp.Body.Read(buf); rerr != nil {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, strings.Count(b, `"times"`)
+	}
+	atoi := func(h string) int {
+		n, _ := strconv.Atoi(resp.Header.Get(h))
+		return n
+	}
+	return atoi("X-Batch-Hits"), atoi("X-Batch-Dedup"), atoi("X-Batch-Failed")
 }

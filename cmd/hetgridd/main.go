@@ -1,13 +1,14 @@
 // Command hetgridd serves the planning pipeline over HTTP: POST a JSON
-// plan request to /v1/plan and get back the canonical plan (arrangement,
-// shares, panel, provenance), cached under the quantized cycle-times.
-// Prometheus metrics live at /metrics, profiling at /debug/pprof, and
-// /healthz answers readiness probes.
+// plan request to /v1/plan (or an array of them to /v1/plans) and get back
+// the canonical plan (arrangement, shares, panel, provenance), cached
+// under the quantized cycle-times. Prometheus metrics live at /metrics,
+// profiling at /debug/pprof, and /healthz answers readiness probes.
 //
 // Example:
 //
-//	hetgridd -addr :8080 &
+//	hetgridd -addr :8080 -cache-policy lfu -cache-snapshot plans.snap &
 //	curl -s localhost:8080/v1/plan -d '{"times":[1,2,3,5],"p":2,"q":2}'
+//	curl -s localhost:8080/v1/plans -d '[{"times":[1,2,3,5],"p":2,"q":2},{"times":[1,2,3,4,5,6],"p":2,"q":3}]'
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -34,20 +36,46 @@ func main() {
 		entries  = flag.Int("cache-entries", 1024, "maximum cached plans across all shards")
 		ttl      = flag.Duration("cache-ttl", 10*time.Minute, "how long a cached plan stays valid (0 = forever)")
 		shards   = flag.Int("shards", 16, "cache shard count (rounded up to a power of two)")
+		policy   = flag.String("cache-policy", "lru", "cache admission policy: lru (admit everything) or lfu (TinyLFU admission; wins under Zipf-skewed keys)")
+		snapshot = flag.String("cache-snapshot", "", "snapshot file: loaded at startup if present, written after drain, so a restart starts warm")
 		quant    = flag.Int("quant", 0, "cycle-time quantization in significant digits (0 = default 3, negative = off)")
 		workers  = flag.Int("workers", 0, "exact-solver goroutines per request (0 = GOMAXPROCS)")
+		coalesce = flag.Duration("coalesce", 0, "exact-mode coalescing window (e.g. 5ms): concurrent exact misses queue into one branch-and-bound sweep; 0 = off")
+		batchMax = flag.Int("batch-max", 256, "maximum items per /v1/plans batch")
 		drainFor = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 
+	pol, err := plancache.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := plancache.New(plancache.Config{
+		MaxEntries: *entries,
+		TTL:        *ttl,
+		Shards:     *shards,
+		Policy:     pol,
+	})
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			n, lerr := cache.LoadSnapshot(f)
+			f.Close()
+			if lerr != nil {
+				log.Printf("snapshot %s not loaded: %v", *snapshot, lerr)
+			} else {
+				log.Printf("warm start: %d plans restored from %s", n, *snapshot)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("snapshot %s not readable: %v", *snapshot, err)
+		}
+	}
+
 	srv := service.New(service.Config{
-		Cache: plancache.New(plancache.Config{
-			MaxEntries: *entries,
-			TTL:        *ttl,
-			Shards:     *shards,
-		}),
-		QuantDigits: *quant,
-		Workers:     *workers,
+		Cache:          cache,
+		QuantDigits:    *quant,
+		Workers:        *workers,
+		CoalesceWindow: *coalesce,
+		MaxBatchItems:  *batchMax,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -61,23 +89,55 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Printf("hetgridd serving on http://%s (plan: POST /v1/plan, metrics: /metrics, health: /healthz)\n",
+	fmt.Printf("hetgridd serving on http://%s (plan: POST /v1/plan, batch: POST /v1/plans, metrics: /metrics, health: /healthz)\n",
 		ln.Addr())
 
 	select {
 	case <-ctx.Done():
 		log.Print("signal received, draining")
+		// New plan requests get 503 + Retry-After while in-flight ones
+		// finish inside the drain window.
+		srv.SetDraining(true)
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("drain incomplete: %v", err)
 		}
-		st := srv.Cache().Stats()
-		log.Printf("final cache stats: %d gets, %d hits, %d misses, %d shared, %d evictions",
-			st.Gets, st.Hits, st.Misses, st.Shared, st.Evictions)
+		if *snapshot != "" {
+			if err := writeSnapshot(cache, *snapshot); err != nil {
+				log.Printf("snapshot not written: %v", err)
+			}
+		}
+		st := cache.Stats()
+		log.Printf("final cache stats: %d gets, %d hits, %d misses, %d shared, %d evictions, %d admission rejections",
+			st.Gets, st.Hits, st.Misses, st.Shared, st.Evictions, st.Rejections)
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
 	}
+}
+
+// writeSnapshot saves the cache atomically (write temp, rename) so a crash
+// mid-write never truncates the previous snapshot.
+func writeSnapshot(cache *plancache.Cache, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	n, err := cache.Snapshot(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	log.Printf("snapshot: %d plans written to %s", n, path)
+	return nil
 }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSeedBoundPreservesResult: a valid caller-supplied seed bound (the
+// solved optimum, shaved by the seed margin) must never change the exact
+// solver's answer — it only prunes more arrangements. This is the contract
+// the hetgridd coalescer's warm-bound transfer relies on.
+func TestSeedBoundPreservesResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		p, q := 2, 2+trial%2
+		times := make([]float64, p*q)
+		for i := range times {
+			times[i] = 0.5 + 3*rng.Float64()
+		}
+		base, baseStats, err := SolveGlobalExactOpt(times, p, q, ExactOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d: base solve: %v", trial, err)
+		}
+		bound := base.Objective() * (1 - seedMargin)
+		for _, workers := range []int{1, 4} {
+			seeded, seededStats, err := SolveGlobalExactOpt(times, p, q,
+				ExactOptions{Workers: workers, SeedBound: bound})
+			if err != nil {
+				t.Fatalf("trial %d workers %d: seeded solve: %v", trial, workers, err)
+			}
+			if seeded.Objective() != base.Objective() {
+				t.Fatalf("trial %d workers %d: seeded objective %v != base %v",
+					trial, workers, seeded.Objective(), base.Objective())
+			}
+			for i := range base.R {
+				if seeded.R[i] != base.R[i] {
+					t.Fatalf("trial %d workers %d: R[%d] %v != %v",
+						trial, workers, i, seeded.R[i], base.R[i])
+				}
+			}
+			for j := range base.C {
+				if seeded.C[j] != base.C[j] {
+					t.Fatalf("trial %d workers %d: C[%d] %v != %v",
+						trial, workers, j, seeded.C[j], base.C[j])
+				}
+			}
+			if seededStats.ArrangementsPruned < baseStats.ArrangementsPruned {
+				t.Fatalf("trial %d workers %d: seeded pruned %d < base %d",
+					trial, workers, seededStats.ArrangementsPruned, baseStats.ArrangementsPruned)
+			}
+		}
+	}
+}
+
+// TestSeedBoundZeroIsNoOp: the zero value must reproduce the unseeded
+// search exactly, statistics included.
+func TestSeedBoundZeroIsNoOp(t *testing.T) {
+	times := []float64{1, 2, 3, 5, 7, 11}
+	a, as, err := SolveGlobalExactOpt(times, 2, 3, ExactOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bs, err := SolveGlobalExactOpt(times, 2, 3, ExactOptions{Workers: 1, SeedBound: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective() != b.Objective() || *as != *bs {
+		t.Fatalf("zero SeedBound changed the search: %+v vs %+v", as, bs)
+	}
+}

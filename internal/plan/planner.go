@@ -88,7 +88,8 @@ func solveBalance(req Request, strategy Strategy) (*Result, error) {
 		}
 		return &Result{Solution: hr.Solution, Iterations: hr.Iterations, Converged: hr.Converged, Tau: hr.Tau}, nil
 	case StrategyExact:
-		sol, stats, err := core.SolveGlobalExactOpt(req.Times, req.P, req.Q, core.ExactOptions{Workers: req.Workers})
+		sol, stats, err := core.SolveGlobalExactOpt(req.Times, req.P, req.Q,
+			core.ExactOptions{Workers: req.Workers, SeedBound: req.SeedBound})
 		if err != nil {
 			return nil, err
 		}

@@ -102,7 +102,7 @@ func TestSingleFlightCollapse(t *testing.T) {
 	// Wait until the flight exists so at least some callers join it, then
 	// release the loader.
 	for {
-		s := c.shardFor("cold")
+		s, _ := c.shardFor("cold")
 		s.mu.Lock()
 		_, inFlight := s.flights["cold"]
 		s.mu.Unlock()
@@ -234,12 +234,13 @@ func TestCounterReconciliationUnderLoad(t *testing.T) {
 }
 
 // TestShardingSpreadsKeys sanity-checks that different keys land on
-// different shards (fnv-32a isn't degenerate with our masking).
+// different shards (fnv-64a isn't degenerate with our masking).
 func TestShardingSpreadsKeys(t *testing.T) {
 	c := New(Config{Shards: 8})
 	seen := map[*shard]bool{}
 	for i := 0; i < 64; i++ {
-		seen[c.shardFor(fmt.Sprintf("key-%d", i))] = true
+		s, _ := c.shardFor(fmt.Sprintf("key-%d", i))
+		seen[s] = true
 	}
 	if len(seen) < 4 {
 		t.Fatalf("64 keys hit only %d of 8 shards", len(seen))

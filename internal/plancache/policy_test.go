@@ -1,0 +1,116 @@
+package plancache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hetgrid/internal/plan"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"": PolicyLRU, "lru": PolicyLRU, "lfu": PolicyLFU} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("arc"); err == nil {
+		t.Error("ParsePolicy(arc) accepted")
+	}
+}
+
+// TestSketchCountsAndAges: the sketch estimate tracks touch counts up to
+// saturation, and aging halves it.
+func TestSketchCountsAndAges(t *testing.T) {
+	s := newFreqSketch(8)
+	const h = uint64(0xdeadbeefcafef00d)
+	if got := s.estimate(h); got != 0 {
+		t.Fatalf("fresh estimate %d, want 0", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.touch(h)
+	}
+	if got := s.estimate(h); got < 5 {
+		t.Fatalf("estimate %d after 5 touches, want >= 5", got)
+	}
+	for i := 0; i < 100; i++ {
+		s.touch(h)
+	}
+	if got := s.estimate(h); got != 0xf {
+		t.Fatalf("estimate %d after saturation, want 15", got)
+	}
+	s.age()
+	if got := s.estimate(h); got > 7 {
+		t.Fatalf("estimate %d after aging, want <= 7", got)
+	}
+}
+
+// zipfKeys renders a deterministic Zipf(alpha) key stream over a key space
+// much larger than the cache under test.
+func zipfKeys(seed int64, alpha float64, keySpace, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, alpha, 1, uint64(keySpace-1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", z.Uint64())
+	}
+	return out
+}
+
+func hitRatio(t *testing.T, policy Policy, keys []string) float64 {
+	t.Helper()
+	c := New(Config{MaxEntries: 64, Shards: 4, Policy: policy})
+	hits := 0
+	for _, k := range keys {
+		_, hit, err := c.GetOrCompute(k, func() (*plan.Plan, error) { return planFor(1), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			hits++
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Shared != st.Gets {
+		t.Fatalf("stats do not reconcile: %+v", st)
+	}
+	if policy == PolicyLRU && st.Rejections != 0 {
+		t.Fatalf("LRU rejected %d admissions", st.Rejections)
+	}
+	if policy == PolicyLFU && st.Rejections == 0 {
+		t.Fatalf("LFU never rejected an admission over %d gets", st.Gets)
+	}
+	return float64(hits) / float64(len(keys))
+}
+
+// TestLFUBeatsLRUUnderZipf is the policy's reason to exist: with the cache
+// far smaller than the key space and Zipf(1.1)-skewed popularity, TinyLFU
+// admission must hold the hot head resident while LRU churns it.
+func TestLFUBeatsLRUUnderZipf(t *testing.T) {
+	keys := zipfKeys(20000501, 1.1, 1<<14, 30000)
+	lru := hitRatio(t, PolicyLRU, keys)
+	lfu := hitRatio(t, PolicyLFU, keys)
+	t.Logf("hit ratio: lru %.3f, lfu %.3f", lru, lfu)
+	if lfu <= lru {
+		t.Fatalf("LFU hit ratio %.3f not above LRU %.3f under Zipf(1.1)", lfu, lru)
+	}
+}
+
+// TestLFUAdmitsReturningKey: a key the sketch has seen repeatedly must
+// displace a cold resident even when the shard is full.
+func TestLFUAdmitsReturningKey(t *testing.T) {
+	c := New(Config{MaxEntries: 2, Shards: 1, Policy: PolicyLFU})
+	load := func(tag int) func() (*plan.Plan, error) {
+		return func() (*plan.Plan, error) { return planFor(tag), nil }
+	}
+	// Make "hot" popular in the sketch while it keeps getting evicted or
+	// rejected, then verify it eventually sits resident.
+	for i := 0; i < 8; i++ {
+		c.GetOrCompute("hot", load(1))
+		c.GetOrCompute(fmt.Sprintf("cold-%d", i), load(2))
+	}
+	if _, hit, _ := c.GetOrCompute("hot", load(1)); !hit {
+		t.Fatal("popular key not resident after repeated access")
+	}
+}

@@ -1,0 +1,114 @@
+package plancache
+
+// freqSketch is a TinyLFU-style frequency sketch: a count-min sketch of
+// 4-bit saturating counters with periodic halving ("aging"), so it tracks
+// the recent popularity of every key that touches the cache in O(1) space
+// per counter — resident or not. The LFU admission policy consults it when
+// the cache is full: a newcomer only displaces the LRU victim if the
+// newcomer has been seen at least as often, which is what keeps one-hit
+// wonders in a Zipf-skewed key stream from shredding the resident hot set.
+//
+// Not safe for concurrent use; each cache shard owns one and touches it
+// under the shard mutex.
+type freqSketch struct {
+	// words holds 16 4-bit counters per uint64. The counter count (16 ×
+	// len(words)) is a power of two; mask selects a counter index.
+	words []uint64
+	mask  uint64
+	// adds counts increments since the last halving; at sampleLimit every
+	// counter is halved, so old popularity decays and the sketch tracks
+	// the recent window rather than all of history.
+	adds        int
+	sampleLimit int
+}
+
+// sketchDepth is the number of hash probes per key (classic count-min
+// depth): the estimate is the minimum over the probes, and increments are
+// conservative (only counters at the minimum grow).
+const sketchDepth = 4
+
+// newFreqSketch sizes a sketch for a cache shard holding capacity entries:
+// 8 counters per resident entry (rounded up to a power of two, at least
+// 64) keeps collision noise low, and the aging window is 10× the capacity,
+// the ratio the TinyLFU paper suggests.
+func newFreqSketch(capacity int) *freqSketch {
+	counters := 64
+	for counters < 8*capacity {
+		counters <<= 1
+	}
+	return &freqSketch{
+		words:       make([]uint64, counters/16),
+		mask:        uint64(counters - 1),
+		sampleLimit: 10 * capacity,
+	}
+}
+
+// indexes derives the probe positions from one 64-bit key hash via a
+// splitmix64 step per probe, so the probes are independent enough without
+// rehashing the key.
+func (s *freqSketch) indexes(h uint64, idx *[sketchDepth]uint64) {
+	for i := 0; i < sketchDepth; i++ {
+		h += 0x9e3779b97f4a7c15
+		z := h
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		idx[i] = z & s.mask
+	}
+}
+
+// counter reads the 4-bit counter at position i.
+func (s *freqSketch) counter(i uint64) uint64 {
+	return (s.words[i/16] >> ((i % 16) * 4)) & 0xf
+}
+
+// estimate returns the sketch's frequency estimate for key hash h: the
+// minimum counter over the probes (count-min never underestimates a
+// counter, so the minimum is the tightest bound available).
+func (s *freqSketch) estimate(h uint64) uint64 {
+	var idx [sketchDepth]uint64
+	s.indexes(h, &idx)
+	min := uint64(0xf)
+	for _, i := range idx {
+		if c := s.counter(i); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// touch records one access of key hash h: conservative update (only the
+// minimal counters grow, and they saturate at 15), then aging when the
+// sample window fills.
+func (s *freqSketch) touch(h uint64) {
+	var idx [sketchDepth]uint64
+	s.indexes(h, &idx)
+	min := uint64(0xf)
+	for _, i := range idx {
+		if c := s.counter(i); c < min {
+			min = c
+		}
+	}
+	if min >= 0xf {
+		return // saturated; aging will make room
+	}
+	for _, i := range idx {
+		if s.counter(i) == min {
+			s.words[i/16] += 1 << ((i % 16) * 4)
+		}
+	}
+	s.adds++
+	if s.adds >= s.sampleLimit {
+		s.age()
+	}
+}
+
+// age halves every counter in place: mask out each counter's low bit, then
+// shift the whole word right one — the 0x7777… mask keeps a counter's bits
+// from bleeding into its right neighbor.
+func (s *freqSketch) age() {
+	for i, w := range s.words {
+		s.words[i] = (w >> 1) & 0x7777777777777777
+	}
+	s.adds = 0
+}

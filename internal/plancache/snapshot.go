@@ -1,0 +1,102 @@
+package plancache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"hetgrid/internal/plan"
+)
+
+// Snapshot persistence: a restarted hetgridd should not open with a cold
+// cache when the plans it held are canonical JSON values that survive
+// marshal → unmarshal → marshal byte-identically. Snapshot writes the
+// resident entries (with their absolute expiries) as one JSON document;
+// LoadSnapshot replays them into a fresh cache, dropping entries whose TTL
+// lapsed while the daemon was down. Restored entries bypass admission —
+// they already earned residency in the previous life — but respect
+// capacity, so a snapshot from a larger cache is truncated by plain LRU.
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+type snapshotDoc struct {
+	Version       int             `json:"version"`
+	SavedUnixNano int64           `json:"saved_unix_nano"`
+	Entries       []snapshotEntry `json:"entries"`
+}
+
+type snapshotEntry struct {
+	Key string `json:"key"`
+	// ExpiresUnixNano is the absolute expiry (0 = never); remaining TTL
+	// survives the restart rather than resetting.
+	ExpiresUnixNano int64      `json:"expires_unix_nano,omitempty"`
+	Plan            *plan.Plan `json:"plan"`
+}
+
+// Snapshot writes every resident, unexpired entry to w and returns how
+// many it wrote. Entries stream per shard in LRU→MRU order, so LoadSnapshot
+// (which inserts at the front) reconstructs each shard's recency order.
+func (c *Cache) Snapshot(w io.Writer) (int, error) {
+	doc := snapshotDoc{Version: snapshotVersion, SavedUnixNano: c.now().UnixNano()}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if !e.expires.IsZero() && !c.now().Before(e.expires) {
+				continue
+			}
+			se := snapshotEntry{Key: e.key, Plan: e.val}
+			if !e.expires.IsZero() {
+				se.ExpiresUnixNano = e.expires.UnixNano()
+			}
+			doc.Entries = append(doc.Entries, se)
+		}
+		s.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return 0, fmt.Errorf("plancache: snapshot: %w", err)
+	}
+	return len(doc.Entries), nil
+}
+
+// LoadSnapshot replays a snapshot into the cache and returns how many
+// entries it restored (expired and duplicate keys are skipped, capacity
+// overflow is evicted as usual). Safe to call on a warm cache; existing
+// entries win over the snapshot's.
+func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
+	var doc snapshotDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("plancache: load snapshot: %w", err)
+	}
+	if doc.Version != snapshotVersion {
+		return 0, fmt.Errorf("plancache: snapshot version %d, want %d", doc.Version, snapshotVersion)
+	}
+	loaded := 0
+	for _, se := range doc.Entries {
+		if se.Key == "" || se.Plan == nil {
+			continue
+		}
+		var expires time.Time
+		if se.ExpiresUnixNano != 0 {
+			expires = time.Unix(0, se.ExpiresUnixNano)
+			if !c.now().Before(expires) {
+				continue
+			}
+		}
+		s, h := c.shardFor(se.Key)
+		s.mu.Lock()
+		if _, ok := s.entries[se.Key]; ok {
+			s.mu.Unlock()
+			continue
+		}
+		if c.insertLocked(s, se.Key, h, se.Plan, expires, false) {
+			loaded++
+		}
+		s.mu.Unlock()
+	}
+	return loaded, nil
+}

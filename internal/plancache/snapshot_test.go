@@ -1,0 +1,117 @@
+package plancache
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hetgrid/internal/plan"
+)
+
+// TestSnapshotRoundTrip: save a warm cache, load it into a fresh one, and
+// every key must hit with the same plan values and LRU recency preserved.
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := New(Config{MaxEntries: 64, Shards: 4})
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		c.GetOrCompute(k, func() (*plan.Plan, error) { return planFor(i), nil })
+	}
+
+	var buf bytes.Buffer
+	n, err := c.Snapshot(&buf)
+	if err != nil || n != 10 {
+		t.Fatalf("snapshot: n=%d err=%v", n, err)
+	}
+
+	fresh := New(Config{MaxEntries: 64, Shards: 4})
+	loaded, err := fresh.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil || loaded != 10 {
+		t.Fatalf("load: n=%d err=%v", loaded, err)
+	}
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		p, hit, err := fresh.GetOrCompute(k, func() (*plan.Plan, error) {
+			t.Fatalf("loader ran for restored key %s", k)
+			return nil, nil
+		})
+		if err != nil || !hit || p.P != i {
+			t.Fatalf("restored %s: hit=%v p=%+v err=%v", k, hit, p, err)
+		}
+	}
+	if fresh.Stats().Hits != 10 {
+		t.Fatalf("stats after restore: %+v", fresh.Stats())
+	}
+}
+
+// TestSnapshotExpiry: entries whose TTL lapsed while the daemon was down
+// are not restored, and remaining TTL survives rather than resetting.
+func TestSnapshotExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New(Config{TTL: time.Minute, Now: clk.now})
+	c.GetOrCompute("a", func() (*plan.Plan, error) { return planFor(1), nil })
+
+	var buf bytes.Buffer
+	if n, err := c.Snapshot(&buf); err != nil || n != 1 {
+		t.Fatalf("snapshot: n=%d err=%v", n, err)
+	}
+
+	// Restart within the TTL: restored, and it expires at the original
+	// deadline.
+	clk2 := &fakeClock{t: time.Unix(1030, 0)}
+	warm := New(Config{TTL: time.Minute, Now: clk2.now})
+	if n, err := warm.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil || n != 1 {
+		t.Fatalf("warm load: n=%d err=%v", n, err)
+	}
+	if _, hit, _ := warm.GetOrCompute("a", func() (*plan.Plan, error) { return planFor(2), nil }); !hit {
+		t.Fatal("entry not restored within TTL")
+	}
+	clk2.advance(31 * time.Second) // past the original deadline
+	if _, hit, _ := warm.GetOrCompute("a", func() (*plan.Plan, error) { return planFor(2), nil }); hit {
+		t.Fatal("restored entry outlived its original TTL")
+	}
+
+	// Restart after the TTL: nothing restored.
+	clk3 := &fakeClock{t: time.Unix(2000, 0)}
+	cold := New(Config{TTL: time.Minute, Now: clk3.now})
+	if n, err := cold.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil || n != 0 {
+		t.Fatalf("cold load: n=%d err=%v", n, err)
+	}
+}
+
+// TestSnapshotRejectsGarbage: version mismatches and non-JSON are errors,
+// not silent empty loads.
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	c := New(Config{})
+	if _, err := c.LoadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	if _, err := c.LoadSnapshot(strings.NewReader(`{"version":99,"entries":[]}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// TestSnapshotCapacityTruncates: loading a snapshot larger than the cache
+// respects capacity.
+func TestSnapshotCapacityTruncates(t *testing.T) {
+	big := New(Config{MaxEntries: 64, Shards: 1})
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		big.GetOrCompute(k, func() (*plan.Plan, error) { return planFor(i), nil })
+	}
+	var buf bytes.Buffer
+	big.Snapshot(&buf)
+
+	small := New(Config{MaxEntries: 8, Shards: 1})
+	if _, err := small.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if n := small.Len(); n != 8 {
+		t.Fatalf("small cache holds %d entries after oversized load, want 8", n)
+	}
+	// The MRU tail of the big cache survives (snapshot streams LRU→MRU).
+	if _, hit, _ := small.GetOrCompute("key-31", func() (*plan.Plan, error) { return planFor(0), nil }); !hit {
+		t.Fatal("most recent entry lost in truncation")
+	}
+}

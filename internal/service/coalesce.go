@@ -1,0 +1,173 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hetgrid/internal/obs"
+	"hetgrid/internal/plan"
+)
+
+// Exact-mode coalescing: the per-key single-flight in plancache already
+// collapses concurrent misses for the *same* key, but exact-mode traffic
+// (small grids, branch-and-bound) often arrives as bursts of *different*
+// keys — a batch of per-tenant replans, survivors of one failure wave.
+// Solving them concurrently thrashes the solver's worker parallelism, and
+// solving them independently re-derives bounds the sweep already knows.
+//
+// The coalescer holds the first exact miss open for a short window; every
+// exact miss landing inside the window joins the same scheduling
+// generation. When the window closes the generation runs as one sweep:
+// members solve sequentially (each with the solver's full internal
+// parallelism) in deterministic key order, and when one member's
+// cycle-times are a scalar multiple of an already-solved member's — only
+// ratios matter to the balance problem, so proportional requests are the
+// same problem at a different clock — the solved optimum transfers as a
+// warm lower bound (core.ExactOptions.SeedBound) that prunes arrangements
+// before their tree enumerations start.
+//
+// A transferred bound never changes the resulting plan (see
+// TestSeedBoundPreservesResult in internal/core); it can only shrink the
+// recorded search counters in the plan's provenance.
+
+// transferMargin shaves a transferred bound so floating-point slack in the
+// proportionality scaling can never push the seed above the follower's
+// true optimum (which would wrongly prune the optimal arrangement). It is
+// deliberately far wider than core's own seed margin: the transfer adds a
+// division by the proportionality factor on top of the objective's
+// rounding.
+const transferMargin = 1e-7
+
+// proportionalTol is the relative tolerance for deciding two quantized
+// cycle-time vectors are scalar multiples.
+const proportionalTol = 1e-12
+
+type coalescer struct {
+	window  time.Duration
+	planner plan.Planner
+
+	mu  sync.Mutex
+	gen *generation
+	// runMu serializes generation sweeps: one branch-and-bound at a time
+	// is the point.
+	runMu sync.Mutex
+
+	generations *obs.Counter
+	members     *obs.Counter
+	transfers   *obs.Counter
+}
+
+type generation struct {
+	members []*genMember
+	done    chan struct{}
+}
+
+type genMember struct {
+	req plan.Request
+	key string
+	res *plan.Result
+	err error
+}
+
+func newCoalescer(window time.Duration, reg *obs.Registry) *coalescer {
+	return &coalescer{
+		window: window,
+		generations: reg.Counter("hetgrid_service_coalesce_generations_total", "",
+			"Exact-mode scheduling generations swept."),
+		members: reg.Counter("hetgrid_service_coalesce_members_total", "",
+			"Exact-mode misses that entered a scheduling generation."),
+		transfers: reg.Counter("hetgrid_service_coalesce_seed_transfers_total", "",
+			"Warm-bound transfers between proportional generation members."),
+	}
+}
+
+// solve enqueues req into the open generation (opening one and arming its
+// window timer if none is open) and blocks until the sweep has solved it.
+func (c *coalescer) solve(req plan.Request) (*plan.Result, error) {
+	m := &genMember{req: req, key: req.Key(0)}
+	c.mu.Lock()
+	g := c.gen
+	if g == nil {
+		g = &generation{done: make(chan struct{})}
+		c.gen = g
+		time.AfterFunc(c.window, func() {
+			c.mu.Lock()
+			c.gen = nil
+			c.mu.Unlock()
+			c.run(g)
+		})
+	}
+	g.members = append(g.members, m)
+	c.mu.Unlock()
+
+	<-g.done
+	return m.res, m.err
+}
+
+// run sweeps one closed generation. Members solve in sorted key order —
+// deterministic regardless of arrival interleaving — and proportional
+// followers inherit the leader's solved optimum as a warm bound.
+func (c *coalescer) run(g *generation) {
+	defer close(g.done)
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+
+	c.generations.Inc()
+	c.members.Add(int64(len(g.members)))
+
+	order := make([]*genMember, len(g.members))
+	copy(order, g.members)
+	sort.Slice(order, func(a, b int) bool { return order[a].key < order[b].key })
+
+	solved := make([]*genMember, 0, len(order))
+	for _, m := range order {
+		if bound, ok := transferBound(m, solved); ok {
+			m.req.SeedBound = bound
+			c.transfers.Inc()
+		}
+		m.res, m.err = c.planner.Plan(m.req)
+		if m.err == nil {
+			solved = append(solved, m)
+		}
+	}
+}
+
+// transferBound looks for an already-solved generation member whose
+// request is the same balance problem up to a scalar factor s on the
+// cycle-times, and rescales its optimum into a lower bound for m: with
+// t' = s·t, the map (r, c) → (r/√s, c/√s) carries feasible solutions
+// across, so Obj2(t') = Obj2(t)/s exactly. The margin shave keeps the
+// bound strictly below the true optimum under floating-point evaluation.
+func transferBound(m *genMember, solved []*genMember) (float64, bool) {
+	// Only the free-arrangement fixed-shape mode has arrangement-level
+	// pruning to seed.
+	if m.req.P == 0 || m.req.Fixed {
+		return 0, false
+	}
+	for _, d := range solved {
+		if d.req.P != m.req.P || d.req.Q != m.req.Q || d.req.Fixed ||
+			len(d.req.Times) != len(m.req.Times) || d.res == nil || d.res.Plan == nil {
+			continue
+		}
+		s := m.req.Times[0] / d.req.Times[0]
+		if !(s > 0) {
+			continue
+		}
+		proportional := true
+		for i := range m.req.Times {
+			diff := m.req.Times[i] - s*d.req.Times[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > proportionalTol*m.req.Times[i] {
+				proportional = false
+				break
+			}
+		}
+		if proportional {
+			return d.res.Plan.Objective / s * (1 - transferMargin), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hetgrid/internal/plan"
+	"hetgrid/internal/plancache"
+)
+
+func newCoalescingServer(t *testing.T, window time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		Cache:          plancache.New(plancache.Config{TTL: time.Minute}),
+		CoalesceWindow: window,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func metricsPage(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return string(blob)
+}
+
+// TestCoalesceCollectsConcurrentExactMisses: concurrent exact-mode misses
+// for different keys land in a shared scheduling generation, every waiter
+// gets its own correct plan, and the coalesce counters show the sharing.
+func TestCoalesceCollectsConcurrentExactMisses(t *testing.T) {
+	_, ts := newCoalescingServer(t, 10*time.Millisecond)
+
+	bodies := []string{
+		`{"times":[1,2,3,5],"p":2,"q":2,"strategy":"exact"}`,
+		`{"times":[1,2,4,8],"p":2,"q":2,"strategy":"exact"}`,
+		`{"times":[1,3,5,7],"p":2,"q":2,"strategy":"exact"}`,
+		`{"times":[2,3,5,8],"p":2,"q":2,"strategy":"exact"}`,
+	}
+	plans := make([]plan.Plan, len(bodies))
+	var wg sync.WaitGroup
+	for i, b := range bodies {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(b))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			blob, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, blob)
+				return
+			}
+			if err := json.Unmarshal(blob, &plans[i]); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+
+	for i, p := range plans {
+		if p.Objective <= 0 || p.Provenance.Strategy != plan.StrategyExact {
+			t.Fatalf("plan %d wrong: %+v", i, p.Provenance)
+		}
+	}
+	page := metricsPage(t, ts)
+	for _, want := range []string{
+		"hetgrid_service_coalesce_generations_total",
+		"hetgrid_service_coalesce_members_total 4",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q\n", want)
+		}
+	}
+}
+
+// TestCoalescedPlanMatchesSolo: a plan solved through a generation must be
+// byte-identical to the same key solved alone — the coalescer only
+// reorders work, it never changes results.
+func TestCoalescedPlanMatchesSolo(t *testing.T) {
+	body := `{"times":[1.5,2.5,3.5,5.5],"p":2,"q":2,"strategy":"exact"}`
+
+	_, solo := newTestServer(t)
+	_, want := postPlan(t, solo, body)
+
+	_, ts := newCoalescingServer(t, 2*time.Millisecond)
+	_, got := postPlan(t, ts, body)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("coalesced response differs from solo:\n%s\n%s", want, got)
+	}
+}
+
+// TestCoalesceWarmBoundTransfer: two proportional exact problems in one
+// generation — the same balance problem at a different clock speed — share
+// a warm bound. The follower's plan keeps exact shares (a valid bound can
+// never change the solution) while the transfer counter records the reuse.
+func TestCoalesceWarmBoundTransfer(t *testing.T) {
+	_, ts := newCoalescingServer(t, 15*time.Millisecond)
+
+	bodies := []string{
+		`{"times":[1,2,3,5],"p":2,"q":2,"strategy":"exact"}`,
+		`{"times":[2,4,6,10],"p":2,"q":2,"strategy":"exact"}`, // 2× the first
+	}
+	plans := make([]plan.Plan, 2)
+	var wg sync.WaitGroup
+	for i, b := range bodies {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(b))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			blob, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			json.Unmarshal(blob, &plans[i])
+		}(i, b)
+	}
+	wg.Wait()
+
+	page := metricsPage(t, ts)
+	if !strings.Contains(page, "hetgrid_service_coalesce_seed_transfers_total 1") {
+		t.Fatalf("expected exactly one warm-bound transfer; metrics:\n%s",
+			grepLines(page, "coalesce"))
+	}
+
+	// The follower's shares must match a solo solve of its own request —
+	// bound transfer is invisible in the solution.
+	res, err := plan.Solve(plan.Request{
+		Times: []float64{2, 4, 6, 10}, P: 2, Q: 2, Strategy: plan.StrategyExact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower := plans[0]
+	if follower.Arrangement[0][0] != 2 { // identify which response was the 2× one
+		follower = plans[1]
+	}
+	if follower.Objective != res.Plan.Objective {
+		t.Fatalf("follower objective %v, solo %v", follower.Objective, res.Plan.Objective)
+	}
+	for i := range res.Plan.RowShares {
+		if follower.RowShares[i] != res.Plan.RowShares[i] {
+			t.Fatalf("follower row share %d: %v vs %v", i, follower.RowShares[i], res.Plan.RowShares[i])
+		}
+	}
+}
+
+func grepLines(page, substr string) string {
+	var out []string
+	for _, line := range strings.Split(page, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

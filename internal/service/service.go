@@ -1,14 +1,21 @@
 // Package service is the HTTP face of the planning pipeline: hetgridd's
 // POST /v1/plan accepts a plan.Request as JSON, quantizes the cycle-times,
 // and answers with the canonical plan — cached, single-flighted and
-// TTL-bounded by internal/plancache. The observability mux (Prometheus
-// /metrics, pprof) comes from internal/obs; the cache and request counters
-// publish there.
+// TTL-bounded by internal/plancache. POST /v1/plans accepts an array of
+// requests and amortizes the HTTP round-trip over the whole batch:
+// per-item validation (one bad item never fails the batch), intra-batch
+// dedup by quantized key, and a bounded parallel fan-out over the unique
+// keys. Exact-mode misses can additionally coalesce into scheduling
+// generations (see coalesce.go) so concurrent branch-and-bound work runs
+// as one sweep. The observability mux (Prometheus /metrics, pprof) comes
+// from internal/obs; the cache, batch and coalescing counters publish
+// there.
 //
 // The service plans the *quantized* request: the cache key and the plan it
 // stores are derived from the same rounded cycle-times, so every request
 // inside one quantum receives the identical (byte-identical, given the
-// stable Plan JSON) response.
+// stable Plan JSON) response — whether it arrived alone, in a batch, or
+// through a coalesced generation.
 package service
 
 import (
@@ -18,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"hetgrid/internal/obs"
@@ -26,7 +34,7 @@ import (
 )
 
 // Config assembles a Server. The zero value works: default cache,
-// default quantization, fresh registry.
+// default quantization, fresh registry, batching on, coalescing off.
 type Config struct {
 	// Cache holds solved plans (nil = plancache.New with defaults).
 	Cache *plancache.Cache
@@ -36,6 +44,15 @@ type Config struct {
 	// Workers caps the exact solver's parallelism per request (0 =
 	// GOMAXPROCS).
 	Workers int
+	// CoalesceWindow holds an exact-mode cache miss open for this long so
+	// concurrent exact misses for different keys queue into one scheduling
+	// generation (one branch-and-bound sweep, warm-bound transfer between
+	// proportional problems). 0 disables coalescing; a few milliseconds is
+	// the useful range.
+	CoalesceWindow time.Duration
+	// MaxBatchItems bounds the number of requests in one POST /v1/plans
+	// body (0 = 256).
+	MaxBatchItems int
 	// Registry receives the request and cache metrics (nil = new one).
 	Registry *obs.Registry
 }
@@ -47,8 +64,15 @@ type Server struct {
 	workers  int
 	registry *obs.Registry
 
-	planner plan.Planner
-	latency *obs.Histogram
+	planner   plan.Planner
+	coalescer *coalescer
+	maxBatch  int
+	memo      *planMemo
+	draining  atomic.Bool
+
+	latency      *obs.Histogram
+	batchLatency *obs.Histogram
+	batchSize    *obs.Histogram
 }
 
 // New builds a Server from cfg and publishes its metrics.
@@ -58,6 +82,8 @@ func New(cfg Config) *Server {
 		digits:   cfg.QuantDigits,
 		workers:  cfg.Workers,
 		registry: cfg.Registry,
+		maxBatch: cfg.MaxBatchItems,
+		memo:     newPlanMemo(),
 	}
 	if s.cache == nil {
 		s.cache = plancache.New(plancache.Config{})
@@ -68,9 +94,20 @@ func New(cfg Config) *Server {
 	if s.registry == nil {
 		s.registry = obs.NewRegistry()
 	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = defaultMaxBatchItems
+	}
+	if cfg.CoalesceWindow > 0 {
+		s.coalescer = newCoalescer(cfg.CoalesceWindow, s.registry)
+	}
 	s.cache.Publish(s.registry)
 	s.latency = s.registry.Histogram("hetgrid_service_plan_seconds", "",
 		"POST /v1/plan latency.", nil)
+	s.batchLatency = s.registry.Histogram("hetgrid_service_batch_seconds", "",
+		"POST /v1/plans latency (whole batch).", nil)
+	s.batchSize = s.registry.Histogram("hetgrid_service_batch_size", "",
+		"Items per POST /v1/plans request.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 	return s
 }
 
@@ -80,8 +117,14 @@ func (s *Server) Registry() *obs.Registry { return s.registry }
 // Cache returns the server's plan cache.
 func (s *Server) Cache() *plancache.Cache { return s.cache }
 
-// Handler returns the full service mux: /v1/plan, /healthz, plus the
-// observability endpoints (/metrics, /debug/pprof) from the registry.
+// SetDraining flips the server into (or out of) drain mode: while
+// draining, plan endpoints answer 503 with a Retry-After header so load
+// balancers move traffic before the listener closes.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the full service mux: /v1/plan, /v1/plans, /healthz,
+// plus the observability endpoints (/metrics, /debug/pprof) from the
+// registry.
 func (s *Server) Handler() http.Handler {
 	mux := s.registry.ServeMux()
 	s.Routes(mux)
@@ -91,28 +134,60 @@ func (s *Server) Handler() http.Handler {
 // Routes registers the service endpoints on mux.
 func (s *Server) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/plans", s.handleBatch)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
 }
 
-// maxRequestBytes bounds a request body; a plan request is a few KB even
-// for hundreds of processors.
-const maxRequestBytes = 1 << 20
+// maxRequestBytes bounds a single request body; a plan request is a few KB
+// even for hundreds of processors. maxBatchBytes bounds a whole batch.
+const (
+	maxRequestBytes = 1 << 20
+	maxBatchBytes   = 4 << 20
+)
+
+// defaultMaxBatchItems bounds a batch when the config does not.
+const defaultMaxBatchItems = 256
+
+// ErrTooLarge marks a request body that exceeded its byte limit; the HTTP
+// layer maps it to 413 instead of the generic 400.
+var ErrTooLarge = errors.New("request body too large")
+
+// limitedReader counts what it reads so oversized bodies are
+// distinguishable from malformed ones after a decode error.
+type limitedReader struct {
+	r io.Reader
+	n int64
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	n, err := l.r.Read(p)
+	l.n += int64(n)
+	return n, err
+}
 
 // DecodeRequest parses a plan request from JSON, strictly (unknown fields
 // are errors, so typos like "stratgy" fail loudly instead of planning with
-// defaults) and validates it.
+// defaults) and validates it. Bodies beyond the 1MB limit return an error
+// wrapping ErrTooLarge.
 func DecodeRequest(r io.Reader) (plan.Request, error) {
 	var req plan.Request
-	dec := json.NewDecoder(io.LimitReader(r, maxRequestBytes))
+	lr := &limitedReader{r: io.LimitReader(r, maxRequestBytes+1)}
+	dec := json.NewDecoder(lr)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		if lr.n > maxRequestBytes {
+			return plan.Request{}, fmt.Errorf("service: %w (limit %d bytes)", ErrTooLarge, maxRequestBytes)
+		}
 		return plan.Request{}, fmt.Errorf("service: bad request body: %w", err)
 	}
 	// Reject trailing garbage after the JSON object.
 	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		if lr.n > maxRequestBytes {
+			return plan.Request{}, fmt.Errorf("service: %w (limit %d bytes)", ErrTooLarge, maxRequestBytes)
+		}
 		return plan.Request{}, fmt.Errorf("service: trailing data after request body")
 	}
 	if err := req.Validate(); err != nil {
@@ -124,6 +199,51 @@ func DecodeRequest(r io.Reader) (plan.Request, error) {
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// solve runs the cached solve for a validated request: quantize, key,
+// cache (single-flight), and — for exact-mode misses when coalescing is on
+// — the generation sweep. Both the single and the batch endpoint go
+// through here, which is what keeps their responses byte-identical for the
+// same quantized key.
+func (s *Server) solve(req plan.Request) (*plan.Plan, bool, error) {
+	qreq := req.Quantized(s.digits)
+	return s.solveKeyed(qreq, qreq.Key(s.digits))
+}
+
+// solveKeyed is solve for callers that already quantized the request and
+// derived its cache key (the batch path, which computes both once per
+// distinct item).
+func (s *Server) solveKeyed(qreq plan.Request, key string) (*plan.Plan, bool, error) {
+	qreq.Workers = s.workers
+	return s.cache.GetOrCompute(key, func() (*plan.Plan, error) {
+		res, err := s.solveUncached(qreq)
+		if err != nil {
+			return nil, err
+		}
+		res.Plan.Provenance.Key = key
+		return res.Plan, nil
+	})
+}
+
+// solveUncached dispatches a cache miss to the planner, routing exact-mode
+// requests through the coalescer when one is configured.
+func (s *Server) solveUncached(qreq plan.Request) (*plan.Result, error) {
+	if s.coalescer != nil && qreq.Strategy == plan.StrategyExact {
+		return s.coalescer.solve(qreq)
+	}
+	return s.planner.Plan(qreq)
+}
+
+// rejectDraining answers 503 + Retry-After while the server drains.
+// Reports whether the request was rejected.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{"draining: retry against another replica"})
+	return true
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -142,27 +262,21 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, errorBody{"POST only"})
 		return
 	}
+	if s.rejectDraining(w) {
+		code = http.StatusServiceUnavailable
+		return
+	}
 	req, err := DecodeRequest(r.Body)
 	if err != nil {
 		code = http.StatusBadRequest
+		if errors.Is(err, ErrTooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
 		writeJSON(w, code, errorBody{err.Error()})
 		return
 	}
 
-	// Solve the quantized request so the cache key and the cached plan
-	// describe the same (rounded) problem.
-	qreq := req.Quantized(s.digits)
-	key := qreq.Key(s.digits)
-	qreq.Workers = s.workers
-
-	p, hit, err := s.cache.GetOrCompute(key, func() (*plan.Plan, error) {
-		res, err := s.planner.Plan(qreq)
-		if err != nil {
-			return nil, err
-		}
-		res.Plan.Provenance.Key = key
-		return res.Plan, nil
-	})
+	p, hit, err := s.solve(req)
 	if err != nil {
 		// The request was well-formed but unsolvable (e.g. an aspect
 		// constraint no shape satisfies).
