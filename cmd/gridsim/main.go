@@ -41,6 +41,9 @@ func main() {
 		gantt       = flag.Bool("gantt", false, "print a per-processor activity chart for each run")
 		traceFile   = flag.String("tracefile", "", "write a Chrome-tracing JSON of the last run to this file")
 		realFlag    = flag.Bool("real", false, "execute the kernel for real (goroutine ranks, measured traffic) instead of simulating")
+		listenFlag  = flag.String("listen", "", "multi-process mode: coordinate a cluster at this address (e.g. 127.0.0.1:7001), distribute the plan and host the first rank chunk")
+		procsFlag   = flag.Int("procs", 2, "multi-process mode: total process count the coordinator waits for (with -listen)")
+		joinFlag    = flag.String("join", "", "multi-process mode: join the coordinator at this address and run the assigned rank chunk (all kernel flags come from the coordinator)")
 		rFlag       = flag.Int("r", 8, "element block size for -real runs (matrix side = nb*r)")
 		parallel    = flag.Int("parallel", 1, "goroutines per rank for -real block updates (bit-identical for any value)")
 		numericsF   = flag.String("numerics", "strict", "floating-point contract for -real block computations: strict (bit-identical) or fast (FMA-fused, bounded error)")
@@ -57,6 +60,23 @@ func main() {
 		ckptEvery    = flag.Int("ckpt", 1, "checkpoint the working matrix every so many kernel steps (with -faultrecover)")
 	)
 	flag.Parse()
+
+	if *joinFlag != "" {
+		var metrics *hetgrid.Metrics
+		if *metricsAddr != "" {
+			metrics = hetgrid.NewMetrics()
+			addr, _, err := metrics.Serve(*metricsAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("serving metrics at http://%s/metrics (profiling at /debug/pprof)\n", addr)
+		}
+		if err := runJoin(*joinFlag, metrics); err != nil {
+			log.Fatal(err)
+		}
+		blockOnMetrics(metrics)
+		return
+	}
 
 	times, err := cliutil.ParseTimes(*timesFlag)
 	if err != nil {
@@ -84,6 +104,21 @@ func main() {
 		}
 		fmt.Printf("serving metrics at http://%s/metrics (profiling at /debug/pprof)\n", addr)
 		planOpts = append(planOpts, hetgrid.WithMetrics(metrics))
+	}
+
+	if *listenFlag != "" {
+		if *distFlag == "all" {
+			log.Fatal("-listen needs a single distribution (-dist uniform, kl or panel)")
+		}
+		pay := netPlan{
+			Times: times, P: *pFlag, Q: *qFlag, NB: *nbFlag, R: *rFlag,
+			Kernel: *kernelFlag, Dist: *distFlag, Bcast: *bcastFlag, Numerics: *numericsF, Seed: 1,
+		}
+		if err := runListen(*listenFlag, *procsFlag, pay, metrics); err != nil {
+			log.Fatal(err)
+		}
+		blockOnMetrics(metrics)
+		return
 	}
 
 	plan, _, err := hetgrid.SolvePlan(hetgrid.PlanRequest{Times: times, P: *pFlag, Q: *qFlag}, planOpts...)

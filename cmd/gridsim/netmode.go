@@ -1,0 +1,304 @@
+package main
+
+// Multi-process mode: -listen turns this gridsim into the cluster
+// coordinator (it solves the plan and distributes it through the cluster
+// handshake), -join turns it into a worker that receives the plan, runs
+// its contiguous rank chunk over the framed TCP fabric, and feeds its
+// blocks back. Rank 0 (always on the coordinator) gathers the result and
+// asserts it bit-identical to the serial replay oracle — the "PARITY OK"
+// line CI greps for.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hetgrid"
+	"hetgrid/internal/engine"
+	enginenet "hetgrid/internal/engine/net"
+	"hetgrid/internal/kernels"
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
+)
+
+// netPlan is the opaque payload the coordinator ships through the cluster
+// handshake: everything a joiner needs to recompute the distribution and
+// run its ranks deterministically — joiners take no kernel flags at all.
+type netPlan struct {
+	Times    []float64 `json:"times"`
+	P        int       `json:"p"`
+	Q        int       `json:"q"`
+	NB       int       `json:"nb"`
+	R        int       `json:"r"`
+	Kernel   string    `json:"kernel"`
+	Dist     string    `json:"dist"`
+	Bcast    string    `json:"bcast"`
+	Numerics string    `json:"numerics"`
+	Seed     int64     `json:"seed"`
+}
+
+const (
+	handshakeTimeout = 2 * time.Minute
+	netCloseTimeout  = 5 * time.Second
+)
+
+// runListen is the coordinator: bind, hand the plan to procs-1 joiners,
+// then run rank chunk 0 (which includes rank 0, so the inputs, the gather
+// and the parity verdict all live here).
+func runListen(addr string, procs int, pay netPlan, metrics *hetgrid.Metrics) error {
+	blob, err := json.Marshal(pay)
+	if err != nil {
+		return err
+	}
+	co, err := enginenet.NewCoordinator(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("listening at %s for %d joiner(s)\n", co.Addr(), procs-1)
+	ctx, cancel := context.WithTimeout(context.Background(), handshakeTimeout)
+	defer cancel()
+	fab, err := co.Establish(ctx, pay.P*pay.Q, procs, blob, metrics)
+	if err != nil {
+		return err
+	}
+	return runNetProc(fab, pay, metrics)
+}
+
+// runJoin is a worker: dial the coordinator (retrying, so start order does
+// not matter), receive the plan, run the assigned ranks.
+func runJoin(addr string, metrics *hetgrid.Metrics) error {
+	ctx, cancel := context.WithTimeout(context.Background(), handshakeTimeout)
+	defer cancel()
+	fab, blob, err := enginenet.Join(ctx, addr, metrics)
+	if err != nil {
+		return err
+	}
+	var pay netPlan
+	if err := json.Unmarshal(blob, &pay); err != nil {
+		return fmt.Errorf("malformed plan payload: %w", err)
+	}
+	return runNetProc(fab, pay, metrics)
+}
+
+// runNetProc is the SPMD part every process runs once its fabric is up:
+// recompute the plan deterministically, execute the local ranks, then a
+// done/bye barrier over the fabric so nobody tears the cluster down while
+// a peer still has blocks in flight.
+func runNetProc(fab *enginenet.Fabric, pay netPlan, metrics *hetgrid.Metrics) error {
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), netCloseTimeout)
+		defer cancel()
+		fab.Close(ctx)
+	}()
+
+	kernel, err := hetgrid.ParseKernel(pay.Kernel)
+	if err != nil {
+		return err
+	}
+	hb, err := hetgrid.ParseBroadcast(pay.Bcast)
+	if err != nil {
+		return err
+	}
+	numerics, err := hetgrid.ParseNumerics(pay.Numerics)
+	if err != nil {
+		return err
+	}
+	plan, _, err := hetgrid.SolvePlan(hetgrid.PlanRequest{Times: pay.Times, P: pay.P, Q: pay.Q})
+	if err != nil {
+		return err
+	}
+	dists, err := buildDistributions(pay.Dist, plan, kernel, pay.NB, pay.P, pay.Q)
+	if err != nil {
+		return err
+	}
+	if len(dists) != 1 {
+		return fmt.Errorf("multi-process mode needs a single distribution, got %q", pay.Dist)
+	}
+	d := dists[0].d
+	world := pay.P * pay.Q
+	n := pay.NB * pay.R
+	fmt.Printf("process %d of %d: ranks %v of %d, %s on %d×%d (%s, %s broadcast, %s distribution)\n",
+		fab.ProcID(), fab.Procs(), fab.LocalRanks(), world, kernel, n, n, pay.Numerics, hb, dists[0].name)
+
+	// Inputs exist only where rank 0 lives; everyone else receives their
+	// blocks through the scatter.
+	isCoord := fab.ProcID() == 0
+	var a, b *matrix.Dense
+	if isCoord {
+		rng := rand.New(rand.NewSource(pay.Seed))
+		switch kernel {
+		case hetgrid.MatMul:
+			a, b = matrix.Random(n, n, rng), matrix.Random(n, n, rng)
+		case hetgrid.LU:
+			a = matrix.RandomWellConditioned(n, rng)
+		case hetgrid.QR:
+			a = matrix.Random(n, n, rng)
+		case hetgrid.Cholesky:
+			a = matrix.RandomSPD(n, rng)
+		default:
+			return fmt.Errorf("kernel %v has no multi-process execution path", kernel)
+		}
+	}
+
+	var out *matrix.Dense
+	start := time.Now()
+	_, err = engine.RunOpts(world, engine.Options{
+		Broadcast:  simKind(hb),
+		Numerics:   numerics,
+		Transport:  fab,
+		LocalRanks: fab.LocalRanks(),
+		Metrics:    metrics,
+	}, func(c *engine.Comm) error {
+		g, err := netKernelBody(c, d, kernel, a, b, pay.R)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = g
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	// Completion barrier: workers report done to rank 0's process and wait
+	// for the bye (or the closure that follows it) before tearing down, so
+	// late gather frames are never raced by an abort frame.
+	bctx, bcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer bcancel()
+	one := matrix.New(1, 1)
+	procs := fab.Procs()
+	if isCoord {
+		for p := 1; p < procs; p++ {
+			lo := enginenet.RanksOf(world, procs, p)[0]
+			if _, err := fab.Recv(bctx, lo, 0, "net/done"); err != nil {
+				return fmt.Errorf("waiting for process %d to finish: %w", p, err)
+			}
+		}
+		for p := 1; p < procs; p++ {
+			lo := enginenet.RanksOf(world, procs, p)[0]
+			fab.Send(0, lo, "net/bye", one)
+		}
+	} else {
+		lo := fab.LocalRanks()[0]
+		fab.Send(lo, 0, "net/done", one)
+		if _, err := fab.Recv(bctx, 0, lo, "net/bye"); err != nil && !errors.Is(err, engine.ErrClosed) {
+			return fmt.Errorf("waiting for the coordinator's bye: %w", err)
+		}
+	}
+
+	ws := fab.WireStats()
+	fmt.Printf("done in %v; wire traffic: %d frames / %d bytes sent, %d frames / %d bytes received\n",
+		elapsed.Round(time.Millisecond), ws.FramesSent, ws.BytesSent, ws.FramesRecv, ws.BytesRecv)
+
+	if !isCoord {
+		return nil
+	}
+
+	// The coordinator holds the gathered result: anchor it to the serial
+	// replay oracle, bit for bit.
+	want, err := netOracle(d, kernel, a, b, numerics)
+	if err != nil {
+		return err
+	}
+	if out == nil || !out.Equal(want) {
+		fmt.Println("PARITY FAIL")
+		return fmt.Errorf("distributed result differs from the serial replay oracle")
+	}
+	fmt.Println("PARITY OK")
+	return nil
+}
+
+// netKernelBody is the SPMD body: scatter, run, gather (result at rank 0).
+func netKernelBody(c *engine.Comm, d hetgrid.Distribution, kernel hetgrid.Kernel, a, b *matrix.Dense, r int) (*matrix.Dense, error) {
+	on0 := func(m *matrix.Dense) *matrix.Dense {
+		if c.Rank() == 0 {
+			return m
+		}
+		return nil
+	}
+	if kernel == hetgrid.MatMul {
+		as, err := engine.Scatter(c, d, on0(a), r)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := engine.Scatter(c, d, on0(b), r)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := engine.MM(c, d, as, bs)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Gather(c, d, cs)
+	}
+	s, err := engine.Scatter(c, d, on0(a), r)
+	if err != nil {
+		return nil, err
+	}
+	switch kernel {
+	case hetgrid.LU:
+		err = engine.LU(c, d, s)
+	case hetgrid.Cholesky:
+		err = engine.Cholesky(c, d, s)
+	case hetgrid.QR:
+		_, err = engine.QR(c, d, s)
+	default:
+		err = fmt.Errorf("kernel %v has no multi-process execution path", kernel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return engine.Gather(c, d, s)
+}
+
+// netOracle replays the kernel serially under the same numerics contract.
+func netOracle(d hetgrid.Distribution, kernel hetgrid.Kernel, a, b *matrix.Dense, mode matrix.Numerics) (*matrix.Dense, error) {
+	switch kernel {
+	case hetgrid.MatMul:
+		rep, err := kernels.ReplayMMNumerics(d, a, b, mode)
+		if err != nil {
+			return nil, err
+		}
+		return rep.C, nil
+	case hetgrid.LU:
+		rep, err := kernels.ReplayLUNumerics(d, a, mode)
+		if err != nil {
+			return nil, err
+		}
+		return rep.C, nil
+	case hetgrid.Cholesky:
+		rep, err := kernels.ReplayCholeskyNumerics(d, a, mode)
+		if err != nil {
+			return nil, err
+		}
+		return rep.C, nil
+	case hetgrid.QR:
+		rep, err := kernels.ReplayQRNumerics(d, a, mode)
+		if err != nil {
+			return nil, err
+		}
+		return rep.C, nil
+	}
+	return nil, fmt.Errorf("kernel %v has no oracle", kernel)
+}
+
+// simKind maps the public broadcast enum to the engine's (the unexported
+// mapping the library applies internally).
+func simKind(b hetgrid.BroadcastKind) sim.BroadcastKind {
+	switch b {
+	case hetgrid.RingBroadcast:
+		return sim.RingBroadcast
+	case hetgrid.PipelinedRingBroadcast:
+		return sim.SegmentedRingBroadcast
+	case hetgrid.TreeBroadcast:
+		return sim.TreeBroadcast
+	default:
+		return sim.StarBroadcast
+	}
+}

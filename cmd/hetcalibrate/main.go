@@ -25,10 +25,18 @@ func main() {
 		blockFlag    = flag.Int("block", 32, "block size r (the r×r update granularity)")
 		durationFlag = flag.Duration("duration", 200*time.Millisecond, "minimum measurement duration")
 		repeatFlag   = flag.Int("repeat", 3, "measurement repetitions (minimum is reported)")
+		netFlag      = flag.Bool("net", false, "calibrate the network instead: fit α–β from loopback TCP ping-pong and compare predicted vs measured broadcasts")
+		outFlag      = flag.String("out", "BENCH_net.json", "report path for -net")
 	)
 	flag.Parse()
 	if *repeatFlag < 1 {
 		log.Fatal("repeat must be at least 1")
+	}
+	if *netFlag {
+		if err := netCalibrate(*repeatFlag, *outFlag); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	best := 0.0
 	for i := 0; i < *repeatFlag; i++ {

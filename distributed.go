@@ -111,6 +111,17 @@ type ExecOptions struct {
 	// executes. Implies span recording (the imbalance gauge needs busy
 	// times). nil disables all registry mirroring.
 	Metrics *Metrics
+	// Transport injects a custom message fabric spanning the grid's p·q
+	// ranks; nil uses the in-process mailbox fabric. A fabric exposing
+	// LocalRanks() []int (a multi-process fabric hosting a rank subset)
+	// restricts which ranks this process spawns. Incompatible with fault
+	// recovery — a replanned world needs a fresh fabric; see
+	// TransportFactory.
+	Transport Transport
+	// TransportFactory builds the fabric per execution attempt for the
+	// attempt's rank count — the recovery-compatible form of Transport.
+	// When both are set the factory wins.
+	TransportFactory func(ranks int) (Transport, error)
 }
 
 // Metrics is a Prometheus-text-format metrics registry (see internal/obs):
@@ -207,6 +218,18 @@ func runAttempt(dist Distribution, kern Kernel, blockSize int, inputs []*Matrix,
 	fo := opts.Faults
 	record := opts.Trace || opts.Spans || opts.Metrics != nil
 	eopts := engine.Options{Broadcast: bk, Record: record, Parallelism: opts.Parallelism, Numerics: opts.Numerics, Metrics: opts.Metrics}
+	p, q := dist.Dims()
+	eopts.Transport = opts.Transport
+	if opts.TransportFactory != nil {
+		t, err := opts.TransportFactory(p * q)
+		if err != nil {
+			return attemptResult{err: fmt.Errorf("hetgrid: transport factory: %w", err)}
+		}
+		eopts.Transport = t
+	}
+	if lr, ok := eopts.Transport.(interface{ LocalRanks() []int }); ok {
+		eopts.LocalRanks = lr.LocalRanks()
+	}
 	if fo != nil {
 		eopts.RecvTimeout = fo.recvTimeout()
 		eopts.MaxRetries = fo.MaxRetries
@@ -219,7 +242,6 @@ func runAttempt(dist Distribution, kern Kernel, blockSize int, inputs []*Matrix,
 		}
 	}
 
-	p, q := dist.Dims()
 	nb, _ := dist.Blocks()
 	res := attemptResult{ck: &checkpoint{}}
 	world, err := engine.RunOpts(p*q, eopts, func(c *engine.Comm) error {
@@ -384,6 +406,9 @@ func runDistributed(d Distribution, kern Kernel, blockSize int, inputs []*Matrix
 		var rf *RankFailure
 		if fo == nil || !fo.Recover || !errors.As(res.err, &rf) {
 			return nil, nil, nil, res.err
+		}
+		if opts.Transport != nil && opts.TransportFactory == nil {
+			return nil, nil, nil, fmt.Errorf("hetgrid: recovery needs WithTransportFactory — a fixed transport cannot serve the replanned (smaller) world: %w", res.err)
 		}
 		if fstats.Recoveries >= fo.maxRecoveries() {
 			return nil, nil, nil, fmt.Errorf("hetgrid: recovery budget exhausted after %d attempts: %w", fstats.Attempts, res.err)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -118,13 +119,37 @@ func TestReduceSumAllKinds(t *testing.T) {
 	}
 }
 
+// checkNoGoroutineLeak asserts the goroutine count settles back to the
+// baseline taken before an aborted run: the Transport v2 Close contract —
+// every rank goroutine unblocks and exits, no Recv waiter survives the
+// teardown. Aborted peers need a moment to observe the closure, so the
+// check polls before failing.
+func checkNoGoroutineLeak(t *testing.T, label string, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= baseline || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n > baseline {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("%s: %d goroutines after abort, baseline %d\n%s",
+			label, n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
 // TestAbortUnblocksCollectives is the abort-path contract: a rank that
 // errors out mid-collective must unblock every peer for every broadcast
-// kind — the blocked receivers are released by the transport abort, and
+// kind — the blocked receivers are released by the transport closure, and
 // Run reports the primary error, not a deadlock. The harness runs each
 // kind in a goroutine with a timeout so a regression fails fast instead of
-// hanging the suite; the race detector (CI runs this package with -race)
-// checks the teardown for data races.
+// hanging the suite, and asserts the teardown leaks no goroutines; the
+// race detector (CI runs this package with -race) checks it for data
+// races.
 func TestAbortUnblocksCollectives(t *testing.T) {
 	d, err := distribution.UniformBlockCyclic(2, 3, 6, 6)
 	if err != nil {
@@ -133,6 +158,7 @@ func TestAbortUnblocksCollectives(t *testing.T) {
 	boom := errors.New("boom")
 	receivers := []int{1, 2, 3, 4, 5}
 	for _, bk := range allBroadcastKinds {
+		baseline := runtime.NumGoroutine()
 		done := make(chan error, 1)
 		go func() {
 			_, err := RunOpts(6, Options{Broadcast: bk.kind}, func(c *Comm) error {
@@ -157,11 +183,13 @@ func TestAbortUnblocksCollectives(t *testing.T) {
 		case <-time.After(10 * time.Second):
 			t.Fatalf("%s: abort did not unblock the collective", bk.name)
 		}
+		checkNoGoroutineLeak(t, bk.name, baseline)
 	}
 }
 
 // TestAbortUnblocksKernels exercises the same contract through a full
-// kernel: a rank failing during LU releases everyone.
+// kernel: a rank failing during LU releases everyone, and the teardown
+// leaks no goroutines for any broadcast kind.
 func TestAbortUnblocksKernels(t *testing.T) {
 	d, err := distribution.UniformBlockCyclic(2, 2, 4, 4)
 	if err != nil {
@@ -170,6 +198,7 @@ func TestAbortUnblocksKernels(t *testing.T) {
 	boom := errors.New("node offline")
 	a := matrix.RandomWellConditioned(8, rand.New(rand.NewSource(321)))
 	for _, bk := range allBroadcastKinds {
+		baseline := runtime.NumGoroutine()
 		done := make(chan error, 1)
 		go func() {
 			_, err := RunOpts(4, Options{Broadcast: bk.kind}, func(c *Comm) error {
@@ -192,5 +221,6 @@ func TestAbortUnblocksKernels(t *testing.T) {
 		case <-time.After(10 * time.Second):
 			t.Fatalf("%s: abort did not unblock the kernel", bk.name)
 		}
+		checkNoGoroutineLeak(t, bk.name, baseline)
 	}
 }

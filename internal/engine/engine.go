@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -56,6 +57,12 @@ type Options struct {
 	// Transport overrides the message fabric; nil uses the in-process
 	// mailbox transport.
 	Transport Transport
+	// LocalRanks restricts which ranks this process hosts: RunOpts spawns a
+	// goroutine only for each listed rank, and the Transport must carry the
+	// traffic to the ranks hosted elsewhere (the network fabric's job). nil
+	// means all n ranks run in this process — the historical single-process
+	// behavior.
+	LocalRanks []int
 	// RecvTimeout bounds every Recv: after it expires the receiver asks the
 	// fabric to retransmit and waits again with doubled (bounded) backoff;
 	// once MaxRetries attempts are exhausted the peer is declared dead and
@@ -141,6 +148,13 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 		fault.attachMetrics(opts.Metrics)
 		inner = fault
 	}
+	if fault != nil {
+		// A network fabric delivers remote receivers' retransmission
+		// requests (retx frames) to the local fault layer's stash.
+		if hs, ok := opts.Transport.(RetransmitHandlerSetter); ok {
+			hs.SetRetransmitHandler(fault.Retransmit)
+		}
+	}
 	var spans *obs.SpanStore
 	if opts.Record {
 		spans = obs.NewSpanStore()
@@ -151,9 +165,21 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 		w.mRetries = reg.Counter("hetgrid_transport_retries_total", "", "timeout-triggered retransmission requests")
 		w.mSteps = reg.Counter("hetgrid_kernel_steps_total", "", "kernel panel steps entered across all ranks")
 	}
+	local := opts.LocalRanks
+	if local == nil {
+		local = make([]int, n)
+		for i := range local {
+			local[i] = i
+		}
+	}
+	for _, r := range local {
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("engine: local rank %d outside world of %d", r, n)
+		}
+	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for r := 0; r < n; r++ {
+	for _, r := range local {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -170,8 +196,10 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 						// blocked until the failure detector times out.
 						return
 					}
+					w.close(&RemoteAbort{Rank: rank, Reason: fmt.Sprintf("crashed at step %d", v.point.Step)})
 				case *peerDead:
 					errs[rank] = &RankFailure{Rank: v.rank, Step: -1, Detected: true}
+					w.close(&RemoteAbort{Rank: v.rank, Reason: "declared dead by the failure detector"})
 				default:
 					if p == errAborted {
 						// Secondary failure: this rank was unblocked by a
@@ -180,12 +208,12 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 					} else {
 						errs[rank] = fmt.Errorf("engine: rank %d panicked: %v", rank, p)
 					}
+					w.close(nil)
 				}
-				w.meter.Abort()
 			}()
 			if err := body(&Comm{world: w, rank: rank}); err != nil {
 				errs[rank] = err
-				w.meter.Abort()
+				w.close(nil)
 			}
 		}(r)
 	}
@@ -215,6 +243,15 @@ func RunOpts(n int, opts Options, body func(c *Comm) error) (*World, error) {
 		}
 	}
 	return w, firstErr
+}
+
+// close tears the fabric down with an optional cause (a *RemoteAbort
+// naming the failing rank), bounded by closeTimeout so a wedged network
+// peer cannot stall the abort path. Idempotent: the first cause wins.
+func (w *World) close(cause error) {
+	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+	defer cancel()
+	w.meter.CloseCause(ctx, cause)
 }
 
 // Rank returns this endpoint's rank.
@@ -264,7 +301,10 @@ func (c *Comm) Send(dst int, tag string, data *matrix.Dense) {
 // layer: each expiry asks the fabric to retransmit and waits again with
 // doubled (bounded) backoff, and once MaxRetries attempts are exhausted
 // the peer is declared dead — the failure detector that converts a silent
-// rank death into a clean world abort.
+// rank death into a clean world abort. Transport closures (a local abort
+// or a remote process's failure propagated through the fabric) re-raise as
+// the engine's abort panics, so the kernels above stay error-free SPMD
+// code while remote failures still surface as clean *RankFailure errors.
 func (c *Comm) Recv(src int, tag string) *matrix.Dense {
 	if src < 0 || src >= c.world.n {
 		panic(fmt.Sprintf("engine: recv from rank %d of %d", src, c.world.n))
@@ -272,7 +312,11 @@ func (c *Comm) Recv(src int, tag string) *matrix.Dense {
 	w := c.world
 	timeout := w.opts.RecvTimeout
 	if timeout <= 0 {
-		return w.meter.Recv(src, c.rank, tag)
+		data, err := w.meter.Recv(context.Background(), src, c.rank, tag)
+		if err != nil {
+			raise(err)
+		}
+		return data
 	}
 	maxRetries := w.opts.MaxRetries
 	if maxRetries <= 0 {
@@ -280,9 +324,14 @@ func (c *Comm) Recv(src int, tag string) *matrix.Dense {
 	}
 	wait := timeout
 	for attempt := 0; ; attempt++ {
-		data, ok := w.meter.RecvTimeout(src, c.rank, tag, wait)
-		if ok {
+		ctx, cancel := context.WithTimeout(context.Background(), wait)
+		data, err := w.meter.Recv(ctx, src, c.rank, tag)
+		cancel()
+		if err == nil {
 			return data
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			raise(err)
 		}
 		w.timeouts.Add(1)
 		if w.mTimeouts != nil {
@@ -302,6 +351,18 @@ func (c *Comm) Recv(src int, tag string) *matrix.Dense {
 			wait *= 2
 		}
 	}
+}
+
+// raise converts a transport error into the engine's abort panics: a
+// caused closure naming a failing rank becomes a peerDead (reported as a
+// detected *RankFailure), any other closure is the secondary-abort signal.
+// The run loop's recover turns both into the right error report.
+func raise(err error) {
+	var ra *RemoteAbort
+	if errors.As(err, &ra) && ra.Rank >= 0 {
+		panic(&peerDead{rank: ra.Rank})
+	}
+	panic(errAborted)
 }
 
 // SetStepHook registers fn to run on this rank at the start of every kernel

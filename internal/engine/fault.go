@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -14,17 +15,19 @@ import (
 // Transport wrapper that injects message drops, message delays and
 // scheduled rank crashes, plus the error type the run loop reports when a
 // rank dies. Together with the Recv deadline/retry loop in engine.go it
-// turns a dead rank into a clean Abort instead of a hang, and gives the
+// turns a dead rank into a clean abort instead of a hang, and gives the
 // driver layer enough information to replan the surviving work.
 //
 // Determinism contract: whether a given message is dropped or delayed is a
 // pure function of (Seed, src, dst, tag, per-channel sequence number) —
 // sends on one channel are ordered by the sender's program order, so the
-// decision set does not depend on goroutine interleaving. Crash points fire
-// when their rank enters the scheduled kernel step. Wall-clock effects
-// (how many timeouts and retries the receivers needed) do depend on
-// scheduling, but the delivered payloads, and therefore the numerical
-// results, do not.
+// decision set does not depend on goroutine interleaving. Both lottery
+// rolls are evaluated for every message with independent salts, so a
+// message can be dropped AND delayed: its retransmitted copy then waits out
+// the delay before entering the fabric. Crash points fire when their rank
+// enters the scheduled kernel step. Wall-clock effects (how many timeouts
+// and retries the receivers needed) do depend on scheduling, but the
+// delivered payloads, and therefore the numerical results, do not.
 
 // CrashPoint schedules the death of one rank at the start of a kernel step.
 type CrashPoint struct {
@@ -59,7 +62,10 @@ type FaultConfig struct {
 	Crashes []CrashPoint
 }
 
-// FaultCounters is a snapshot of a FaultTransport's activity.
+// FaultCounters is a snapshot of a FaultTransport's activity. After a
+// fully repaired run Retransmitted equals Dropped: every dropped message
+// leaves the dropped state exactly once, even when it also lost the delay
+// lottery and its retransmission had to wait out the delay.
 type FaultCounters struct {
 	Dropped, Delayed, Retransmitted int
 	// Crashed lists the crash points that fired, in firing order.
@@ -67,7 +73,8 @@ type FaultCounters struct {
 }
 
 // RankFailure is the error RunOpts reports when a rank dies — either a
-// scheduled crash fault, or a peer the failure detector timed out on.
+// scheduled crash fault, a peer the failure detector timed out on, or a
+// remote process's abort naming the failing rank.
 type RankFailure struct {
 	// Rank is the dead rank.
 	Rank int
@@ -90,7 +97,7 @@ func (e *RankFailure) Error() string {
 type rankCrash struct{ point CrashPoint }
 
 // peerDead is the panic payload a receiver raises when its retries on a
-// peer are exhausted.
+// peer are exhausted or a remote abort names a failing rank.
 type peerDead struct{ rank int }
 
 // outState is the delivery state of one message in a channel outbox.
@@ -106,12 +113,16 @@ const (
 type outMsg struct {
 	data  *matrix.Dense
 	state outState
+	// alsoDelayed marks a dropped message that independently lost the delay
+	// lottery: its retransmitted copy waits out the delay before delivery.
+	alsoDelayed bool
 }
 
-// FaultTransport wraps a Transport with deterministic fault injection. It
-// forwards RecvTimeout to the inner fabric (which must be a
-// DeadlineTransport for drops to be survivable) and implements
-// Retransmitter by redelivering stashed drops.
+// FaultTransport wraps a Transport with deterministic fault injection and
+// implements Retransmitter by redelivering stashed drops; when its own
+// stash has nothing for the channel (the sender lives in another process)
+// the request is forwarded to the inner fabric's Retransmitter, which for
+// the network transport relays it to the process hosting the sender.
 //
 // Each (src,dst,tag) channel keeps an ordered outbox: a dropped or delayed
 // message blocks everything sent after it on the same channel until it is
@@ -175,10 +186,29 @@ func faultRoll(seed int64, src, dst int, tag string, seq, salt uint64) float64 {
 	return float64(x>>11) / (1 << 53)
 }
 
+// delayLocked defers msg's release by the configured delay. Called with
+// t.mu held; no timer starts after an abort (the messages are unneeded).
+func (t *FaultTransport) delayLocked(key pairTag, msg *outMsg) {
+	if t.aborted {
+		msg.state = outReady
+		return
+	}
+	msg.state = outDelayed
+	timer := time.AfterFunc(t.cfg.Delay, func() {
+		t.mu.Lock()
+		msg.state = outReady
+		t.flushLocked(key)
+		t.mu.Unlock()
+	})
+	t.timers = append(t.timers, timer)
+}
+
 // Send applies the drop/delay lottery to cross-rank messages; self-sends
 // pass straight through (they are local data, never network faults). A
 // faulted message enters its channel's outbox and blocks later sends on
 // the same channel until it is released, preserving per-tag FIFO order.
+// Both lotteries are rolled independently: a message that loses both is
+// dropped first, and the delay applies to its retransmitted copy.
 func (t *FaultTransport) Send(src, dst int, tag string, data *matrix.Dense) {
 	if src == dst {
 		t.inner.Send(src, dst, tag, data)
@@ -189,28 +219,28 @@ func (t *FaultTransport) Send(src, dst int, tag string, data *matrix.Dense) {
 	n := t.seq[key]
 	t.seq[key] = n + 1
 	msg := &outMsg{data: data, state: outReady}
+	dropHit := t.cfg.DropProb > 0 && faultRoll(t.cfg.Seed, src, dst, tag, n, 1) < t.cfg.DropProb
+	delayHit := t.cfg.DelayProb > 0 && t.cfg.Delay > 0 && faultRoll(t.cfg.Seed, src, dst, tag, n, 2) < t.cfg.DelayProb
 	switch {
-	case t.cfg.DropProb > 0 && faultRoll(t.cfg.Seed, src, dst, tag, n, 1) < t.cfg.DropProb:
+	case dropHit:
 		msg.state = outDropped
+		msg.alsoDelayed = delayHit
 		t.dropped++
 		if t.mDropped != nil {
 			t.mDropped.Inc()
 		}
-	case t.cfg.DelayProb > 0 && t.cfg.Delay > 0 && faultRoll(t.cfg.Seed, src, dst, tag, n, 2) < t.cfg.DelayProb:
+		if delayHit {
+			t.delayed++
+			if t.mDelayed != nil {
+				t.mDelayed.Inc()
+			}
+		}
+	case delayHit:
 		t.delayed++
 		if t.mDelayed != nil {
 			t.mDelayed.Inc()
 		}
-		if !t.aborted {
-			msg.state = outDelayed
-			timer := time.AfterFunc(t.cfg.Delay, func() {
-				t.mu.Lock()
-				msg.state = outReady
-				t.flushLocked(key)
-				t.mu.Unlock()
-			})
-			t.timers = append(t.timers, timer)
-		}
+		t.delayLocked(key, msg)
 	}
 	if msg.state == outReady && len(t.outbox[key]) == 0 {
 		// Fast path: nothing ahead of an undisturbed message.
@@ -246,55 +276,88 @@ func (t *FaultTransport) flushLocked(key pairTag) {
 }
 
 // Recv forwards to the fabric.
-func (t *FaultTransport) Recv(src, dst int, tag string) *matrix.Dense {
-	return t.inner.Recv(src, dst, tag)
-}
-
-// RecvTimeout forwards a deadline receive (blocking when the inner fabric
-// has no deadline support).
-func (t *FaultTransport) RecvTimeout(src, dst int, tag string, d time.Duration) (*matrix.Dense, bool) {
-	if dt, ok := t.inner.(DeadlineTransport); ok {
-		return dt.RecvTimeout(src, dst, tag, d)
-	}
-	return t.inner.Recv(src, dst, tag), true
+func (t *FaultTransport) Recv(ctx context.Context, src, dst int, tag string) (*matrix.Dense, error) {
+	return t.inner.Recv(ctx, src, dst, tag)
 }
 
 // Retransmit releases every dropped message on the channel, reporting
 // whether there were any — the sender-side retransmission a receiver's
-// timeout requests. Released messages still deliver in channel order (one
-// may stay queued behind a delayed predecessor until its timer fires).
+// timeout requests. Each dropped message is counted exactly once, at its
+// transition out of the dropped state: a drop that also lost the delay
+// lottery moves to the delayed state (its copy waits out the delay) and a
+// repeat Retransmit while it waits must not recount it. Released messages
+// still deliver in channel order. When this stash has nothing, the request
+// is forwarded to the inner fabric's Retransmitter, which over the network
+// transport relays it to the process hosting the sender's stash.
 func (t *FaultTransport) Retransmit(src, dst int, tag string) bool {
 	key := pairTag{src, dst, tag}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	n := 0
 	for _, m := range t.outbox[key] {
-		if m.state == outDropped {
+		if m.state != outDropped {
+			continue
+		}
+		n++
+		if m.alsoDelayed {
+			t.delayLocked(key, m)
+		} else {
 			m.state = outReady
-			n++
 		}
 	}
 	t.retransmitted += n
-	if t.mRetransmitted != nil {
+	if t.mRetransmitted != nil && n > 0 {
 		t.mRetransmitted.Add(int64(n))
 	}
 	t.flushLocked(key)
-	return n > 0
+	t.mu.Unlock()
+	if n > 0 {
+		return true
+	}
+	if rt, ok := t.inner.(Retransmitter); ok {
+		return rt.Retransmit(src, dst, tag)
+	}
+	return false
 }
 
-// Abort stops pending delay timers and forwards the abort.
-func (t *FaultTransport) Abort() {
+// Close stops pending delay timers and closes the fabric.
+func (t *FaultTransport) Close(ctx context.Context) error {
 	t.quiesce()
-	t.inner.Abort()
+	return t.inner.Close(ctx)
 }
 
-// quiesce stops outstanding delay timers; messages still pending are
-// unneeded (any receiver that wanted one would still be blocking the run).
+// CloseCause stops pending delay timers and closes the fabric with cause.
+func (t *FaultTransport) CloseCause(ctx context.Context, cause error) error {
+	t.quiesce()
+	if cc, ok := t.inner.(CauseCloser); ok {
+		return cc.CloseCause(ctx, cause)
+	}
+	return t.inner.Close(ctx)
+}
+
+// Abort stops pending delay timers and closes the fabric.
+//
+// Deprecated: use Close (the Transport v2 cancellation path).
+func (t *FaultTransport) Abort() { t.Close(context.Background()) }
+
+// quiesce stops outstanding delay timers and releases the messages they
+// were holding. Local receivers no longer need them (every local rank has
+// finished), but on a multi-process fabric a remote receiver can still be
+// blocked on one — the release delivers it merely late, never never.
+// Dropped messages stay stashed: remote retransmission requests keep
+// working after the local ranks are done.
 func (t *FaultTransport) quiesce() {
 	t.mu.Lock()
 	t.aborted = true
 	timers := t.timers
 	t.timers = nil
+	for key, q := range t.outbox {
+		for _, m := range q {
+			if m.state == outDelayed {
+				m.state = outReady
+			}
+		}
+		t.flushLocked(key)
+	}
 	t.mu.Unlock()
 	for _, tm := range timers {
 		tm.Stop()

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -192,6 +193,89 @@ func TestDelaysBitIdentical(t *testing.T) {
 	}
 	if w.FaultCounters().Delayed == 0 {
 		t.Fatal("DelayProb 0.2 delayed nothing; seed too lucky for the test")
+	}
+}
+
+func TestDropAndDelayedRetransmitCountedOnce(t *testing.T) {
+	// Regression: a message that loses BOTH lotteries (dropped, and its
+	// retransmitted copy delayed) used to be counted as retransmitted twice —
+	// once when Retransmit moved it into the delay and once more on the next
+	// Retransmit while it still waited — breaking the Retransmitted==Dropped
+	// repair invariant. Each dropped message must count exactly once, at its
+	// transition out of the dropped state.
+	ft := NewFaultTransport(NewMemTransport(2), FaultConfig{
+		Seed: 1, DropProb: 1, DelayProb: 1, Delay: 2 * time.Millisecond,
+	})
+	payloads := []*matrix.Dense{
+		matrix.NewFromSlice(1, 1, []float64{1}),
+		matrix.NewFromSlice(1, 1, []float64{2}),
+		matrix.NewFromSlice(1, 1, []float64{3}),
+	}
+	for _, m := range payloads {
+		ft.Send(0, 1, "t", m)
+	}
+	if fc := ft.Counters(); fc.Dropped != 3 || fc.Delayed != 3 || fc.Retransmitted != 0 {
+		t.Fatalf("after sends: %+v, want 3 dropped, 3 delayed, 0 retransmitted", fc)
+	}
+
+	// First request releases all three into the delay path — 3 counted.
+	if !ft.Retransmit(0, 1, "t") {
+		t.Fatal("Retransmit found nothing to release")
+	}
+	if fc := ft.Counters(); fc.Retransmitted != 3 {
+		t.Fatalf("first Retransmit counted %d, want 3", fc.Retransmitted)
+	}
+	// A repeat request while the copies wait out their delay must count
+	// nothing (and report nothing released: the inner mem fabric has no
+	// stash to forward to).
+	if ft.Retransmit(0, 1, "t") {
+		t.Fatal("repeat Retransmit claimed to release delayed messages")
+	}
+	if fc := ft.Counters(); fc.Retransmitted != 3 {
+		t.Fatalf("repeat Retransmit double-counted: %d, want 3", fc.Retransmitted)
+	}
+
+	// The delayed copies still arrive, in order, bit-identical.
+	ctx := context.Background()
+	for i, want := range payloads {
+		got, err := ft.Recv(ctx, 0, 1, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("message %d corrupted or reordered", i)
+		}
+	}
+	if fc := ft.Counters(); fc.Retransmitted != fc.Dropped {
+		t.Fatalf("repair invariant broken: %d retransmitted for %d drops", fc.Retransmitted, fc.Dropped)
+	}
+}
+
+func TestDropsAndDelaysCombinedBitIdentical(t *testing.T) {
+	// Both lotteries at once, end to end: some messages lose both, and the
+	// run must still finish bit-identical with Retransmitted == Dropped.
+	d := faultTestDist(t, 6)
+	a := matrix.RandomWellConditioned(12, rand.New(rand.NewSource(8)))
+	clean, _, err := runLU(t, d, a, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, w, err := runLU(t, d, a, 2, Options{
+		RecvTimeout: 30 * time.Millisecond,
+		Faults:      &FaultConfig{Seed: 8, DropProb: 0.15, DelayProb: 0.3, Delay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.Equal(clean) {
+		t.Fatal("factors under combined drops+delays differ from the fault-free run")
+	}
+	fc := w.FaultCounters()
+	if fc.Dropped == 0 || fc.Delayed == 0 {
+		t.Fatalf("seed too lucky: %d drops, %d delays", fc.Dropped, fc.Delayed)
+	}
+	if fc.Retransmitted != fc.Dropped {
+		t.Fatalf("%d drops but %d retransmissions", fc.Dropped, fc.Retransmitted)
 	}
 }
 

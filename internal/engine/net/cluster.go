@@ -1,0 +1,284 @@
+package net
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	stdnet "net"
+	"time"
+
+	"hetgrid/internal/obs"
+)
+
+// Cluster handshake. One process is the coordinator (process 0): it binds
+// a listener, waits for procs-1 joiners, assigns process identities in
+// arrival order, and distributes the topology — world size, the
+// rank→process map (contiguous chunks, see RanksOf), every process's mesh
+// address, and an opaque payload (the plan, in gridsim's multi-process
+// mode). The connection each joiner dialed the coordinator on stays open
+// as the 0↔i mesh connection; joiner pairs then mesh directly (higher
+// process ids dial lower ones, a total order that cannot deadlock), and a
+// ready/start barrier over the coordinator links releases every process
+// into its fabric at once. All handshake traffic uses the same framed
+// format as the data plane, so the version byte is checked on the very
+// first frame of every connection.
+
+// helloMsg is a joiner's first frame to the coordinator: where its own
+// mesh listener accepts connections from higher-numbered joiners.
+type helloMsg struct {
+	Addr string `json:"addr"`
+}
+
+// topologyMsg is the coordinator's welcome: everything a joiner needs to
+// mesh and run.
+type topologyMsg struct {
+	World    int      `json:"world"`
+	Procs    int      `json:"procs"`
+	ProcID   int      `json:"proc_id"`
+	Addrs    []string `json:"addrs"` // mesh listeners; index 0 unused
+	RankProc []int    `json:"rank_proc"`
+	Payload  []byte   `json:"payload,omitempty"`
+}
+
+// meshHelloMsg identifies the dialing process on a joiner↔joiner
+// connection.
+type meshHelloMsg struct {
+	Proc int `json:"proc"`
+}
+
+// Coordinator is the listening side of the cluster handshake.
+type Coordinator struct {
+	ln stdnet.Listener
+}
+
+// NewCoordinator binds the coordinator's listener (addr like
+// "127.0.0.1:7001", or ":0" for an ephemeral port — see Addr).
+func NewCoordinator(addr string) (*Coordinator, error) {
+	ln, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("net: coordinator listen: %w", err)
+	}
+	return &Coordinator{ln: ln}, nil
+}
+
+// Addr returns the bound listen address joiners should dial.
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// Close releases the listener (Establish closes it itself on success).
+func (co *Coordinator) Close() error { return co.ln.Close() }
+
+// Establish runs the coordinator's half of the handshake: accept procs-1
+// joiners, assign identities, distribute the topology and payload, wait
+// for the ready barrier, release everyone with start, and return this
+// process's fabric (process 0, hosting RanksOf(world, procs, 0)). ctx
+// bounds the whole handshake.
+func (co *Coordinator) Establish(ctx context.Context, world, procs int, payload []byte, reg *obs.Registry) (*Fabric, error) {
+	if procs < 1 || world < procs {
+		return nil, fmt.Errorf("net: %d processes for %d ranks (need 1 ≤ procs ≤ world)", procs, world)
+	}
+	rankProc := make([]int, world)
+	for p := 0; p < procs; p++ {
+		for _, r := range RanksOf(world, procs, p) {
+			rankProc[r] = p
+		}
+	}
+	if procs == 1 {
+		co.ln.Close()
+		return newFabric(world, 0, rankProc, nil, reg), nil
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if tl, ok := co.ln.(*stdnet.TCPListener); ok {
+			tl.SetDeadline(dl)
+		}
+	}
+	conns := make(map[int]stdnet.Conn, procs-1)
+	addrs := make([]string, procs)
+	ok := false
+	defer func() {
+		if !ok {
+			for _, c := range conns {
+				c.Close()
+			}
+		}
+	}()
+	for i := 1; i < procs; i++ {
+		conn, err := co.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("net: accepting joiner %d/%d: %w", i, procs-1, err)
+		}
+		applyDeadline(ctx, conn)
+		var hello helloMsg
+		if err := readJSONFrame(conn, frameHello, &hello); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("net: hello from joiner %d: %w", i, err)
+		}
+		conns[i] = conn
+		addrs[i] = hello.Addr
+	}
+	co.ln.Close()
+	for i := 1; i < procs; i++ {
+		topo := topologyMsg{World: world, Procs: procs, ProcID: i, Addrs: addrs, RankProc: rankProc, Payload: payload}
+		if err := writeJSONFrame(conns[i], frameWelcome, &topo); err != nil {
+			return nil, fmt.Errorf("net: welcome to process %d: %w", i, err)
+		}
+	}
+	for i := 1; i < procs; i++ {
+		if err := readJSONFrame(conns[i], frameReady, &struct{}{}); err != nil {
+			return nil, fmt.Errorf("net: ready from process %d: %w", i, err)
+		}
+	}
+	for i := 1; i < procs; i++ {
+		if err := writeJSONFrame(conns[i], frameStart, &struct{}{}); err != nil {
+			return nil, fmt.Errorf("net: start to process %d: %w", i, err)
+		}
+	}
+	ok = true
+	return newFabric(world, 0, rankProc, conns, reg), nil
+}
+
+// Join runs a joiner's half of the handshake against a coordinator at
+// coordAddr (dial retried until ctx expires, so joiners may start before
+// the coordinator). It returns the process's fabric and the payload the
+// coordinator distributed.
+func Join(ctx context.Context, coordAddr string, reg *obs.Registry) (*Fabric, []byte, error) {
+	conn, err := dialRetry(ctx, coordAddr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("net: dialing coordinator %s: %w", coordAddr, err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			conn.Close()
+		}
+	}()
+	applyDeadline(ctx, conn)
+
+	// Bind the mesh listener on an ephemeral port, advertised at the host
+	// this process reaches the coordinator from — the address peers on the
+	// coordinator's network can dial back.
+	ln, err := stdnet.Listen("tcp", ":0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("net: mesh listen: %w", err)
+	}
+	defer ln.Close()
+	host, _, err := stdnet.SplitHostPort(conn.LocalAddr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	_, port, err := stdnet.SplitHostPort(ln.Addr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := writeJSONFrame(conn, frameHello, &helloMsg{Addr: stdnet.JoinHostPort(host, port)}); err != nil {
+		return nil, nil, fmt.Errorf("net: hello: %w", err)
+	}
+	var topo topologyMsg
+	if err := readJSONFrame(conn, frameWelcome, &topo); err != nil {
+		return nil, nil, fmt.Errorf("net: welcome: %w", err)
+	}
+	if topo.World <= 0 || topo.Procs < 2 || topo.ProcID < 1 || topo.ProcID >= topo.Procs || len(topo.RankProc) != topo.World || len(topo.Addrs) != topo.Procs {
+		return nil, nil, fmt.Errorf("net: malformed topology (world %d, procs %d, proc %d)", topo.World, topo.Procs, topo.ProcID)
+	}
+
+	conns := map[int]stdnet.Conn{0: conn}
+	defer func() {
+		if !ok {
+			for p, c := range conns {
+				if p != 0 {
+					c.Close()
+				}
+			}
+		}
+	}()
+	// Mesh: dial every lower joiner, then accept every higher one. The
+	// dial-low/accept-high order is a total order, so the mesh cannot
+	// deadlock however the processes interleave.
+	for p := 1; p < topo.ProcID; p++ {
+		mc, err := dialRetry(ctx, topo.Addrs[p])
+		if err != nil {
+			return nil, nil, fmt.Errorf("net: dialing process %d at %s: %w", p, topo.Addrs[p], err)
+		}
+		applyDeadline(ctx, mc)
+		if err := writeJSONFrame(mc, frameMeshHello, &meshHelloMsg{Proc: topo.ProcID}); err != nil {
+			mc.Close()
+			return nil, nil, fmt.Errorf("net: mesh hello to process %d: %w", p, err)
+		}
+		conns[p] = mc
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if tl, isTCP := ln.(*stdnet.TCPListener); isTCP {
+			tl.SetDeadline(dl)
+		}
+	}
+	for n := topo.ProcID + 1; n < topo.Procs; n++ {
+		mc, err := ln.Accept()
+		if err != nil {
+			return nil, nil, fmt.Errorf("net: accepting mesh peer: %w", err)
+		}
+		applyDeadline(ctx, mc)
+		var mh meshHelloMsg
+		if err := readJSONFrame(mc, frameMeshHello, &mh); err != nil {
+			mc.Close()
+			return nil, nil, fmt.Errorf("net: mesh hello: %w", err)
+		}
+		if mh.Proc <= topo.ProcID || mh.Proc >= topo.Procs || conns[mh.Proc] != nil {
+			mc.Close()
+			return nil, nil, fmt.Errorf("net: unexpected mesh peer %d", mh.Proc)
+		}
+		conns[mh.Proc] = mc
+	}
+	if err := writeJSONFrame(conn, frameReady, &struct{}{}); err != nil {
+		return nil, nil, fmt.Errorf("net: ready: %w", err)
+	}
+	if err := readJSONFrame(conn, frameStart, &struct{}{}); err != nil {
+		return nil, nil, fmt.Errorf("net: start: %w", err)
+	}
+	ok = true
+	return newFabric(topo.World, topo.ProcID, topo.RankProc, conns, reg), topo.Payload, nil
+}
+
+// dialRetry dials addr until it succeeds or ctx expires, so cluster
+// members can start in any order.
+func dialRetry(ctx context.Context, addr string) (stdnet.Conn, error) {
+	d := stdnet.Dialer{}
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// applyDeadline bounds a handshake connection's reads and writes by ctx;
+// newFabric clears the deadline once the handshake completes.
+func applyDeadline(ctx context.Context, conn stdnet.Conn) {
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+}
+
+// writeJSONFrame emits one handshake frame with a JSON body.
+func writeJSONFrame(conn stdnet.Conn, ftype byte, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(conn, ftype, body)
+}
+
+// readJSONFrame reads one handshake frame, requiring the expected type.
+func readJSONFrame(conn stdnet.Conn, want byte, v any) error {
+	ftype, body, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if ftype != want {
+		return fmt.Errorf("net: frame type %d, want %d", ftype, want)
+	}
+	return json.Unmarshal(body, v)
+}

@@ -1,0 +1,471 @@
+package net_test
+
+// Golden parity over real sockets: the distributed kernels must produce
+// bit-identical results whether their messages travel through in-process
+// mailboxes (MemTransport) or framed loopback TCP (the net Fabric), for
+// every kernel and every broadcast kind — and the fault machinery
+// (injected drops/delays, crash → replan → resume recovery) must compose
+// with the real network unchanged.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hetgrid"
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/engine"
+	enginenet "hetgrid/internal/engine/net"
+	"hetgrid/internal/grid"
+	"hetgrid/internal/kernels"
+	"hetgrid/internal/matrix"
+	"hetgrid/internal/sim"
+)
+
+var netKinds = []struct {
+	name string
+	kind sim.BroadcastKind
+}{
+	{"flat", sim.StarBroadcast},
+	{"ring", sim.RingBroadcast},
+	{"segring", sim.SegmentedRingBroadcast},
+	{"tree", sim.TreeBroadcast},
+}
+
+// startFabrics brings up a loopback-TCP cluster through the exported
+// handshake API and returns the fabrics indexed by process id.
+func startFabrics(t *testing.T, world, procs int, payload []byte) ([]*enginenet.Fabric, []byte) {
+	t.Helper()
+	co, err := enginenet.NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	fabs := make([]*enginenet.Fabric, procs)
+	errs := make([]error, procs)
+	var joinPayload []byte
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	go func() {
+		defer wg.Done()
+		f, err := co.Establish(ctx, world, procs, payload, nil)
+		mu.Lock()
+		fabs[0], errs[0] = f, err
+		mu.Unlock()
+	}()
+	for i := 1; i < procs; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f, pay, err := enginenet.Join(ctx, co.Addr(), nil)
+			mu.Lock()
+			if err != nil {
+				errs[i] = err
+			} else {
+				fabs[f.ProcID()] = f
+				joinPayload = pay
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("process %d handshake: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, f := range fabs {
+			if f != nil {
+				cctx, ccancel := context.WithTimeout(context.Background(), 5*time.Second)
+				f.Close(cctx)
+				ccancel()
+			}
+		}
+	})
+	return fabs, joinPayload
+}
+
+// kernelRun is the SPMD body shared by the mem and TCP runs: scatter,
+// factor (or multiply), gather. The gathered result materializes at rank 0
+// only.
+func kernelRun(c *engine.Comm, d distribution.Distribution, kern string, a, b *matrix.Dense, r int) (*matrix.Dense, error) {
+	on0 := func(m *matrix.Dense) *matrix.Dense {
+		if c.Rank() == 0 {
+			return m
+		}
+		return nil
+	}
+	switch kern {
+	case "mm":
+		as, err := engine.Scatter(c, d, on0(a), r)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := engine.Scatter(c, d, on0(b), r)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := engine.MM(c, d, as, bs)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Gather(c, d, cs)
+	case "lu", "chol", "qr":
+		s, err := engine.Scatter(c, d, on0(a), r)
+		if err != nil {
+			return nil, err
+		}
+		switch kern {
+		case "lu":
+			err = engine.LU(c, d, s)
+		case "chol":
+			err = engine.Cholesky(c, d, s)
+		case "qr":
+			_, err = engine.QR(c, d, s)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return engine.Gather(c, d, s)
+	}
+	return nil, fmt.Errorf("unknown kernel %q", kern)
+}
+
+// runMemKernel is the in-process reference run over the default
+// MemTransport.
+func runMemKernel(t *testing.T, world int, opts engine.Options, d distribution.Distribution, kern string, a, b *matrix.Dense, r int) *matrix.Dense {
+	t.Helper()
+	var out *matrix.Dense
+	_, err := engine.RunOpts(world, opts, func(c *engine.Comm) error {
+		g, err := kernelRun(c, d, kern, a, b, r)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = g
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("mem reference run: %v", err)
+	}
+	if out == nil {
+		t.Fatal("mem reference run produced nothing at rank 0")
+	}
+	return out
+}
+
+type tcpRun struct {
+	out    *matrix.Dense // rank-0 gather, hosted by process 0
+	errs   []error
+	worlds []*engine.World
+}
+
+// runClusterKernel runs the same SPMD body across a loopback-TCP cluster:
+// each process spawns goroutines only for its own ranks, the fabric
+// carries everything else.
+func runClusterKernel(t *testing.T, world, procs int, d distribution.Distribution, kern string, a, b *matrix.Dense, r int, optsFor func(p int, f *enginenet.Fabric) engine.Options) tcpRun {
+	t.Helper()
+	fabs, _ := startFabrics(t, world, procs, nil)
+	res := tcpRun{errs: make([]error, procs), worlds: make([]*engine.World, procs)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for p := range fabs {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			w, err := engine.RunOpts(world, optsFor(p, fabs[p]), func(c *engine.Comm) error {
+				g, kerr := kernelRun(c, d, kern, a, b, r)
+				if kerr != nil {
+					return kerr
+				}
+				if c.Rank() == 0 {
+					mu.Lock()
+					res.out = g
+					mu.Unlock()
+				}
+				return nil
+			})
+			res.worlds[p], res.errs[p] = w, err
+		}(p)
+	}
+	wg.Wait()
+	return res
+}
+
+// hetDist is the heterogeneous 2×3 Kalinov–Lastovetsky distribution the
+// acceptance criterion names: relative speeds {1,2,2;3,5,4}, 6×6 blocks.
+func hetDist(t *testing.T) distribution.Distribution {
+	t.Helper()
+	d, err := distribution.NewKL(grid.MustNew([][]float64{{1, 2, 2}, {3, 5, 4}}), 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestTCPParityGolden is the headline golden test: MM, LU, Cholesky and QR
+// on the heterogeneous 2×3 grid, over 3 OS-level socket pairs (loopback
+// TCP), bit-identical to the MemTransport run for all four broadcast
+// kinds — and the LU result anchored to the serial replay oracle.
+func TestTCPParityGolden(t *testing.T) {
+	d := hetDist(t)
+	const world, procs, r = 6, 3, 2
+	rng := rand.New(rand.NewSource(42))
+	a := matrix.RandomWellConditioned(12, rng)
+	b := matrix.Random(12, 12, rng)
+	spd := matrix.RandomSPD(12, rng)
+
+	oracle, err := kernels.ReplayLUNumerics(d, a, matrix.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kern := range []string{"mm", "lu", "chol", "qr"} {
+		in := a
+		if kern == "chol" {
+			in = spd
+		}
+		for _, bk := range netKinds {
+			t.Run(kern+"/"+bk.name, func(t *testing.T) {
+				opts := engine.Options{Broadcast: bk.kind}
+				want := runMemKernel(t, world, opts, d, kern, in, b, r)
+				res := runClusterKernel(t, world, procs, d, kern, in, b, r,
+					func(p int, f *enginenet.Fabric) engine.Options {
+						return engine.Options{Broadcast: bk.kind, Transport: f, LocalRanks: f.LocalRanks()}
+					})
+				for p, err := range res.errs {
+					if err != nil {
+						t.Fatalf("process %d: %v", p, err)
+					}
+				}
+				if res.out == nil || !res.out.Equal(want) {
+					t.Fatal("TCP result differs from the MemTransport run")
+				}
+				if kern == "lu" && !res.out.Equal(oracle.C) {
+					t.Fatal("TCP LU differs from the serial replay oracle")
+				}
+			})
+		}
+	}
+}
+
+// TestTCPCrashReplanResume composes real sockets with injected faults: a
+// rank crashes mid-LU on one process, every process's world aborts with a
+// *RankFailure naming it, the survivors are replanned onto a fresh cluster
+// (start step and survivor speeds distributed through the handshake
+// payload), and the resumed factorization finishes bit-identical to the
+// fault-free oracle.
+func TestTCPCrashReplanResume(t *testing.T) {
+	d1, err := distribution.UniformBlockCyclic(2, 3, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const world1, procs, r = 6, 3, 2
+	a := matrix.RandomWellConditioned(12, rand.New(rand.NewSource(7)))
+
+	oracle, err := kernels.ReplayLUNumerics(d1, a, matrix.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attempt 1: rank 5 (hosted by process 2) crashes fail-stop entering
+	// step 3. Every rank checkpoints through the step hook; the last gather
+	// that completes at rank 0 is the recovery point.
+	var ck *matrix.Dense
+	var ckStep int
+	var mu sync.Mutex
+	fabs, _ := startFabrics(t, world1, procs, nil)
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for p := range fabs {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			opts := engine.Options{
+				Transport:  fabs[p],
+				LocalRanks: fabs[p].LocalRanks(),
+				Faults:     &engine.FaultConfig{Crashes: []engine.CrashPoint{{Rank: 5, Step: 3}}},
+			}
+			_, errs[p] = engine.RunOpts(world1, opts, func(c *engine.Comm) error {
+				s, err := engine.Scatter(c, d1, pick0(c, a), r)
+				if err != nil {
+					return err
+				}
+				c.SetStepHook(func(k int) error {
+					if k == 0 {
+						return nil
+					}
+					g, err := engine.GatherTag(c, d1, s, fmt.Sprintf("ckpt/%d", k))
+					if err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						mu.Lock()
+						ck, ckStep = g, k
+						mu.Unlock()
+					}
+					return nil
+				})
+				return engine.LU(c, d1, s)
+			})
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		var rf *engine.RankFailure
+		if !errors.As(err, &rf) {
+			t.Fatalf("process %d: want *RankFailure, got %v", p, err)
+		}
+		if rf.Rank != 5 {
+			t.Fatalf("process %d blames rank %d, want 5", p, rf.Rank)
+		}
+	}
+	if ck == nil {
+		t.Fatal("no checkpoint committed before the crash")
+	}
+
+	// Replan the 5 survivors (equal speeds) deterministically — the same
+	// call every process makes from the payload.
+	times := []float64{1, 1, 1, 1, 1}
+	d2, _, err := hetgrid.PlanSurvivors(times, 6, 6, hetgrid.LU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, q2 := d2.Dims()
+	world2 := p2 * q2
+
+	// Attempt 2: a fresh cluster; the coordinator ships the resume step and
+	// survivor speeds as the handshake payload, joiners recompute the
+	// replanned distribution from it.
+	payload, err := json.Marshal(struct {
+		StartK int       `json:"start_k"`
+		Times  []float64 `json:"times"`
+	}{ckStep, times})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabs2, joinPayload := startFabrics(t, world2, procs, payload)
+	var decoded struct {
+		StartK int       `json:"start_k"`
+		Times  []float64 `json:"times"`
+	}
+	if err := json.Unmarshal(joinPayload, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.StartK != ckStep {
+		t.Fatalf("payload start step %d, want %d", decoded.StartK, ckStep)
+	}
+	d2j, _, err := hetgrid.PlanSurvivors(decoded.Times, 6, 6, hetgrid.LU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pj, qj := d2j.Dims(); pj != p2 || qj != q2 {
+		t.Fatalf("joiner replanned a %d×%d grid, coordinator %d×%d", pj, qj, p2, q2)
+	}
+
+	var final *matrix.Dense
+	errs2 := make([]error, procs)
+	var wg2 sync.WaitGroup
+	for p := range fabs2 {
+		wg2.Add(1)
+		go func(p int) {
+			defer wg2.Done()
+			opts := engine.Options{Transport: fabs2[p], LocalRanks: fabs2[p].LocalRanks()}
+			_, errs2[p] = engine.RunOpts(world2, opts, func(c *engine.Comm) error {
+				s, err := engine.Scatter(c, d2, pick0(c, ck), r)
+				if err != nil {
+					return err
+				}
+				if err := engine.LUResume(c, d2, s, ckStep); err != nil {
+					return err
+				}
+				g, err := engine.Gather(c, d2, s)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					mu.Lock()
+					final = g
+					mu.Unlock()
+				}
+				return nil
+			})
+		}(p)
+	}
+	wg2.Wait()
+	for p, err := range errs2 {
+		if err != nil {
+			t.Fatalf("resume attempt, process %d: %v", p, err)
+		}
+	}
+	if final == nil || !final.Equal(oracle.C) {
+		t.Fatal("crash→replan→resume over TCP is not bit-identical to the fault-free factorization")
+	}
+}
+
+// TestTCPDropsAndDelaysRepaired is the chaos composition: seeded drops and
+// delays injected above a real TCP fabric, repaired by cross-process
+// retransmission requests (retx frames back to the sender's stash), with
+// the result still bit-identical and every drop retransmitted exactly
+// once.
+func TestTCPDropsAndDelaysRepaired(t *testing.T) {
+	d, err := distribution.UniformBlockCyclic(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const world, procs, r = 4, 2, 2
+	a := matrix.RandomWellConditioned(12, rand.New(rand.NewSource(9)))
+	clean := runMemKernel(t, world, engine.Options{}, d, "lu", a, nil, r)
+
+	res := runClusterKernel(t, world, procs, d, "lu", a, nil, r,
+		func(p int, f *enginenet.Fabric) engine.Options {
+			return engine.Options{
+				Transport:   f,
+				LocalRanks:  f.LocalRanks(),
+				RecvTimeout: 50 * time.Millisecond,
+				Faults: &engine.FaultConfig{
+					Seed:      11,
+					DropProb:  0.12,
+					DelayProb: 0.15,
+					Delay:     time.Millisecond,
+				},
+			}
+		})
+	for p, err := range res.errs {
+		if err != nil {
+			t.Fatalf("process %d: %v", p, err)
+		}
+	}
+	if res.out == nil || !res.out.Equal(clean) {
+		t.Fatal("LU under drops+delays over TCP differs from the clean run")
+	}
+	var dropped, delayed, retransmitted int
+	for _, w := range res.worlds {
+		fc := w.FaultCounters()
+		dropped += fc.Dropped
+		delayed += fc.Delayed
+		retransmitted += fc.Retransmitted
+	}
+	if dropped == 0 || delayed == 0 {
+		t.Fatalf("seed too lucky: %d drops, %d delays injected", dropped, delayed)
+	}
+	if retransmitted != dropped {
+		t.Fatalf("%d drops but %d retransmissions across the cluster", dropped, retransmitted)
+	}
+}
+
+// pick0 hands the full matrix to rank 0 only — Scatter's input contract.
+func pick0(c *engine.Comm, m *matrix.Dense) *matrix.Dense {
+	if c.Rank() == 0 {
+		return m
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -144,9 +145,10 @@ func TestSpanHierarchy(t *testing.T) {
 func TestMeterDisabledPathDoesNotAllocate(t *testing.T) {
 	m := NewMeter(NewMemTransport(2), 2, nil, nil)
 	data := matrix.New(4, 4)
+	ctx := context.Background()
 	allocs := testing.AllocsPerRun(200, func() {
 		m.Send(0, 1, "hot", data)
-		if m.Recv(0, 1, "hot") == nil {
+		if got, err := m.Recv(ctx, 0, 1, "hot"); err != nil || got == nil {
 			t.Fatal("lost message")
 		}
 	})

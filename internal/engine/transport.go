@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -14,23 +16,61 @@ import (
 // Transport is the bottom layer of the engine: a point-to-point message
 // fabric between n ranks. Send must never block (the SPMD kernels rely on
 // unbounded buffering to stay deadlock-free); Recv blocks until a message
-// with the tag arrives from src. Abort unblocks every pending Recv — the
-// blocked receivers panic with errAborted so a failing rank cannot leave
-// its peers deadlocked.
+// with the tag arrives from src, the context expires, or the fabric is
+// closed. Close tears the fabric down and unblocks every pending Recv with
+// ErrClosed — so a failing rank (local or remote) cannot leave its peers
+// deadlocked.
 //
-// The collectives and kernels above are written purely against this
-// interface, so swapping the in-process mailbox fabric for sockets, shared
-// memory segments, or a fault-injecting test double touches nothing else.
+// This is the v2 interface: Recv carries a context and returns an error
+// (remote failures surface as *RemoteAbort values instead of hangs), and
+// the old fire-and-forget Abort() became Close(ctx) error. The collectives
+// and kernels above are written purely against this interface, so swapping
+// the in-process mailbox fabric for sockets (see internal/engine/net), or a
+// fault-injecting test double, touches nothing else.
 type Transport interface {
 	// Send enqueues data from src to dst under tag without blocking. The
 	// payload is owned by the transport after the call.
 	Send(src, dst int, tag string, data *matrix.Dense)
 	// Recv blocks until a message from src for dst under tag arrives and
-	// returns its payload.
-	Recv(src, dst int, tag string) *matrix.Dense
-	// Abort unblocks all pending Recvs across the fabric.
-	Abort()
+	// returns its payload. It returns ctx.Err() when the context expires or
+	// is canceled first, and ErrClosed (possibly wrapped in a *RemoteAbort
+	// naming the failing rank) once the fabric is closed.
+	Recv(ctx context.Context, src, dst int, tag string) (*matrix.Dense, error)
+	// Close tears down the fabric: every pending and future Recv returns
+	// ErrClosed, and network-backed fabrics propagate the abort to remote
+	// processes before releasing their resources. Close is idempotent.
+	Close(ctx context.Context) error
 }
+
+// CauseCloser is implemented by fabrics that can attach a cause to their
+// teardown — the network fabric forwards it to remote processes so their
+// blocked Recvs fail with a *RemoteAbort naming the dead rank instead of a
+// bare ErrClosed.
+type CauseCloser interface {
+	CloseCause(ctx context.Context, cause error) error
+}
+
+// ErrClosed is returned by Recv once the fabric has been closed (a local or
+// remote failure aborted the run, or the owner tore the fabric down).
+var ErrClosed = errors.New("engine: transport closed")
+
+// RemoteAbort is the Recv error delivered when a remote process closed the
+// fabric with a cause: Rank names the failing rank (-1 when unknown). It
+// unwraps to ErrClosed so generic teardown paths treat it as a closure.
+type RemoteAbort struct {
+	Rank   int
+	Reason string
+}
+
+func (e *RemoteAbort) Error() string {
+	if e.Rank >= 0 {
+		return fmt.Sprintf("engine: remote abort: rank %d failed: %s", e.Rank, e.Reason)
+	}
+	return fmt.Sprintf("engine: remote abort: %s", e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrClosed) hold for remote aborts.
+func (e *RemoteAbort) Unwrap() error { return ErrClosed }
 
 // message is one tagged payload in flight.
 type message struct {
@@ -45,6 +85,7 @@ type mailbox struct {
 	cond    *sync.Cond
 	queue   []message
 	aborted bool
+	cause   error // non-nil refinement of ErrClosed (a *RemoteAbort)
 }
 
 func newMailbox() *mailbox {
@@ -60,83 +101,73 @@ func (m *mailbox) put(tag string, data *matrix.Dense) {
 	m.cond.Broadcast()
 }
 
-// abort unblocks any waiting take; blocked receivers panic with errAborted
-// so a failing rank cannot leave its peers deadlocked in Recv.
-func (m *mailbox) abort() {
+// abort unblocks any waiting take with ErrClosed (or the given cause) so a
+// failing rank cannot leave its peers deadlocked in Recv.
+func (m *mailbox) abort(cause error) {
 	m.mu.Lock()
-	m.aborted = true
+	if !m.aborted {
+		m.aborted = true
+		m.cause = cause
+	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
 
-func (m *mailbox) take(tag string) *matrix.Dense {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for {
-		for i, msg := range m.queue {
-			if msg.tag == tag {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg.data
-			}
-		}
-		if m.aborted {
-			panic(errAborted)
-		}
-		m.cond.Wait()
+// take waits for a message with the tag: (data, nil) on delivery, the
+// closure error after an abort, ctx.Err() when the context ends first.
+func (m *mailbox) take(ctx context.Context, tag string) (*matrix.Dense, error) {
+	// ctx expiry must wake the cond wait; AfterFunc broadcasts to every
+	// waiter on this mailbox, and each re-checks its own context.
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, m.cond.Broadcast)
+		defer stop()
 	}
-}
-
-// takeTimeout is take with a deadline: it returns (nil, false) when no
-// matching message arrived within d. An abort still panics with errAborted,
-// exactly like take.
-func (m *mailbox) takeTimeout(tag string, d time.Duration) (*matrix.Dense, bool) {
-	deadline := time.Now().Add(d)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
 		for i, msg := range m.queue {
 			if msg.tag == tag {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg.data, true
+				return msg.data, nil
 			}
 		}
 		if m.aborted {
-			panic(errAborted)
+			if m.cause != nil {
+				return nil, m.cause
+			}
+			return nil, ErrClosed
 		}
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return nil, false
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		// sync.Cond has no timed wait; an AfterFunc broadcast wakes every
-		// waiter on this mailbox, and each re-checks its own deadline.
-		t := time.AfterFunc(remain, m.cond.Broadcast)
 		m.cond.Wait()
-		t.Stop()
 	}
 }
 
 // errAborted is the panic payload delivered to ranks blocked in Recv when
-// another rank fails.
+// another rank fails; the run loop treats it as a secondary failure.
 var errAborted = fmt.Errorf("engine: run aborted by a failing rank")
-
-// DeadlineTransport is implemented by fabrics whose receives can carry a
-// deadline. The engine's Recv retry loop (Options.RecvTimeout) requires it;
-// MemTransport and FaultTransport both implement it.
-type DeadlineTransport interface {
-	Transport
-	// RecvTimeout waits at most d for a matching message, returning
-	// (nil, false) on expiry instead of blocking forever.
-	RecvTimeout(src, dst int, tag string, d time.Duration) (*matrix.Dense, bool)
-}
 
 // Retransmitter is implemented by fabrics that buffer undelivered messages
 // and can redeliver them on request — the timeout-triggered retransmission
 // half of the engine's reliability layer. FaultTransport implements it for
-// messages its drop fault swallowed.
+// messages its drop fault swallowed; the network fabric implements it by
+// forwarding the request to the process hosting the sender.
 type Retransmitter interface {
 	// Retransmit redelivers any stashed messages for the (src,dst,tag)
-	// channel, reporting whether there were any.
+	// channel, reporting whether there were any (or whether the request was
+	// forwarded to a remote stash).
 	Retransmit(src, dst int, tag string) bool
+}
+
+// RetransmitHandlerSetter is implemented by fabrics that can receive
+// retransmission requests from remote processes (the network fabric's retx
+// frames). The engine registers the local FaultTransport's Retransmit here
+// so a receiver's timeout on one host releases the dropped message stashed
+// by the sender's fault layer on another host.
+type RetransmitHandlerSetter interface {
+	SetRetransmitHandler(func(src, dst int, tag string) bool)
 }
 
 // MemTransport is the in-process Transport: one unbounded mailbox per
@@ -162,24 +193,31 @@ func (t *MemTransport) Send(src, dst int, tag string, data *matrix.Dense) {
 	t.boxes[src][dst].put(tag, data)
 }
 
-// Recv blocks until a matching message arrives.
-func (t *MemTransport) Recv(src, dst int, tag string) *matrix.Dense {
-	return t.boxes[src][dst].take(tag)
+// Recv blocks until a matching message arrives, the context ends, or the
+// fabric is closed.
+func (t *MemTransport) Recv(ctx context.Context, src, dst int, tag string) (*matrix.Dense, error) {
+	return t.boxes[src][dst].take(ctx, tag)
 }
 
-// RecvTimeout waits at most d for a matching message.
-func (t *MemTransport) RecvTimeout(src, dst int, tag string, d time.Duration) (*matrix.Dense, bool) {
-	return t.boxes[src][dst].takeTimeout(tag, d)
+// Close unblocks every pending Recv in the fabric with ErrClosed.
+func (t *MemTransport) Close(ctx context.Context) error {
+	return t.CloseCause(ctx, nil)
+}
+
+// CloseCause closes the fabric delivering cause to blocked receivers.
+func (t *MemTransport) CloseCause(_ context.Context, cause error) error {
+	for _, row := range t.boxes {
+		for _, box := range row {
+			box.abort(cause)
+		}
+	}
+	return nil
 }
 
 // Abort unblocks every pending Recv in the fabric.
-func (t *MemTransport) Abort() {
-	for _, row := range t.boxes {
-		for _, box := range row {
-			box.abort()
-		}
-	}
-}
+//
+// Deprecated: use Close (the Transport v2 cancellation path).
+func (t *MemTransport) Abort() { t.Close(context.Background()) }
 
 // RankStats aggregates one rank's cross-rank traffic. Sends are counted at
 // the sender when the message enters the fabric; receives at the receiver
@@ -296,25 +334,13 @@ func (m *Meter) Send(src, dst int, tag string, data *matrix.Dense) {
 }
 
 // Recv forwards to the fabric and counts the delivery at the receiver.
-func (m *Meter) Recv(src, dst int, tag string) *matrix.Dense {
-	data := m.inner.Recv(src, dst, tag)
-	m.countRecv(src, dst, tag, data)
-	return data
-}
-
-// RecvTimeout forwards a deadline receive when the fabric supports one
-// (falling back to a blocking Recv otherwise) and counts the delivery.
-func (m *Meter) RecvTimeout(src, dst int, tag string, d time.Duration) (*matrix.Dense, bool) {
-	dt, ok := m.inner.(DeadlineTransport)
-	if !ok {
-		return m.Recv(src, dst, tag), true
-	}
-	data, got := dt.RecvTimeout(src, dst, tag, d)
-	if !got {
-		return nil, false
+func (m *Meter) Recv(ctx context.Context, src, dst int, tag string) (*matrix.Dense, error) {
+	data, err := m.inner.Recv(ctx, src, dst, tag)
+	if err != nil {
+		return nil, err
 	}
 	m.countRecv(src, dst, tag, data)
-	return data, true
+	return data, nil
 }
 
 // Retransmit forwards a redelivery request when the fabric buffers drops.
@@ -361,8 +387,17 @@ func (m *Meter) countRecv(src, dst int, tag string, data *matrix.Dense) {
 	}
 }
 
-// Abort forwards to the fabric.
-func (m *Meter) Abort() { m.inner.Abort() }
+// Close forwards to the fabric.
+func (m *Meter) Close(ctx context.Context) error { return m.inner.Close(ctx) }
+
+// CloseCause forwards a caused closure, falling back to a plain Close for
+// fabrics that do not distinguish.
+func (m *Meter) CloseCause(ctx context.Context, cause error) error {
+	if cc, ok := m.inner.(CauseCloser); ok {
+		return cc.CloseCause(ctx, cause)
+	}
+	return m.inner.Close(ctx)
+}
 
 // RankStats returns a snapshot of the per-rank counters.
 func (m *Meter) RankStats() []RankStats {
@@ -441,3 +476,7 @@ func sortOpsByStart(ops []sim.Op) {
 		}
 	}
 }
+
+// closeTimeout bounds the teardown of a failing world's fabric: network
+// fabrics flush an abort frame to their peers within this budget.
+const closeTimeout = 2 * time.Second

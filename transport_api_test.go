@@ -1,0 +1,130 @@
+package hetgrid
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"hetgrid/internal/matrix"
+)
+
+// TestWithTransportMatchesDefault: injecting the exported mem fabric
+// explicitly is indistinguishable from the default — same factors, bit for
+// bit.
+func TestWithTransportMatchesDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 2
+	a := matrix.RandomWellConditioned(12, rng)
+	clean, _, err := DistributedFactorLU(d, a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := DistributedFactorLU(d, a, r, WithTransport(NewMemTransport(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(clean) {
+		t.Fatal("injected mem fabric changed the factors")
+	}
+	if stats.Messages == 0 {
+		t.Fatal("stats lost the traffic of the injected fabric")
+	}
+}
+
+// TestWithTransportFactoryBuildsPerAttempt: the factory sees the attempt's
+// rank count and its fabric carries the run.
+func TestWithTransportFactoryBuildsPerAttempt(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	d, err := Uniform(2, 3, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.RandomWellConditioned(12, rng)
+	var sizes []int
+	got, _, err := DistributedFactorLU(d, a, 2, WithTransportFactory(func(ranks int) (Transport, error) {
+		sizes = append(sizes, ranks)
+		return NewMemTransport(ranks), nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 1 || sizes[0] != 6 {
+		t.Fatalf("factory invocations %v, want one for 6 ranks", sizes)
+	}
+	clean, _, err := DistributedFactorLU(d, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(clean) {
+		t.Fatal("factory-built fabric changed the factors")
+	}
+}
+
+// TestFixedTransportRejectsRecovery: a fixed fabric instance spans a fixed
+// rank count, so combining it with crash recovery (which replans a smaller
+// world) must fail loudly, pointing at WithTransportFactory.
+func TestFixedTransportRejectsRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.RandomWellConditioned(12, rng)
+	_, _, err = DistributedFactorLU(d, a, 2,
+		WithTransport(NewMemTransport(4)),
+		WithFaults(FaultOptions{
+			Crashes: []CrashPoint{{Rank: 3, Step: 2}},
+			Recover: true,
+		}))
+	if err == nil {
+		t.Fatal("fixed transport + recovery accepted")
+	}
+	if !strings.Contains(err.Error(), "WithTransportFactory") {
+		t.Fatalf("error does not point at the factory option: %v", err)
+	}
+}
+
+// TestTransportFactoryRecovery: with a factory the recovery path works —
+// the replanned (smaller) attempt gets a fresh fabric sized to the
+// survivors, and the result stays bit-identical to the fault-free run.
+func TestTransportFactoryRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(604))
+	d, err := Uniform(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 2
+	a := matrix.RandomWellConditioned(12, rng)
+	clean, _, err := DistributedFactorLU(d, a, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	got, stats, err := DistributedFactorLU(d, a, r,
+		WithTransportFactory(func(ranks int) (Transport, error) {
+			sizes = append(sizes, ranks)
+			return NewMemTransport(ranks), nil
+		}),
+		WithFaults(FaultOptions{
+			Crashes:     []CrashPoint{{Rank: 3, Step: 2}},
+			Recover:     true,
+			RecvTimeout: 50 * time.Millisecond,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(clean) {
+		t.Fatal("recovered factors differ from the fault-free run")
+	}
+	if stats.Faults == nil || stats.Faults.Recoveries != 1 {
+		t.Fatalf("expected one recovery: %+v", stats.Faults)
+	}
+	if len(sizes) < 2 || sizes[0] != 4 || sizes[len(sizes)-1] >= 4 {
+		t.Fatalf("factory sizes %v: want 4 ranks first, then a smaller survivor world", sizes)
+	}
+}
