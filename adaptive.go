@@ -1,6 +1,8 @@
 package hetgrid
 
 import (
+	"fmt"
+
 	"hetgrid/internal/adapt"
 	"hetgrid/internal/distribution"
 	"hetgrid/internal/grid"
@@ -29,6 +31,9 @@ type CommVolume = distribution.CommVolume
 // saving before moving (1 accepts any saving).
 func ShouldRebalance(cur Distribution, measured []float64, remainingSteps int, opts SimOptions, hysteresis float64) (*RebalanceDecision, error) {
 	p, q := cur.Dims()
+	if len(measured) != p*q {
+		return nil, fmt.Errorf("hetgrid: %d measured cycle-times for a %d×%d grid (want %d)", len(measured), p, q, p*q)
+	}
 	t := make([][]float64, p)
 	for i := 0; i < p; i++ {
 		t[i] = measured[i*q : (i+1)*q]

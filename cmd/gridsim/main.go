@@ -56,10 +56,22 @@ func main() {
 		faultDelay   = flag.Float64("faultdelay", 0, "per-message delay probability")
 		faultDelayD  = flag.Duration("faultdelaydur", 5*time.Millisecond, "how long a delayed message waits")
 		faultCrash   = flag.String("faultcrash", "", "crash schedule rank@step[s],... — trailing s means a silent crash (failure detector exercised)")
+		faultSlow    = flag.String("faultslow", "", "slowdown schedule rank@step*factor,... — the rank's compute takes factor× its natural time from that step on (results untouched)")
 		faultRecover = flag.Bool("faultrecover", false, "recover from rank failures: replan the survivors and resume from the last checkpoint")
 		ckptEvery    = flag.Int("ckpt", 1, "checkpoint the working matrix every so many kernel steps (with -faultrecover)")
+		driftFlag    = flag.Bool("drift", false, "rebalance -real runs online under load drift: watch busy-time gauges, and when sustained drift beats the migration cost, checkpoint, replan and resume mid-kernel")
+		driftPolicy  = flag.String("driftpolicy", "", "drift policy knobs as key=value,... (window, alpha, threshold, patience, cooldown, hysteresis, max); empty selects the documented defaults")
 	)
 	flag.Parse()
+
+	if *driftFlag || *driftPolicy != "" {
+		if !*realFlag {
+			log.Fatal("-drift requires -real (the drift detector watches measured busy time, which the simulator does not produce)")
+		}
+		if *listenFlag != "" || *joinFlag != "" {
+			log.Fatal("-drift requires the in-process fabric and cannot combine with -listen/-join")
+		}
+	}
 
 	if *joinFlag != "" {
 		var metrics *hetgrid.Metrics
@@ -150,20 +162,37 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		slowdowns, err := cliutil.ParseSlowdownSchedule(*faultSlow)
+		if err != nil {
+			log.Fatal(err)
+		}
 		faults = &hetgrid.FaultOptions{
 			Seed:            *faultSeed,
 			DropProb:        *faultDrop,
 			DelayProb:       *faultDelay,
 			Delay:           *faultDelayD,
 			Crashes:         crashes,
+			Slowdowns:       slowdowns,
 			Recover:         *faultRecover,
 			CheckpointEvery: *ckptEvery,
 			Times:           times,
 		}
+	} else if *faultSlow != "" {
+		log.Fatal("-faultslow requires -fault (slowdowns ride on the fault-injection transport)")
+	}
+
+	var drift *hetgrid.DriftPolicy
+	if *driftFlag || *driftPolicy != "" {
+		pol, err := hetgrid.ParseDriftPolicy(*driftPolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol.Times = times
+		drift = &pol
 	}
 
 	if *realFlag {
-		if err := runReal(kernel, dists, *nbFlag, *rFlag, *parallel, bcast, numerics, faults, *traceFile, metrics); err != nil {
+		if err := runReal(kernel, dists, *nbFlag, *rFlag, *parallel, bcast, numerics, faults, drift, *traceFile, metrics); err != nil {
 			log.Fatal(err)
 		}
 		blockOnMetrics(metrics)
@@ -237,7 +266,7 @@ func blockOnMetrics(m *hetgrid.Metrics) {
 // reports the measured traffic: world totals plus the per-rank breakdown
 // the engine's instrumented transport collects. With a trace file the last
 // run's timestamped events are written in Chrome-tracing format.
-func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast hetgrid.BroadcastKind, numerics hetgrid.Numerics, faults *hetgrid.FaultOptions, traceFile string, metrics *hetgrid.Metrics) error {
+func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast hetgrid.BroadcastKind, numerics hetgrid.Numerics, faults *hetgrid.FaultOptions, drift *hetgrid.DriftPolicy, traceFile string, metrics *hetgrid.Metrics) error {
 	if r <= 0 {
 		return fmt.Errorf("block size -r must be positive, got %d", r)
 	}
@@ -253,6 +282,9 @@ func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast
 		}
 		if faults != nil {
 			opts = append(opts, hetgrid.WithFaults(*faults))
+		}
+		if drift != nil {
+			opts = append(opts, hetgrid.WithDriftRebalance(*drift))
 		}
 		if metrics != nil {
 			opts = append(opts, hetgrid.WithMetrics(metrics))
@@ -281,8 +313,12 @@ func runReal(kernel hetgrid.Kernel, dists []distCase, nb, r, parallel int, bcast
 			fmt.Printf("  %6d %10d / %9d %10d / %9d\n", i, rs.MsgsSent, rs.BytesSent, rs.MsgsRecv, rs.BytesRecv)
 		}
 		if fs := stats.Faults; fs != nil {
-			fmt.Printf("  faults: %d attempt(s), %d recovery(ies), %d crash(es), %d dropped, %d delayed, %d retransmitted, %d timeouts, %d retries, %d checkpoint(s), %d step(s) resumed\n",
-				fs.Attempts, fs.Recoveries, fs.Crashes, fs.Dropped, fs.Delayed, fs.Retransmitted, fs.Timeouts, fs.Retries, fs.Checkpoints, fs.ResumedSteps)
+			fmt.Printf("  faults: %d attempt(s), %d recovery(ies), %d crash(es), %d slowdown(s), %d dropped, %d delayed, %d retransmitted, %d timeouts, %d retries, %d checkpoint(s), %d step(s) resumed\n",
+				fs.Attempts, fs.Recoveries, fs.Crashes, fs.Slowdowns, fs.Dropped, fs.Delayed, fs.Retransmitted, fs.Timeouts, fs.Retries, fs.Checkpoints, fs.ResumedSteps)
+		}
+		if ds := stats.Drift; ds != nil {
+			fmt.Printf("  drift: %d window(s), %d evaluation(s), %d migration(s), %d block(s) moved, %.3g predicted saving\n",
+				ds.Windows, ds.Evaluations, ds.Migrations, ds.MovedBlocks, ds.PredictedSaving)
 		}
 		fmt.Println()
 		lastStats = stats

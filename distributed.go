@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hetgrid/internal/adapt"
 	"hetgrid/internal/engine"
 	"hetgrid/internal/kernels"
 	"hetgrid/internal/matrix"
@@ -100,6 +101,10 @@ type ExecOptions struct {
 	// Faults enables deterministic fault injection and (optionally)
 	// checkpoint-based recovery; see FaultOptions.
 	Faults *FaultOptions
+	// Drift enables online rebalancing under load drift; see DriftPolicy
+	// and WithDriftRebalance. Implies span recording (the detector feeds
+	// on busy-time gauges). Requires the in-process fabric.
+	Drift *DriftPolicy
 	// Spans records the hierarchical span timeline (rank → kernel step →
 	// compute/phase spans, plus per-message send spans); ExecStats.Spans,
 	// BusyTime and Imbalance are derived from it. WithTrace implies the
@@ -175,6 +180,9 @@ type ExecStats struct {
 	// Faults reports fault injection and recovery activity (nil when no
 	// faults were configured).
 	Faults *FaultStats
+	// Drift reports the drift-rebalancing loop's activity (nil unless
+	// WithDriftRebalance was set), aggregated across attempts.
+	Drift *DriftStats
 }
 
 // validateTiling checks up front that the matrix tiles into the
@@ -206,17 +214,35 @@ type attemptResult struct {
 	world *engine.World
 	ck    *checkpoint
 	err   error
+
+	// Drift outcome (only set when the attempt ran with a drift context):
+	// the attempt's detector counters, and — when the attempt ended in a
+	// *driftMigrate — the committed migration checkpoint, the replanned
+	// layout, the cycle-time estimates it was planned for, and the
+	// decision's size and projected saving. The migration itself is only
+	// counted by the driver loop when it commits: a rank failure in the
+	// same attempt wins the error priority and voids the verdict.
+	drift       *DriftStats
+	driftCk     *checkpoint
+	driftDist   Distribution
+	driftTimes  []float64
+	driftMoved  int
+	driftSaving float64
 }
 
 // runAttempt spawns one world over dist and executes the kernel from
 // startK, restoring the working matrix from resume when non-nil. With
 // recovery enabled it installs a step hook that gathers the working matrix
-// to rank 0 every checkpointEvery steps.
+// to rank 0 every checkpointEvery steps; with a drift context it installs
+// the drift-observation protocol (busy gauges to rank 0 at window
+// boundaries, detector + migration-cost evaluation there, verdict
+// broadcast, and on migrate a checkpoint gather followed by a collective
+// *driftMigrate return).
 func runAttempt(dist Distribution, kern Kernel, blockSize int, inputs []*Matrix,
-	opts ExecOptions, bk sim.BroadcastKind, crashes []CrashPoint, startK int, resume *checkpoint) attemptResult {
+	opts ExecOptions, bk sim.BroadcastKind, crashes []CrashPoint, startK int, resume *checkpoint, da *driftAttempt) attemptResult {
 
 	fo := opts.Faults
-	record := opts.Trace || opts.Spans || opts.Metrics != nil
+	record := opts.Trace || opts.Spans || opts.Metrics != nil || da != nil
 	eopts := engine.Options{Broadcast: bk, Record: record, Parallelism: opts.Parallelism, Numerics: opts.Numerics, Metrics: opts.Metrics}
 	p, q := dist.Dims()
 	eopts.Transport = opts.Transport
@@ -239,11 +265,30 @@ func runAttempt(dist Distribution, kern Kernel, blockSize int, inputs []*Matrix,
 			DelayProb: fo.DelayProb,
 			Delay:     fo.Delay,
 			Crashes:   crashes,
+			Slowdowns: fo.Slowdowns,
 		}
 	}
 
 	nb, _ := dist.Blocks()
 	res := attemptResult{ck: &checkpoint{}}
+
+	// Drift state lives at rank 0: the detector, the previous window's
+	// cumulative busy gauges and the step the last window closed at. The
+	// variables are captured by every rank's closure but only rank 0's
+	// goroutine touches them.
+	var det *adapt.Detector
+	var lastBusy []float64
+	lastK := startK
+	wl := kernelWorkload(kern)
+	if da != nil {
+		var err error
+		det, err = adapt.NewDetector(da.times, da.det)
+		if err != nil {
+			return attemptResult{err: err}
+		}
+		lastBusy = make([]float64, p*q)
+		res.drift = &DriftStats{}
+	}
 	world, err := engine.RunOpts(p*q, eopts, func(c *engine.Comm) error {
 		// Read-only inputs (the multiplication's A and B); the
 		// factorizations work in place on their single input.
@@ -284,9 +329,10 @@ func runAttempt(dist Distribution, kern Kernel, blockSize int, inputs []*Matrix,
 			}
 		}
 
+		var hooks []func(k int) error
 		if fo != nil && fo.Recover {
 			every := fo.checkpointEvery()
-			c.SetStepHook(func(k int) error {
+			hooks = append(hooks, func(k int) error {
 				if k <= startK || k%every != 0 {
 					return nil
 				}
@@ -303,6 +349,98 @@ func runAttempt(dist Distribution, kern Kernel, blockSize int, inputs []*Matrix,
 						res.ck.taus = append([][]float64(nil), taus[:k]...)
 					}
 					res.ck.count++
+				}
+				return nil
+			})
+		}
+		if da != nil {
+			hooks = append(hooks, func(k int) error {
+				if k <= startK || (k-startK)%da.det.Window != 0 {
+					return nil
+				}
+				n := c.N()
+				// 1. Every rank ships its cumulative busy gauge to rank 0.
+				obsTag := fmt.Sprintf("drift/obs/%d", k)
+				c.Send(0, obsTag, scalarMat(c.BusySeconds()))
+				// 2. Rank 0 folds the window into the detector and, when
+				// sustained drift arms it, runs the migration-cost
+				// evaluation; the verdict is broadcast so every rank takes
+				// the same branch.
+				verdictTag := fmt.Sprintf("drift/verdict/%d", k)
+				var rank0Err error
+				if c.Rank() == 0 {
+					cur := make([]float64, n)
+					for r := 0; r < n; r++ {
+						cur[r] = c.Recv(r, obsTag).At(0, 0)
+					}
+					delta := make([]float64, n)
+					for r := range cur {
+						delta[r] = cur[r] - lastBusy[r]
+					}
+					segWork := adapt.SegmentWork(dist, wl, lastK, k)
+					copy(lastBusy, cur)
+					lastK = k
+					verdict := 0.0
+					o, err := det.Observe(delta, segWork)
+					if err != nil {
+						rank0Err = err
+					} else {
+						res.drift.Windows++
+						if o.Trigger && da.budget > 0 {
+							res.drift.Evaluations++
+							est := det.EstimatedTimes()
+							dec, err := evaluateDrift(dist, est, wl, k, da.pol)
+							if err != nil {
+								rank0Err = err
+							} else if dec.Redistribute {
+								verdict = 1
+								res.driftDist = dec.NewDist
+								res.driftTimes = est
+								res.driftMoved = dec.MovedBlocks
+								res.driftSaving = dec.StayCost - dec.MoveCost
+							}
+						}
+					}
+					for r := 0; r < n; r++ {
+						c.Send(r, verdictTag, scalarMat(verdict))
+					}
+				}
+				v := c.Recv(0, verdictTag).At(0, 0)
+				if rank0Err != nil {
+					return rank0Err
+				}
+				if v < 1 {
+					return nil
+				}
+				// 3. Migrate: checkpoint the working matrix at rank 0, then
+				// hold every rank on a done-barrier so the gather completes
+				// before anyone tears the world down, and finally return the
+				// collective migration sentinel.
+				full, err := engine.GatherTag(c, dist, work, fmt.Sprintf("driftckpt/%d", k))
+				if err != nil {
+					return err
+				}
+				doneTag := fmt.Sprintf("drift/done/%d", k)
+				if c.Rank() == 0 {
+					ck := &checkpoint{step: k, work: full}
+					if kern == QR {
+						ck.taus = append([][]float64(nil), taus[:k]...)
+					}
+					res.driftCk = ck
+					for r := 0; r < n; r++ {
+						c.Send(r, doneTag, scalarMat(1))
+					}
+				}
+				c.Recv(0, doneTag)
+				return &driftMigrate{step: k}
+			})
+		}
+		if len(hooks) > 0 {
+			c.SetStepHook(func(k int) error {
+				for _, h := range hooks {
+					if err := h(k); err != nil {
+						return err
+					}
 				}
 				return nil
 			})
@@ -377,12 +515,38 @@ func runDistributed(d Distribution, kern Kernel, blockSize int, inputs []*Matrix
 		crashes = fo.Crashes
 		curTimes = fo.Times
 	}
+
+	var da *driftAttempt
+	var dstats *DriftStats
+	if drift := opts.Drift; drift != nil {
+		if opts.Transport != nil || opts.TransportFactory != nil {
+			return nil, nil, nil, fmt.Errorf("hetgrid: drift rebalancing requires the in-process fabric — the migration decision is coordinated at rank 0 of a single process")
+		}
+		p, q := d.Dims()
+		if drift.Times != nil && len(drift.Times) != p*q {
+			return nil, nil, nil, fmt.Errorf("hetgrid: %d drift cycle-times for a %d×%d grid", len(drift.Times), p, q)
+		}
+		times := drift.Times
+		if times == nil && fo != nil && fo.Times != nil {
+			times = fo.Times
+		}
+		if times == nil {
+			times = make([]float64, p*q)
+			for i := range times {
+				times[i] = 1
+			}
+		}
+		det := drift.detectorPolicy()
+		da = &driftAttempt{pol: *drift, det: det, times: times, budget: det.MaxMigrations}
+		dstats = &DriftStats{}
+	}
+
 	dist := d
 	startK := 0
 	var resume *checkpoint
 
 	for {
-		res := runAttempt(dist, kern, blockSize, inputs, opts, bk, crashes, startK, resume)
+		res := runAttempt(dist, kern, blockSize, inputs, opts, bk, crashes, startK, resume, da)
 		if fstats != nil && res.world != nil {
 			fstats.Attempts++
 			fstats.Timeouts += res.world.Timeouts()
@@ -392,15 +556,42 @@ func runDistributed(d Distribution, kern Kernel, blockSize int, inputs []*Matrix
 				fstats.Delayed += fc.Delayed
 				fstats.Retransmitted += fc.Retransmitted
 				fstats.Crashes += len(fc.Crashed)
+				fstats.Slowdowns += len(fc.Slowed)
 			}
 			if res.ck != nil {
 				fstats.Checkpoints += res.ck.count
 			}
 		}
+		if dstats != nil && res.drift != nil {
+			dstats.add(res.drift)
+		}
 		if res.err == nil {
 			stats := execStats(res.world, opts)
 			stats.Faults = fstats
+			stats.Drift = dstats
+			publishDriftMetrics(opts.Metrics, dstats)
 			return res.out, res.taus, stats, nil
+		}
+
+		var dm *driftMigrate
+		if errors.As(res.err, &dm) {
+			if res.driftCk == nil || res.driftDist == nil {
+				return nil, nil, nil, fmt.Errorf("hetgrid: drift migration at step %d without a committed checkpoint", dm.step)
+			}
+			// Migrate: same ranks, new shares planned for the estimated
+			// cycle-times; resume from the migration checkpoint.
+			dist = res.driftDist
+			da.times = res.driftTimes
+			da.budget--
+			dstats.Migrations++
+			dstats.MovedBlocks += res.driftMoved
+			dstats.PredictedSaving += res.driftSaving
+			curTimes = res.driftTimes
+			if res.world != nil {
+				crashes = res.world.RemainingCrashes()
+			}
+			startK, resume = res.driftCk.step, res.driftCk
+			continue
 		}
 
 		var rf *RankFailure
@@ -434,6 +625,11 @@ func runDistributed(d Distribution, kern Kernel, blockSize int, inputs []*Matrix
 			newTimes[i] = st[idx]
 		}
 		dist, curTimes = newDist, newTimes
+		if da != nil {
+			// The drift detector restarts per attempt; its baseline is the
+			// replanned world's cycle-times.
+			da.times = newTimes
+		}
 		if res.world != nil {
 			crashes = res.world.RemainingCrashes()
 		}
@@ -609,4 +805,12 @@ func onRank0(c *engine.Comm, m *matrix.Dense) *matrix.Dense {
 		return m
 	}
 	return nil
+}
+
+// scalarMat wraps one float64 as a 1×1 message payload (the drift
+// protocol's gauge and verdict messages).
+func scalarMat(v float64) *matrix.Dense {
+	m := matrix.New(1, 1)
+	m.Set(0, 0, v)
+	return m
 }

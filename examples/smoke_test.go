@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -49,5 +50,37 @@ func TestExamplesBuildAndRun(t *testing.T) {
 	}
 	if ran < 7 {
 		t.Fatalf("found only %d example directories, expected at least 7", ran)
+	}
+}
+
+// TestMultiuserDriftDriver pins the multi-tenant drift driver's contract:
+// the drift-rebalanced runs must actually migrate, and every run must
+// report bit-identity with the serial factorization (the driver exits
+// non-zero otherwise).
+func TestMultiuserDriftDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real factorizations; skipped with -short")
+	}
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", "run", "./examples/multiuser")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./examples/multiuser: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "migrations 1") {
+		t.Fatalf("driver never migrated:\n%s", text)
+	}
+	if strings.Contains(text, "bit-identical false") {
+		t.Fatalf("driver reported a divergent run:\n%s", text)
+	}
+	if !strings.Contains(text, "two concurrent tenants") {
+		t.Fatalf("driver skipped the concurrent-tenant section:\n%s", text)
 	}
 }

@@ -13,6 +13,15 @@ import (
 // failure detector; the default fail-stop crash aborts immediately.
 type CrashPoint = engine.CrashPoint
 
+// SlowdownPoint schedules a compute-time multiplier on one rank from the
+// start of a kernel step onward — the deterministic model of a noisy
+// neighbor. The rank's compute sections take Factor× their natural time
+// (visible to the busy-time gauges and the drift detector) while every
+// numerical result stays untouched. A later-scheduled point for the same
+// rank replaces the factor; Factor 1 schedules a recovery to full speed.
+// Like crashes, ranks are numbered within the world the point fires in.
+type SlowdownPoint = engine.SlowdownPoint
+
 // FaultOptions enables deterministic, seed-driven fault injection on a
 // distributed execution, and optionally the recovery path that replans the
 // surviving processors and resumes from the last checkpoint.
@@ -38,6 +47,10 @@ type FaultOptions struct {
 	Delay     time.Duration
 	// Crashes schedules rank deaths at kernel steps.
 	Crashes []CrashPoint
+	// Slowdowns schedules compute-time multipliers at kernel steps — the
+	// injected load drift WithDriftRebalance reacts to. Slowdowns never
+	// change results, only measured busy time.
+	Slowdowns []SlowdownPoint
 	// RecvTimeout bounds every receive; expiry triggers retransmission
 	// requests with doubled (bounded) backoff, and exhausting MaxRetries
 	// declares the peer dead. 0 selects the 100ms default.
@@ -102,6 +115,8 @@ type FaultStats struct {
 	Recoveries int
 	// Crashes is how many scheduled crash points fired.
 	Crashes int
+	// Slowdowns is how many scheduled slowdown points activated.
+	Slowdowns int
 	// Dropped, Delayed and Retransmitted count the injected message faults
 	// and the retransmissions that repaired the drops.
 	Dropped, Delayed, Retransmitted int

@@ -1,0 +1,406 @@
+package adapt
+
+import (
+	"fmt"
+
+	"hetgrid/internal/core"
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/grid"
+)
+
+// Workload classifies the active compute region of a panel kernel at step
+// k, so segment costs and per-rank work can be summed over exactly the
+// blocks a kernel touches.
+type Workload int
+
+const (
+	// WorkEveryStep updates the whole block matrix every step (outer-
+	// product multiplication).
+	WorkEveryStep Workload = iota
+	// WorkTrailing updates the trailing submatrix i≥k, j≥k (LU, QR).
+	WorkTrailing
+	// WorkTrailingLower updates the lower triangle of the trailing
+	// submatrix: i≥j, i≥k, j≥k (Cholesky).
+	WorkTrailingLower
+)
+
+// active reports whether block (bi,bj) is updated at step k.
+func (w Workload) active(bi, bj, k int) bool {
+	switch w {
+	case WorkTrailing:
+		return bi >= k && bj >= k
+	case WorkTrailingLower:
+		return bi >= k && bj >= k && bi >= bj
+	default:
+		return true
+	}
+}
+
+// Orderings returns the row/column block orderings the kernels assume for
+// this workload: Contiguous for the full-matrix sweep, Interleaved for the
+// shrinking factorizations (so trailing submatrices stay balanced).
+func (w Workload) Orderings() (distribution.Ordering, distribution.Ordering) {
+	if w == WorkEveryStep {
+		return distribution.Contiguous, distribution.Contiguous
+	}
+	return distribution.Interleaved, distribution.Interleaved
+}
+
+// stepCounts returns the per-processor owned-block counts inside the
+// workload's active region at step k.
+func stepCounts(d distribution.Distribution, w Workload, k int) [][]int {
+	p, q := d.Dims()
+	nbr, nbc := d.Blocks()
+	counts := make([][]int, p)
+	for i := range counts {
+		counts[i] = make([]int, q)
+	}
+	for bi := 0; bi < nbr; bi++ {
+		for bj := 0; bj < nbc; bj++ {
+			if !w.active(bi, bj, k) {
+				continue
+			}
+			pi, pj := d.Owner(bi, bj)
+			counts[pi][pj]++
+		}
+	}
+	return counts
+}
+
+// stepBound is the compute bound of one step: the busiest processor's
+// active-block count times its cycle-time.
+func stepBound(counts [][]int, arr *grid.Arrangement) float64 {
+	max := 0.0
+	for i := range counts {
+		for j := range counts[i] {
+			if v := float64(counts[i][j]) * arr.T[i][j]; v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// SpanCost projects the compute-bound time of steps [from, to) of a
+// workload under a distribution with the given cycle-times.
+func SpanCost(d distribution.Distribution, arr *grid.Arrangement, w Workload, from, to int) float64 {
+	total := 0.0
+	for k := from; k < to; k++ {
+		total += stepBound(stepCounts(d, w, k), arr)
+	}
+	return total
+}
+
+// SegmentWork returns the per-rank (row-major) block-update counts of steps
+// [from, to) — the denominator that turns a measured busy-time delta into a
+// per-block cycle-time estimate.
+func SegmentWork(d distribution.Distribution, w Workload, from, to int) []float64 {
+	p, q := d.Dims()
+	work := make([]float64, p*q)
+	for k := from; k < to; k++ {
+		counts := stepCounts(d, w, k)
+		for i := 0; i < p; i++ {
+			for jj := 0; jj < q; jj++ {
+				work[i*q+jj] += float64(counts[i][jj])
+			}
+		}
+	}
+	return work
+}
+
+// EvaluateKernel decides whether a panel kernel with steps [startStep, nbr)
+// left should migrate onto a layout recomputed for the newly measured
+// cycle-times. It generalizes EvaluateMM with step-dependent active regions:
+// stay-cost and move-cost are sums of per-step compute bounds over the
+// remaining region, and the candidate layout is realized under the
+// workload's kernel orderings. Grid positions are fixed — only block shares
+// change.
+func EvaluateKernel(cur distribution.Distribution, newTimes *grid.Arrangement, w Workload, startStep int, pol Policy) (*Decision, error) {
+	p, q := cur.Dims()
+	if newTimes.P != p || newTimes.Q != q {
+		return nil, fmt.Errorf("adapt: %d×%d distribution vs %d×%d measured grid", p, q, newTimes.P, newTimes.Q)
+	}
+	nbr, nbc := cur.Blocks()
+	if nbr != nbc {
+		return nil, fmt.Errorf("adapt: square block matrix required, got %d×%d", nbr, nbc)
+	}
+	if startStep < 0 || startStep > nbr {
+		return nil, fmt.Errorf("adapt: start step %d outside [0,%d]", startStep, nbr)
+	}
+	hys := pol.Hysteresis
+	if hys < 1 {
+		hys = 1
+	}
+	maxPanel := pol.MaxPanel
+	if maxPanel <= 0 {
+		maxPanel = 4 * p
+		if 4*q > maxPanel {
+			maxPanel = 4 * q
+		}
+	}
+	if maxPanel > nbr {
+		maxPanel = nbr
+	}
+	remaining := nbr - startStep
+
+	dec := &Decision{StayCost: SpanCost(cur, newTimes, w, startStep, nbr)}
+	if remaining > 0 {
+		dec.PerStepCur = dec.StayCost / float64(remaining)
+	}
+
+	sol, err := core.RankOneStep(newTimes)
+	if err != nil {
+		return nil, err
+	}
+	rowOrd, colOrd := w.Orderings()
+	pan, err := distribution.BestPanel(sol, maxPanel, maxPanel, rowOrd, colOrd)
+	if err != nil {
+		return nil, err
+	}
+	cand, err := pan.Distribution(nbr, nbc)
+	if err != nil {
+		return nil, err
+	}
+	newCost := SpanCost(cand, newTimes, w, startStep, nbr)
+	if remaining > 0 {
+		dec.PerStepNew = newCost / float64(remaining)
+	}
+
+	plan, err := distribution.PlanRedistribution(cur, cand)
+	if err != nil {
+		return nil, err
+	}
+	dec.MovedBlocks = plan.BlockCount()
+	dec.RedistTime, err = simulateMoves(plan, p*q, pol)
+	if err != nil {
+		return nil, err
+	}
+	dec.MoveCost = dec.RedistTime + newCost
+	if dec.MoveCost*hys < dec.StayCost && dec.MovedBlocks > 0 {
+		dec.Redistribute = true
+		dec.NewDist = cand
+	}
+	return dec, nil
+}
+
+// DriftPolicy tunes the online drift detector. Zero values select the
+// documented defaults.
+type DriftPolicy struct {
+	// Window is the number of kernel steps per observation window
+	// (default 4).
+	Window int
+	// Alpha is the EWMA weight of the newest per-window cycle-time sample,
+	// in (0,1] (default 0.5). 1 trusts only the latest window.
+	Alpha float64
+	// Threshold is the relative share deviation that arms the detector:
+	// a window counts as "hot" when some rank's mean-normalized estimated
+	// cycle-time differs from its planned share by more than this fraction
+	// (default 0.25).
+	Threshold float64
+	// Patience is the number of consecutive hot windows required before
+	// the detector recommends evaluating a migration (default 2) —
+	// transient spikes reset the count.
+	Patience int
+	// CoolDown is the number of windows the detector stays quiet after a
+	// migration (default 2).
+	CoolDown int
+	// Hysteresis is the minimum stay/move cost ratio required to migrate
+	// (default 1.2, i.e. a 20% projected saving).
+	Hysteresis float64
+	// MaxMigrations bounds migrations per run (default 2).
+	MaxMigrations int
+}
+
+// WithDefaults returns the policy with zero fields replaced by defaults.
+func (p DriftPolicy) WithDefaults() DriftPolicy {
+	if p.Window <= 0 {
+		p.Window = 4
+	}
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		p.Alpha = 0.5
+	}
+	if p.Threshold <= 0 {
+		p.Threshold = 0.25
+	}
+	if p.Patience <= 0 {
+		p.Patience = 2
+	}
+	if p.CoolDown < 0 {
+		p.CoolDown = 0
+	} else if p.CoolDown == 0 {
+		p.CoolDown = 2
+	}
+	if p.Hysteresis < 1 {
+		p.Hysteresis = 1.2
+	}
+	if p.MaxMigrations <= 0 {
+		p.MaxMigrations = 2
+	}
+	return p
+}
+
+// Detector accumulates per-window busy-time observations into EWMA
+// cycle-time estimates and flags sustained drift away from the planned
+// shares. It is a pure state machine: identical observation sequences
+// produce identical outputs, independent of wall-clock time or worker
+// count.
+type Detector struct {
+	pol  DriftPolicy
+	base []float64 // planned cycle-times (raw units; only ratios matter)
+	est  []float64 // EWMA per-block cycle-time estimates
+	seen []bool    // whether a rank has produced at least one sample
+	hot  int       // consecutive windows at/over threshold
+	cool int       // windows left in post-migration cool-down
+}
+
+// NewDetector builds a detector for n ranks whose planned cycle-times are
+// planned (row-major grid order).
+func NewDetector(planned []float64, pol DriftPolicy) (*Detector, error) {
+	if len(planned) == 0 {
+		return nil, fmt.Errorf("adapt: no planned cycle-times")
+	}
+	for i, t := range planned {
+		if t <= 0 {
+			return nil, fmt.Errorf("adapt: planned cycle-time %d is %v, want > 0", i, t)
+		}
+	}
+	return &Detector{
+		pol:  pol.WithDefaults(),
+		base: append([]float64(nil), planned...),
+		est:  make([]float64, len(planned)),
+		seen: make([]bool, len(planned)),
+	}, nil
+}
+
+// Observation is the detector's verdict for one window.
+type Observation struct {
+	// Deviation is the window's worst mean-normalized share deviation
+	// against the planned shares.
+	Deviation float64
+	// Hot counts consecutive windows at or over the threshold.
+	Hot int
+	// Trigger is true when patience is exhausted and the detector is not
+	// cooling down: the caller should evaluate a migration.
+	Trigger bool
+}
+
+// Observe folds one window's per-rank busy-time deltas (seconds) and
+// block-update counts into the EWMA estimates and returns the verdict.
+// Ranks with zero work this window keep their previous estimate.
+func (d *Detector) Observe(busy, work []float64) (Observation, error) {
+	n := len(d.base)
+	if len(busy) != n || len(work) != n {
+		return Observation{}, fmt.Errorf("adapt: observation size %d/%d for %d ranks", len(busy), len(work), n)
+	}
+	for i := 0; i < n; i++ {
+		if work[i] <= 0 {
+			continue
+		}
+		sample := busy[i] / work[i]
+		if sample <= 0 {
+			continue
+		}
+		if !d.seen[i] {
+			d.est[i] = sample
+			d.seen[i] = true
+		} else {
+			d.est[i] = d.pol.Alpha*sample + (1-d.pol.Alpha)*d.est[i]
+		}
+	}
+	obs := Observation{Deviation: d.deviation()}
+	if d.cool > 0 {
+		d.cool--
+		d.hot = 0
+	} else if obs.Deviation >= d.pol.Threshold {
+		d.hot++
+	} else {
+		d.hot = 0
+	}
+	obs.Hot = d.hot
+	obs.Trigger = d.hot >= d.pol.Patience
+	return obs, nil
+}
+
+// deviation compares mean-normalized estimates against mean-normalized
+// planned times and returns the worst relative gap. Ranks without samples
+// are assumed on-plan.
+func (d *Detector) deviation() float64 {
+	var sumE, sumB float64
+	cnt := 0
+	for i := range d.base {
+		if !d.seen[i] {
+			continue
+		}
+		sumE += d.est[i]
+		sumB += d.base[i]
+		cnt++
+	}
+	if cnt == 0 || sumE <= 0 || sumB <= 0 {
+		return 0
+	}
+	worst := 0.0
+	for i := range d.base {
+		if !d.seen[i] {
+			continue
+		}
+		en := d.est[i] / (sumE / float64(cnt))
+		bn := d.base[i] / (sumB / float64(cnt))
+		if dev := abs(en-bn) / bn; dev > worst {
+			worst = dev
+		}
+	}
+	return worst
+}
+
+// EstimatedTimes returns the current per-rank cycle-time estimates. Ranks
+// that have not produced a sample yet fall back to their planned time,
+// rescaled into the estimates' units via the seen ranks (planned times are
+// relative units, estimates are measured seconds per block — mixing them
+// raw would corrupt the ratios).
+func (d *Detector) EstimatedTimes() []float64 {
+	var sumE, sumB float64
+	for i := range d.base {
+		if d.seen[i] {
+			sumE += d.est[i]
+			sumB += d.base[i]
+		}
+	}
+	scale := 1.0
+	if sumE > 0 && sumB > 0 {
+		scale = sumE / sumB
+	}
+	out := make([]float64, len(d.base))
+	for i := range d.base {
+		if d.seen[i] {
+			out[i] = d.est[i]
+		} else {
+			out[i] = d.base[i] * scale
+		}
+	}
+	return out
+}
+
+// Rebase installs a new planned baseline after a migration, resets the hot
+// streak and starts the cool-down. Estimates persist — they describe the
+// machines, not the layout.
+func (d *Detector) Rebase(planned []float64) error {
+	if len(planned) != len(d.base) {
+		return fmt.Errorf("adapt: rebase with %d times for %d ranks", len(planned), len(d.base))
+	}
+	for i, t := range planned {
+		if t <= 0 {
+			return fmt.Errorf("adapt: rebase cycle-time %d is %v, want > 0", i, t)
+		}
+	}
+	copy(d.base, planned)
+	d.hot = 0
+	d.cool = d.pol.CoolDown
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -79,6 +79,48 @@ func ParseCrashSchedule(s string) ([]hetgrid.CrashPoint, error) {
 	return out, nil
 }
 
+// ParseSlowdownSchedule parses a comma-separated slowdown schedule such as
+// "3@0*8,3@5*1": each entry is rank@step*factor, scheduling the rank's
+// compute sections to take factor× their natural time from that step on
+// (factor 1 schedules a recovery to full speed).
+func ParseSlowdownSchedule(s string) ([]hetgrid.SlowdownPoint, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []hetgrid.SlowdownPoint
+	for _, part := range strings.Split(s, ",") {
+		entry := strings.TrimSpace(part)
+		coords, factorStr, ok := strings.Cut(entry, "*")
+		if !ok {
+			return nil, fmt.Errorf("slowdown entry %q must look like rank@step*factor (e.g. 3@0*8)", part)
+		}
+		rankStr, stepStr, ok := strings.Cut(coords, "@")
+		if !ok {
+			return nil, fmt.Errorf("slowdown entry %q must look like rank@step*factor (e.g. 3@0*8)", part)
+		}
+		rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
+		if err != nil {
+			return nil, fmt.Errorf("bad slowdown rank in %q: %v", part, err)
+		}
+		step, err := strconv.Atoi(strings.TrimSpace(stepStr))
+		if err != nil {
+			return nil, fmt.Errorf("bad slowdown step in %q: %v", part, err)
+		}
+		factor, err := strconv.ParseFloat(strings.TrimSpace(factorStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad slowdown factor in %q: %v", part, err)
+		}
+		if rank < 0 || step < 0 {
+			return nil, fmt.Errorf("slowdown entry %q needs a non-negative rank and step", part)
+		}
+		if factor < 1 || factor > 1e12 || factor != factor {
+			return nil, fmt.Errorf("slowdown entry %q needs a factor in [1, 1e12]", part)
+		}
+		out = append(out, hetgrid.SlowdownPoint{Rank: rank, Step: step, Factor: factor})
+	}
+	return out, nil
+}
+
 // ParseArrangement parses a cycle-time matrix written as semicolon-
 // separated rows of comma-separated values, e.g. "1,2;3,5" for a 2×2 grid.
 func ParseArrangement(s string) ([][]float64, error) {

@@ -139,3 +139,27 @@ func TestFormatFloats(t *testing.T) {
 		t.Fatalf("FormatFloats = %q", got)
 	}
 }
+
+func TestParseSlowdownSchedule(t *testing.T) {
+	got, err := ParseSlowdownSchedule(" 3@0*8 , 3@5*1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []hetgrid.SlowdownPoint{{Rank: 3, Step: 0, Factor: 8}, {Rank: 3, Step: 5, Factor: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("ParseSlowdownSchedule = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ParseSlowdownSchedule = %v", got)
+		}
+	}
+	if s, err := ParseSlowdownSchedule("  "); err != nil || s != nil {
+		t.Fatalf("blank schedule: %v, %v", s, err)
+	}
+	for _, bad := range []string{"3@0", "3*8", "x@0*8", "3@x*8", "3@0*x", "-1@0*8", "3@-1*8", "3@0*0.5", "3@0*-2", "3@0*NaN"} {
+		if _, err := ParseSlowdownSchedule(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

@@ -50,3 +50,46 @@ func FuzzParseCrashSchedule(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseSlowdownSchedule checks the slowdown-schedule grammar on
+// arbitrary input: no panics, accepted entries carry non-negative
+// coordinates and factors ≥ 1, and the canonical "rank@step*factor" form
+// reparses to the identical schedule.
+func FuzzParseSlowdownSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"", "3@0*8", "3@0*8,3@5*1", " 1@2 * 1.5 ", "3@0", "3*8", "@0*8",
+		"3@*8", "3@0*", "-1@0*8", "3@-1*8", "3@0*0.5", "3@0*-2", "3@0*NaN",
+		"3@0*1e13", "9999999999999999999@0*2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		slows, err := ParseSlowdownSchedule(s)
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(s) == "" && slows != nil {
+			t.Fatalf("blank schedule %q produced entries %v", s, slows)
+		}
+		parts := make([]string, len(slows))
+		for i, sp := range slows {
+			if sp.Rank < 0 || sp.Step < 0 || sp.Factor < 1 {
+				t.Fatalf("accepted out-of-range entry in %q: %+v", s, sp)
+			}
+			parts[i] = fmt.Sprintf("%d@%d*%g", sp.Rank, sp.Step, sp.Factor)
+		}
+		canonical := strings.Join(parts, ",")
+		back, err := ParseSlowdownSchedule(canonical)
+		if err != nil {
+			t.Fatalf("%q parsed to %v but its canonical form %q does not parse: %v", s, slows, canonical, err)
+		}
+		if len(back) != len(slows) {
+			t.Fatalf("%q: canonical reparse has %d entries, want %d", s, len(back), len(slows))
+		}
+		for i := range back {
+			if back[i] != slows[i] {
+				t.Fatalf("%q: entry %d round-trips %+v → %+v", s, i, slows[i], back[i])
+			}
+		}
+	})
+}

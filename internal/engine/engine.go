@@ -395,15 +395,49 @@ func (c *Comm) Step(k int) error {
 
 // Compute runs f as a labeled compute span attributed to this rank,
 // parented to the rank's current kernel step (free when recording is off).
+// When a scheduled slowdown fault is in force on this rank, the section is
+// stretched to factor× its natural duration by spinning out the difference
+// inside the span — the busy-time gauges observe the injected load drift
+// while f's results stay untouched.
 func (c *Comm) Compute(label string, f func() error) error {
+	factor := 1.0
+	if ft := c.world.fault; ft != nil {
+		factor = ft.SlowFactor(c.rank)
+	}
 	s := c.world.spans
-	if s == nil {
+	if s == nil && factor <= 1 {
 		return f()
 	}
-	id := s.Begin(c.rank, obs.SpanCompute, label, c.stepSpan)
+	var id obs.SpanID
+	if s != nil {
+		id = s.Begin(c.rank, obs.SpanCompute, label, c.stepSpan)
+	}
+	var start time.Time
+	if factor > 1 {
+		start = time.Now()
+	}
 	err := f()
-	s.End(id)
+	if factor > 1 {
+		deadline := start.Add(time.Duration(float64(time.Since(start)) * factor))
+		for time.Now().Before(deadline) {
+			// Spin: the slowed rank is modeled as busy, not blocked.
+		}
+	}
+	if s != nil {
+		s.End(id)
+	}
 	return err
+}
+
+// BusySeconds returns this rank's accumulated compute-span seconds so far
+// (0 unless Options.Record) — the live per-rank busy-time gauge the drift
+// detector feeds on. Safe to call from the rank's own step hook: compute
+// spans complete before the next Step fires.
+func (c *Comm) BusySeconds() float64 {
+	if s := c.world.spans; s != nil {
+		return s.BusyOf(c.rank)
+	}
+	return 0
 }
 
 // Phase opens a labeled phase span (a collective, a solve section) on this

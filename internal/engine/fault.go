@@ -43,6 +43,23 @@ type CrashPoint struct {
 	Silent bool
 }
 
+// SlowdownPoint schedules a cycle-time multiplier on one rank from the
+// start of a kernel step onward — the deterministic model of a noisy
+// neighbor stealing cycles. The rank's labeled compute sections take
+// Factor× their natural time (the engine spins out the difference), so the
+// span store's busy-time gauges see the slowdown while every delivered
+// payload, and therefore the numerical result, stays untouched.
+type SlowdownPoint struct {
+	// Rank is the flat rank that slows down.
+	Rank int
+	// Step is the kernel panel index at whose start the multiplier takes
+	// effect; it stays in force until a later-scheduled point for the same
+	// rank replaces it (Factor 1 schedules a recovery back to full speed).
+	Step int
+	// Factor ≥ 1 multiplies the rank's compute time.
+	Factor float64
+}
+
 // FaultConfig configures deterministic fault injection for one Run.
 type FaultConfig struct {
 	// Seed drives every drop and delay decision.
@@ -60,6 +77,9 @@ type FaultConfig struct {
 	Delay time.Duration
 	// Crashes schedules rank deaths at kernel steps.
 	Crashes []CrashPoint
+	// Slowdowns schedules compute-time multipliers at kernel steps — load
+	// drift, injected as deterministically as the crashes.
+	Slowdowns []SlowdownPoint
 }
 
 // FaultCounters is a snapshot of a FaultTransport's activity. After a
@@ -70,6 +90,8 @@ type FaultCounters struct {
 	Dropped, Delayed, Retransmitted int
 	// Crashed lists the crash points that fired, in firing order.
 	Crashed []CrashPoint
+	// Slowed lists the slowdown points that activated, in firing order.
+	Slowed []SlowdownPoint
 }
 
 // RankFailure is the error RunOpts reports when a rank dies — either a
@@ -134,18 +156,21 @@ type FaultTransport struct {
 	inner Transport
 	cfg   FaultConfig
 
-	mu      sync.Mutex
-	seq     map[pairTag]uint64
-	outbox  map[pairTag][]*outMsg
-	timers  []*time.Timer
-	fired   map[int]bool // indices into cfg.Crashes
-	crashed []CrashPoint
-	aborted bool
+	mu        sync.Mutex
+	seq       map[pairTag]uint64
+	outbox    map[pairTag][]*outMsg
+	timers    []*time.Timer
+	fired     map[int]bool // indices into cfg.Crashes
+	crashed   []CrashPoint
+	firedSlow map[int]bool // indices into cfg.Slowdowns
+	slowed    []SlowdownPoint
+	slow      map[int]float64 // rank → active compute-time multiplier
+	aborted   bool
 
 	dropped, delayed, retransmitted int
 
 	// Registry mirrors of the fault counters; nil without a registry.
-	mDropped, mDelayed, mRetransmitted, mCrashes *obs.Counter
+	mDropped, mDelayed, mRetransmitted, mCrashes, mSlowdowns *obs.Counter
 }
 
 // attachMetrics mirrors the transport's fault counters into the registry
@@ -158,16 +183,19 @@ func (t *FaultTransport) attachMetrics(reg *obs.Registry) {
 	t.mDelayed = reg.Counter("hetgrid_fault_delayed_total", "", "messages the fault lottery deferred")
 	t.mRetransmitted = reg.Counter("hetgrid_fault_retransmitted_total", "", "dropped messages redelivered on retransmission requests")
 	t.mCrashes = reg.Counter("hetgrid_fault_crashes_total", "", "scheduled rank crash points that fired")
+	t.mSlowdowns = reg.Counter("hetgrid_fault_slowdowns_total", "", "scheduled rank slowdown points that activated")
 }
 
 // NewFaultTransport wraps inner with the configured faults.
 func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
 	return &FaultTransport{
-		inner:  inner,
-		cfg:    cfg,
-		seq:    make(map[pairTag]uint64),
-		outbox: make(map[pairTag][]*outMsg),
-		fired:  make(map[int]bool),
+		inner:     inner,
+		cfg:       cfg,
+		seq:       make(map[pairTag]uint64),
+		outbox:    make(map[pairTag][]*outMsg),
+		fired:     make(map[int]bool),
+		firedSlow: make(map[int]bool),
+		slow:      make(map[int]float64),
 	}
 }
 
@@ -364,11 +392,31 @@ func (t *FaultTransport) quiesce() {
 	}
 }
 
-// StepEntered fires any crash scheduled for this rank at this step by
-// panicking on the rank's goroutine; the run loop converts the panic into a
-// RankFailure.
+// StepEntered activates any slowdowns scheduled at or before this step for
+// this rank (the latest-scheduled point wins), then fires any crash
+// scheduled for this rank at this step by panicking on the rank's
+// goroutine; the run loop converts the panic into a RankFailure.
 func (t *FaultTransport) StepEntered(rank, step int) {
 	t.mu.Lock()
+	best := -1
+	for i, sp := range t.cfg.Slowdowns {
+		if sp.Rank != rank || sp.Step > step || sp.Factor <= 0 {
+			continue
+		}
+		if best < 0 || sp.Step >= t.cfg.Slowdowns[best].Step {
+			best = i
+		}
+	}
+	if best >= 0 {
+		t.slow[rank] = t.cfg.Slowdowns[best].Factor
+		if !t.firedSlow[best] {
+			t.firedSlow[best] = true
+			t.slowed = append(t.slowed, t.cfg.Slowdowns[best])
+			if t.mSlowdowns != nil {
+				t.mSlowdowns.Inc()
+			}
+		}
+	}
 	for i, cp := range t.cfg.Crashes {
 		if cp.Rank == rank && cp.Step == step && !t.fired[i] {
 			t.fired[i] = true
@@ -383,6 +431,21 @@ func (t *FaultTransport) StepEntered(rank, step int) {
 	t.mu.Unlock()
 }
 
+// SlowFactor returns the rank's active compute-time multiplier (1 when no
+// slowdown is in force).
+func (t *FaultTransport) SlowFactor(rank int) float64 {
+	if len(t.cfg.Slowdowns) == 0 {
+		return 1
+	}
+	t.mu.Lock()
+	f := t.slow[rank]
+	t.mu.Unlock()
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
 // Counters snapshots the transport's fault activity.
 func (t *FaultTransport) Counters() FaultCounters {
 	t.mu.Lock()
@@ -392,6 +455,7 @@ func (t *FaultTransport) Counters() FaultCounters {
 		Delayed:       t.delayed,
 		Retransmitted: t.retransmitted,
 		Crashed:       append([]CrashPoint(nil), t.crashed...),
+		Slowed:        append([]SlowdownPoint(nil), t.slowed...),
 	}
 }
 

@@ -1,0 +1,263 @@
+package net_test
+
+// Chaos over real sockets: a drift-style mid-LU migration (checkpoint →
+// replan same ranks for new cycle-times → re-scatter → resume) scripted at
+// the engine level, composed with seeded drops and delays, a deterministic
+// slowdown, and a fail-stop crash with survivor replanning — all across a
+// loopback-TCP cluster, with the final result bit-identical to the
+// fault-free serial replay.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hetgrid"
+	"hetgrid/internal/distribution"
+	"hetgrid/internal/engine"
+	"hetgrid/internal/kernels"
+	"hetgrid/internal/matrix"
+)
+
+// errTCPMigrate is the scripted collective migration sentinel: every rank
+// returns it from the step hook once the migration checkpoint is safe.
+var errTCPMigrate = errors.New("scripted drift migration")
+
+// scalar wraps one float64 as a 1×1 barrier payload.
+func scalar(v float64) *matrix.Dense {
+	m := matrix.New(1, 1)
+	m.Set(0, 0, v)
+	return m
+}
+
+// TestTCPDriftChaosMigrateCrashResume runs three cluster attempts over
+// loopback TCP:
+//
+//  1. LU on a uniform 2×2 layout with drops, delays and an 8× slowdown on
+//     rank 3; at step 2 every rank checkpoints and migrates (the drift
+//     protocol's gather + done-barrier + collective sentinel, scripted).
+//  2. Resume on a layout replanned for the drifted cycle-times; rank 1
+//     crashes fail-stop at step 4, after another checkpoint.
+//  3. The three survivors are replanned and finish the factorization.
+//
+// The final matrix must equal the fault-free serial replay bit for bit.
+func TestTCPDriftChaosMigrateCrashResume(t *testing.T) {
+	d1, err := distribution.UniformBlockCyclic(2, 2, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const world1, procs, r = 4, 2, 2
+	a := matrix.RandomWellConditioned(12, rand.New(rand.NewSource(17)))
+	oracle, err := kernels.ReplayLUNumerics(d1, a, matrix.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := func(seed int64, crashes []engine.CrashPoint) *engine.FaultConfig {
+		return &engine.FaultConfig{
+			Seed:      seed,
+			DropProb:  0.08,
+			DelayProb: 0.1,
+			Delay:     time.Millisecond,
+			Crashes:   crashes,
+			Slowdowns: []engine.SlowdownPoint{{Rank: 3, Step: 0, Factor: 8}},
+		}
+	}
+
+	// Attempt 1: chaos up to the scripted migration at step 2.
+	var mu sync.Mutex
+	var ck1 *matrix.Dense
+	const migrateK = 2
+	fabs, _ := startFabrics(t, world1, procs, nil)
+	errs := make([]error, procs)
+	var slowdowns int
+	var wg sync.WaitGroup
+	for p := range fabs {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			opts := engine.Options{
+				Transport:   fabs[p],
+				LocalRanks:  fabs[p].LocalRanks(),
+				RecvTimeout: 50 * time.Millisecond,
+				MaxRetries:  6,
+				Faults:      chaos(23, nil),
+			}
+			w, err := engine.RunOpts(world1, opts, func(c *engine.Comm) error {
+				s, err := engine.Scatter(c, d1, pick0(c, a), r)
+				if err != nil {
+					return err
+				}
+				c.SetStepHook(func(k int) error {
+					if k != migrateK {
+						return nil
+					}
+					// The drift protocol's migration tail: gather the
+					// working matrix, hold everyone on a done-barrier until
+					// rank 0 has committed it, then abort collectively.
+					g, err := engine.GatherTag(c, d1, s, fmt.Sprintf("driftckpt/%d", k))
+					if err != nil {
+						return err
+					}
+					done := fmt.Sprintf("drift/done/%d", k)
+					if c.Rank() == 0 {
+						mu.Lock()
+						ck1 = g
+						mu.Unlock()
+						for dst := 0; dst < c.N(); dst++ {
+							c.Send(dst, done, scalar(1))
+						}
+					}
+					c.Recv(0, done)
+					return errTCPMigrate
+				})
+				return engine.LU(c, d1, s)
+			})
+			errs[p] = err
+			if w != nil {
+				if fc := w.FaultCounters(); fc != nil {
+					mu.Lock()
+					slowdowns += len(fc.Slowed)
+					mu.Unlock()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if !errors.Is(err, errTCPMigrate) {
+			t.Fatalf("process %d: want the migration sentinel, got %v", p, err)
+		}
+	}
+	if ck1 == nil {
+		t.Fatal("migration checkpoint never committed")
+	}
+	if slowdowns == 0 {
+		t.Fatal("slowdown point never activated")
+	}
+
+	// Replan the same four ranks for the drifted cycle-times (rank 3 now 8×
+	// slower) — what the drift loop does with the detector's estimates.
+	drifted := []float64{1, 1, 1, 8}
+	d2, _, err := hetgrid.PlanSurvivors(drifted, 6, 6, hetgrid.LU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, q2 := d2.Dims()
+	world2 := p2 * q2
+
+	// Attempt 2: resume mid-factorization on the migrated layout; rank 1
+	// crashes entering step 4, after checkpoints at steps 3 and 4.
+	var ck2 *matrix.Dense
+	ck2Step := 0
+	fabs2, _ := startFabrics(t, world2, procs, nil)
+	errs2 := make([]error, procs)
+	var wg2 sync.WaitGroup
+	for p := range fabs2 {
+		wg2.Add(1)
+		go func(p int) {
+			defer wg2.Done()
+			opts := engine.Options{
+				Transport:   fabs2[p],
+				LocalRanks:  fabs2[p].LocalRanks(),
+				RecvTimeout: 50 * time.Millisecond,
+				MaxRetries:  6,
+				Faults:      chaos(29, []engine.CrashPoint{{Rank: 1, Step: 4}}),
+			}
+			_, errs2[p] = engine.RunOpts(world2, opts, func(c *engine.Comm) error {
+				s, err := engine.Scatter(c, d2, pick0(c, ck1), r)
+				if err != nil {
+					return err
+				}
+				c.SetStepHook(func(k int) error {
+					if k <= migrateK {
+						return nil
+					}
+					g, err := engine.GatherTag(c, d2, s, fmt.Sprintf("ckpt/%d", k))
+					if err != nil {
+						return err
+					}
+					// Commit-barrier: nobody advances (and possibly crashes,
+					// tearing the cluster down) until rank 0 holds the
+					// checkpoint.
+					done := fmt.Sprintf("ckpt/done/%d", k)
+					if c.Rank() == 0 {
+						mu.Lock()
+						ck2, ck2Step = g, k
+						mu.Unlock()
+						for dst := 0; dst < c.N(); dst++ {
+							c.Send(dst, done, scalar(1))
+						}
+					}
+					c.Recv(0, done)
+					return nil
+				})
+				return engine.LUResume(c, d2, s, migrateK)
+			})
+		}(p)
+	}
+	wg2.Wait()
+	for p, err := range errs2 {
+		var rf *engine.RankFailure
+		if !errors.As(err, &rf) {
+			t.Fatalf("resume attempt, process %d: want *RankFailure, got %v", p, err)
+		}
+		if rf.Rank != 1 {
+			t.Fatalf("resume attempt, process %d blames rank %d, want 1", p, rf.Rank)
+		}
+	}
+	if ck2 == nil {
+		t.Fatal("no checkpoint committed before the crash")
+	}
+
+	// Attempt 3: replan the three survivors (rank 1 gone) and finish clean.
+	survivors := []float64{drifted[0], drifted[2], drifted[3]}
+	d3, _, err := hetgrid.PlanSurvivors(survivors, 6, 6, hetgrid.LU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, q3 := d3.Dims()
+	world3 := p3 * q3
+	var final *matrix.Dense
+	fabs3, _ := startFabrics(t, world3, procs, nil)
+	errs3 := make([]error, procs)
+	var wg3 sync.WaitGroup
+	for p := range fabs3 {
+		wg3.Add(1)
+		go func(p int) {
+			defer wg3.Done()
+			opts := engine.Options{Transport: fabs3[p], LocalRanks: fabs3[p].LocalRanks()}
+			_, errs3[p] = engine.RunOpts(world3, opts, func(c *engine.Comm) error {
+				s, err := engine.Scatter(c, d3, pick0(c, ck2), r)
+				if err != nil {
+					return err
+				}
+				if err := engine.LUResume(c, d3, s, ck2Step); err != nil {
+					return err
+				}
+				g, err := engine.Gather(c, d3, s)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					mu.Lock()
+					final = g
+					mu.Unlock()
+				}
+				return nil
+			})
+		}(p)
+	}
+	wg3.Wait()
+	for p, err := range errs3 {
+		if err != nil {
+			t.Fatalf("final attempt, process %d: %v", p, err)
+		}
+	}
+	if final == nil || !final.Equal(oracle.C) {
+		t.Fatal("drift-migrate → crash → replan → resume over TCP is not bit-identical to the fault-free factorization")
+	}
+}

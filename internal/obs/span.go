@@ -176,6 +176,21 @@ func (s *SpanStore) BusyTimes(n int) []float64 {
 	return busy
 }
 
+// BusyOf sums one rank's completed compute-span durations without copying
+// the store — the live single-rank form of BusyTimes, cheap enough to call
+// from a kernel step hook.
+func (s *SpanStore) BusyOf(rank int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	busy := 0.0
+	for _, sp := range s.spans {
+		if sp.Kind == SpanCompute && sp.Rank == rank {
+			busy += sp.End - sp.Start
+		}
+	}
+	return busy
+}
+
 // Imbalance is the max/mean of a busy-time vector — the measured form of
 // the paper's Obj1 (makespan over the (Σr)(Σc) balance bound): 1 is
 // perfect balance, larger means the slowest rank dominates. Empty or

@@ -57,6 +57,18 @@ func WithFaults(f FaultOptions) Option {
 	return func(co *callOptions) { co.exec.Faults = &f }
 }
 
+// WithDriftRebalance enables online rebalancing under load drift on a
+// distributed execution: the run watches per-rank busy-time gauges, and
+// when sustained drift away from the planned shares is detected — and the
+// projected saving beats the migration cost — it checkpoints, replans the
+// same ranks for the estimated cycle-times, re-scatters and resumes
+// mid-kernel. Results stay bit-identical to the undisturbed run; the
+// decisions are reported in ExecStats.Drift. Requires the in-process
+// fabric (incompatible with WithTransport/WithTransportFactory).
+func WithDriftRebalance(p DriftPolicy) Option {
+	return func(co *callOptions) { co.exec.Drift = &p }
+}
+
 // WithSpans records the hierarchical span timeline of a distributed
 // execution: per-rank kernel-step spans with their compute and phase
 // children, plus per-message send spans. ExecStats.Spans, BusyTime and
